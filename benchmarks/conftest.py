@@ -1,0 +1,49 @@
+"""Shared fixtures for the table/figure regeneration benches.
+
+Every bench both *measures* (via pytest-benchmark) and *regenerates* the
+corresponding artifact, writing the rendered text to
+``benchmarks/results/`` so EXPERIMENTS.md can cite actual output.
+
+Knobs:
+
+* ``REPRO_SFI_SAMPLES``  -- faults per (workload, structure, mode)
+  series (default 32 here; the Leveugle-exact count is ~4000 and every
+  result records the error margin its sample size actually achieves);
+* ``REPRO_BENCH_WORKLOADS`` -- comma-separated subset for quick runs.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.study import CrossLevelStudy, StudyConfig
+from repro.workloads.registry import WORKLOAD_NAMES
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_samples(default=32):
+    return int(os.environ.get("REPRO_SFI_SAMPLES", str(default)))
+
+
+def bench_workloads():
+    text = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    if not text:
+        return WORKLOAD_NAMES
+    return tuple(w.strip() for w in text.split(",") if w.strip())
+
+
+@pytest.fixture(scope="session")
+def study():
+    """One shared study: figure benches reuse cached campaign series."""
+    config = StudyConfig(workloads=bench_workloads(),
+                         samples=bench_samples(), seed=2017)
+    return CrossLevelStudy(config)
+
+
+def save_artifact(name, text):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path

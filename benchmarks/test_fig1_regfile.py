@@ -1,0 +1,31 @@
+"""Fig. 1: register-file vulnerability (unsafeness), pinout OP.
+
+Three series per benchmark, as in the paper: GeFIN (windowed), RTL
+(windowed) and GeFIN-no-timer (run to end).  Shape targets: small
+absolute unsafeness (the paper's Fig. 1 peaks below 20%), small
+cross-level deltas on most benchmarks, no-timer >= windowed.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.report import campaign_table
+from repro.core.figures import figure1_chart
+
+
+def test_fig1_regfile(benchmark, study):
+    results = benchmark.pedantic(study.figure1, rounds=1, iterations=1)
+    chart = figure1_chart(results)
+    flat = [r for series in results.values() for r in series.values()]
+    table = campaign_table(flat, title="Fig. 1 campaign details")
+    save_artifact("fig1_regfile.txt", chart + "\n\n" + table)
+    print()
+    print(chart)
+    # Shape: vulnerabilities are probabilities, and the run-to-end series
+    # can only see more than the windowed series (same seed and faults).
+    for series in results.values():
+        for result in series.values():
+            assert 0.0 <= result.unsafeness <= 1.0
+    for workload in results["GeFIN"]:
+        windowed = results["GeFIN"][workload].unsafeness
+        to_end = results["GeFIN-no timer"][workload].unsafeness
+        assert to_end >= windowed - 1e-9, workload

@@ -1,0 +1,37 @@
+"""Table I: the microarchitectural configuration of the Cortex-A9.
+
+The paper's Table I is a static configuration listing; the bench asserts
+our model is configured with exactly those values and measures the cost
+of building a simulator from them.
+"""
+
+from conftest import save_artifact
+
+from repro.core.tables import render_table1, table1_rows
+from repro.isa import Toolchain
+from repro.uarch import CortexA9Config, MicroArchSim
+from repro.workloads import build
+
+PAPER_TABLE1 = {
+    "ISA / Core": "ARMv7 / Out-of-order",
+    "Data cache": "32KB 4-way",
+    "Instruction cache": "32KB 4-way",
+    "Physical Register File": "56 registers",
+    "Instruction queue": "32",
+    "Reorder buffer": "40",
+    "Fetch/Execute/Writeback width": "2/4/4",
+}
+
+
+def test_table1(benchmark):
+    program = build("stringsearch", Toolchain("gnu"))
+
+    def build_sim():
+        return MicroArchSim(program, CortexA9Config())
+
+    sim = benchmark(build_sim)
+    assert dict(table1_rows(sim.config)) == PAPER_TABLE1
+    text = render_table1()
+    save_artifact("table1.txt", text)
+    print()
+    print(text)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's whole study on two workloads.
+
+Reproduces the experimental design of SS III-IV: equivalent setups at the
+two abstraction levels, identical fault model and observation points,
+then the cross-level deltas in percentile units and relative terms.
+
+Run:  python examples/cross_level_comparison.py
+"""
+
+import os
+
+from repro.analysis.report import render_table
+from repro.core.figures import figure1_chart, figure3_chart
+from repro.core.study import CrossLevelStudy, StudyConfig
+
+WORKLOADS = ("sha", "stringsearch")
+SAMPLES = int(os.environ.get("REPRO_SFI_SAMPLES", "30"))
+
+study = CrossLevelStudy(StudyConfig(workloads=WORKLOADS,
+                                    samples=SAMPLES))
+
+print(f"register-file series (Fig. 1 style), {SAMPLES} faults/series...")
+fig1 = study.figure1()
+print(figure1_chart(fig1))
+
+print(f"\nL1D AVF series (Fig. 3 style)...")
+fig3 = study.figure3(workloads=WORKLOADS)
+print(figure3_chart(fig3))
+
+headline = study.headline(fig1=fig1, fig3=fig3)
+print()
+for structure, comparison in headline.items():
+    print(render_table(
+        ("workload", "GeFIN", "RTL", "delta (pp)", "delta (rel)"),
+        comparison.rows(),
+        title=f"Cross-level deltas: {structure}",
+    ))
+    print()
+
+rf = headline["regfile"]
+l1d = headline["l1d"]
+print(f"paper headline : RF ~0.7pp (~10%), L1D ~3pp (~20%)")
+print(f"this run       : RF {rf.mean_percentile_units:.1f}pp "
+      f"({100 * rf.mean_relative:.0f}%), "
+      f"L1D {l1d.mean_percentile_units:.1f}pp "
+      f"({100 * l1d.mean_relative:.0f}%)")
+print("(shape, not absolute match, is the reproduction target; "
+      "see EXPERIMENTS.md)")

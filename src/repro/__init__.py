@@ -1,0 +1,25 @@
+"""repro: RT-level vs microarchitecture-level reliability assessment.
+
+A full-system reproduction of Chatzidimitriou et al., "RT Level vs.
+Microarchitecture-Level Reliability Assessment: Case Study on ARM
+Cortex-A9 CPU" (DSN-W 2017): two CPU models of the same A9-class core at
+different abstraction levels, a statistical fault-injection framework
+that drives both with an equivalent setup, and the analysis layer that
+regenerates every table and figure of the paper's evaluation.
+
+Quick tour (see README.md for the narrative):
+
+>>> from repro.injection import GeFIN, SafetyVerifier
+>>> gefin = GeFIN("sha")
+>>> result = gefin.campaign("regfile", mode="pinout", samples=40)
+>>> 0.0 <= result.unsafeness <= 1.0
+True
+"""
+
+from repro.core import CrossLevelStudy, StudyConfig
+from repro.injection import GeFIN, SafetyVerifier
+
+__version__ = "0.1.0"
+
+__all__ = ["CrossLevelStudy", "GeFIN", "SafetyVerifier", "StudyConfig",
+           "__version__"]

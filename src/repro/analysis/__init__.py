@@ -1,0 +1,8 @@
+"""Result analysis: vulnerability metrics, cross-level comparison and the
+ASCII table/figure renderers used by the benchmark harness."""
+
+from repro.analysis.compare import CrossLevelComparison, LevelDelta
+from repro.analysis.report import bar_chart, render_table
+
+__all__ = ["CrossLevelComparison", "LevelDelta", "bar_chart",
+           "render_table"]

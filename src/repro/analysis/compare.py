@@ -1,0 +1,115 @@
+"""Cross-level comparison -- the paper's headline analysis.
+
+The abstract states the result in two units; both are computed here:
+
+* **percentile units** (pp): ``|v_uarch - v_rtl| * 100`` averaged over
+  benchmarks (paper: ~0.7 pp for the register file, ~3 pp for L1D);
+* **relative difference**: ``|v_uarch - v_rtl| / max(v_uarch, v_rtl)``
+  averaged over benchmarks (paper: ~10 % RF, ~20 % L1D).
+"""
+
+
+class LevelDelta:
+    """Vulnerability difference between the two levels for one workload."""
+
+    __slots__ = ("workload", "uarch", "rtl")
+
+    def __init__(self, workload, uarch, rtl):
+        self.workload = workload
+        self.uarch = uarch
+        self.rtl = rtl
+
+    @property
+    def percentile_units(self):
+        """Absolute difference in percentage points."""
+        return abs(self.uarch - self.rtl) * 100.0
+
+    @property
+    def relative(self):
+        """Relative difference against the larger estimate (0 when both
+        levels agree that the structure is invulnerable)."""
+        top = max(self.uarch, self.rtl)
+        if top == 0.0:
+            return 0.0
+        return abs(self.uarch - self.rtl) / top
+
+    def __repr__(self):
+        return (
+            f"LevelDelta({self.workload}: uarch={self.uarch:.3f}"
+            f" rtl={self.rtl:.3f} -> {self.percentile_units:.1f}pp,"
+            f" {100 * self.relative:.0f}%)"
+        )
+
+
+class CrossLevelComparison:
+    """Aggregates per-workload deltas for one structure/mode series."""
+
+    def __init__(self, structure, mode=""):
+        self.structure = structure
+        self.mode = mode
+        self.deltas = []
+
+    def add(self, workload, uarch_vulnerability, rtl_vulnerability):
+        self.deltas.append(
+            LevelDelta(workload, uarch_vulnerability, rtl_vulnerability)
+        )
+
+    def add_results(self, uarch_result, rtl_result):
+        if uarch_result.workload != rtl_result.workload:
+            raise ValueError("mismatched workloads")
+        self.add(uarch_result.workload, uarch_result.unsafeness,
+                 rtl_result.unsafeness)
+
+    @property
+    def mean_percentile_units(self):
+        if not self.deltas:
+            return 0.0
+        return sum(d.percentile_units for d in self.deltas) \
+            / len(self.deltas)
+
+    @property
+    def mean_relative(self):
+        if not self.deltas:
+            return 0.0
+        return sum(d.relative for d in self.deltas) / len(self.deltas)
+
+    @property
+    def worst(self):
+        if not self.deltas:
+            return None
+        return max(self.deltas, key=lambda d: d.percentile_units)
+
+    def agreement_within(self, percentile_units):
+        """How many workloads agree within the given pp bound (the paper
+        reports "less than 10% different vulnerability in 5 benchmarks")."""
+        return sum(
+            1 for d in self.deltas if d.percentile_units <= percentile_units
+        )
+
+    def rows(self):
+        """Table rows: workload, uarch, rtl, delta-pp, delta-relative."""
+        out = []
+        for d in self.deltas:
+            out.append((
+                d.workload,
+                f"{100 * d.uarch:.1f}%",
+                f"{100 * d.rtl:.1f}%",
+                f"{d.percentile_units:.1f}pp",
+                f"{100 * d.relative:.0f}%",
+            ))
+        out.append((
+            "average",
+            f"{100 * sum(d.uarch for d in self.deltas) / max(len(self.deltas), 1):.1f}%",
+            f"{100 * sum(d.rtl for d in self.deltas) / max(len(self.deltas), 1):.1f}%",
+            f"{self.mean_percentile_units:.1f}pp",
+            f"{100 * self.mean_relative:.0f}%",
+        ))
+        return out
+
+    def __repr__(self):
+        return (
+            f"CrossLevelComparison({self.structure}/{self.mode}:"
+            f" {self.mean_percentile_units:.1f}pp,"
+            f" {100 * self.mean_relative:.0f}% over {len(self.deltas)}"
+            f" workloads)"
+        )

@@ -1,0 +1,46 @@
+"""CSV export of campaign results (for external plotting/analysis)."""
+
+import csv
+import io
+
+_FIELDS = (
+    "workload", "level", "structure", "n", "unsafeness", "ci95_low",
+    "ci95_high", "masked", "sdc", "due", "hang", "mismatch", "latent",
+    "golden_cycles", "s_per_run", "population", "recommended_samples",
+    "achieved_margin",
+)
+
+
+def results_to_csv(results):
+    """Render an iterable of :class:`CampaignResult` to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_FIELDS)
+    writer.writeheader()
+    for result in results:
+        summary = result.summary()
+        low, high = summary.pop("ci95")
+        summary["ci95_low"] = f"{low:.6f}"
+        summary["ci95_high"] = f"{high:.6f}"
+        summary["unsafeness"] = f"{summary['unsafeness']:.6f}"
+        summary["achieved_margin"] = f"{summary['achieved_margin']:.6f}"
+        summary["s_per_run"] = f"{summary['s_per_run']:.6f}"
+        writer.writerow(summary)
+    return buffer.getvalue()
+
+
+def records_to_csv(result):
+    """Per-fault dump of one campaign (fault, class, timing)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow((
+        "structure", "bit", "cycle", "original_cycle", "class", "detail",
+        "sim_cycles", "wall_seconds",
+    ))
+    for record in result.records:
+        fault = record.fault
+        writer.writerow((
+            fault.structure, fault.bit, fault.cycle, fault.original_cycle,
+            record.fclass.value, record.detail, record.sim_cycles,
+            f"{record.wall_seconds:.6f}",
+        ))
+    return buffer.getvalue()

@@ -1,0 +1,81 @@
+"""ASCII rendering of the paper's tables and figures."""
+
+
+def render_table(headers, rows, title=None):
+    """A monospace table with column auto-sizing."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(str(row[i])))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def fmt(row):
+        cells = " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        return f"| {cells} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt(headers))
+    lines.append(sep)
+    for row in rows:
+        lines.append(fmt(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def bar_chart(series, labels, max_width=50, title=None, value_format=None):
+    """Horizontal grouped bar chart, one group per label.
+
+    ``series`` maps series name -> list of values aligned with ``labels``
+    (the paper's Figs. 1-3 are grouped bar charts: GeFIN / RTL /
+    GeFIN-no-timer).
+    """
+    value_format = value_format or (lambda v: f"{100 * v:5.1f}%")
+    peak = max(
+        (v for values in series.values() for v in values if v is not None),
+        default=0.0,
+    )
+    scale = max_width / peak if peak > 0 else 0.0
+    name_width = max(len(name) for name in series)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[i]
+            if value is None:
+                lines.append(
+                    f"  {name.ljust(name_width)} "
+                    f"{'(not measured)'.rjust(7)}"
+                )
+                continue
+            bar = "#" * max(int(round(value * scale)), 0)
+            lines.append(
+                f"  {name.ljust(name_width)} {value_format(value)} {bar}"
+            )
+    del label_width
+    return "\n".join(lines)
+
+
+def campaign_table(results, title=None):
+    """Standard per-campaign summary table."""
+    headers = ("workload", "level", "structure", "n", "unsafe", "ci95",
+               "masked", "sdc", "due", "hang", "mism", "s/run")
+    rows = []
+    for r in results:
+        s = r.summary()
+        low, high = s["ci95"]
+        rows.append((
+            s["workload"], s["level"], s["structure"], s["n"],
+            f"{100 * s['unsafeness']:.1f}%",
+            f"[{100 * low:.0f},{100 * high:.0f}]%",
+            s["masked"], s["sdc"], s["due"], s["hang"], s["mismatch"],
+            f"{s['s_per_run']:.2f}",
+        ))
+    return render_table(headers, rows, title=title)

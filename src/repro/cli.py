@@ -1,0 +1,147 @@
+"""Command-line entry point: ``repro-study``.
+
+Subcommands regenerate the paper's artifacts from a terminal::
+
+    repro-study table1
+    repro-study table2 [--workloads sha,fft] [--no-trace]
+    repro-study fig1|fig2|fig3 [--samples N] [--workloads ...]
+    repro-study headline [--samples N]
+    repro-study golden <workload> [--level rtl|uarch]
+"""
+
+import argparse
+import sys
+
+
+def _parse_workloads(text):
+    from repro.workloads.registry import WORKLOAD_NAMES
+
+    if not text:
+        return WORKLOAD_NAMES
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    unknown = [n for n in names if n not in WORKLOAD_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown workloads: {unknown}")
+    return names
+
+
+def _cmd_table1(_args):
+    from repro.core.tables import render_table1
+
+    print(render_table1())
+
+
+def _cmd_table2(args):
+    from repro.core.tables import render_table2, table2_rows
+
+    rows, average = table2_rows(
+        _parse_workloads(args.workloads), rtl_traced=not args.no_trace
+    )
+    print(render_table2(rows, average))
+
+
+def _make_study(args):
+    from repro.core.study import CrossLevelStudy, StudyConfig
+
+    config = StudyConfig(
+        workloads=_parse_workloads(args.workloads),
+        samples=args.samples,
+        seed=args.seed,
+    )
+    return CrossLevelStudy(config)
+
+
+def _progress(stage, workload):
+    print(f"  [{stage}] {workload} done", file=sys.stderr)
+
+
+def _cmd_fig(args, which):
+    from repro.core import figures
+
+    study = _make_study(args)
+    if which == 1:
+        results = study.figure1(progress=_progress)
+        print(figures.figure1_chart(results))
+    elif which == 2:
+        results = study.figure2(progress=_progress)
+        print(figures.figure2_chart(results))
+    else:
+        results = study.figure3(progress=_progress)
+        print(figures.figure3_chart(results))
+
+
+def _cmd_headline(args):
+    from repro.analysis.report import render_table
+
+    study = _make_study(args)
+    headline = study.headline()
+    for name, comparison in headline.items():
+        print(render_table(
+            ("workload", "GeFIN", "RTL", "delta (pp)", "delta (rel)"),
+            comparison.rows(),
+            title=f"Cross-level delta: {name}",
+        ))
+        print()
+
+
+def _cmd_golden(args):
+    if args.level == "rtl":
+        from repro.injection.safety_verifier import SafetyVerifier
+
+        front = SafetyVerifier(args.workload)
+    else:
+        from repro.injection.gefin import GeFIN
+
+        front = GeFIN(args.workload)
+    sim = front.golden_run()
+    stats = sim.stats()
+    print(f"workload      : {args.workload} ({args.level})")
+    print(f"status        : exited={sim.exited} code={sim.exit_code}")
+    print(f"cycles        : {stats['cycles']}")
+    print(f"instructions  : {stats['instructions']} (IPC "
+          f"{stats['ipc']:.2f})")
+    print(f"L1D miss/hit  : {stats['l1d_misses']}/{stats['l1d_hits']}")
+    print(f"mispredicts   : {stats['mispredicts']}")
+    print(f"output        : {sim.output!r}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1")
+    p_table2 = sub.add_parser("table2")
+    p_table2.add_argument("--workloads", default="")
+    p_table2.add_argument("--no-trace", action="store_true")
+    for name in ("fig1", "fig2", "fig3", "headline"):
+        p = sub.add_parser(name)
+        p.add_argument("--workloads", default="")
+        p.add_argument("--samples", type=int, default=None)
+        p.add_argument("--seed", type=int, default=2017)
+    p_golden = sub.add_parser("golden")
+    p_golden.add_argument("workload")
+    p_golden.add_argument("--level", choices=("rtl", "uarch"),
+                          default="uarch")
+    args = parser.parse_args(argv)
+    if args.command == "table1":
+        _cmd_table1(args)
+    elif args.command == "table2":
+        _cmd_table2(args)
+    elif args.command == "fig1":
+        _cmd_fig(args, 1)
+    elif args.command == "fig2":
+        _cmd_fig(args, 2)
+    elif args.command == "fig3":
+        _cmd_fig(args, 3)
+    elif args.command == "headline":
+        _cmd_headline(args)
+    elif args.command == "golden":
+        _cmd_golden(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: the cross-level reliability study.
+
+:class:`CrossLevelStudy` configures the two injection front-ends
+equivalently (same workloads, equivalent structures, same fault samples,
+same observation points and termination rules) and regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.core.study import CrossLevelStudy, StudyConfig
+from repro.core.tables import table1_rows, table2_rows
+from repro.core.figures import figure_series
+
+__all__ = [
+    "CrossLevelStudy",
+    "StudyConfig",
+    "figure_series",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,37 @@
+"""Rendering of the paper's Figures 1-3 as grouped bar charts."""
+
+from repro.analysis.report import bar_chart
+
+
+def figure_series(series_results):
+    """Convert ``{series: {workload: CampaignResult}}`` to chart input."""
+    labels = list(next(iter(series_results.values())).keys())
+    series = {
+        name: [results[label].unsafeness for label in labels]
+        for name, results in series_results.items()
+    }
+    return series, labels
+
+
+def render_figure(series_results, title):
+    series, labels = figure_series(series_results)
+    return bar_chart(series, labels, title=title)
+
+
+def figure1_chart(results):
+    return render_figure(
+        results, "Fig. 1: Register File vulnerability (unsafeness)"
+    )
+
+
+def figure2_chart(results):
+    return render_figure(
+        results, "Fig. 2: L1D cache vulnerability (unsafeness)"
+    )
+
+
+def figure3_chart(results):
+    return render_figure(
+        results,
+        "Fig. 3: L1D cache AVF using software observation point",
+    )

@@ -1,0 +1,140 @@
+"""Cross-level study orchestration."""
+
+import os
+
+from repro.analysis.compare import CrossLevelComparison
+from repro.injection.campaign import SCALED_WINDOW
+from repro.injection.gefin import GeFIN
+from repro.injection.safety_verifier import SafetyVerifier
+from repro.workloads.registry import WORKLOAD_NAMES
+
+#: The paper analyses only the shorter benchmarks with the RTL SOP flow
+#: (Fig. 3) because full RTL runs of the long ones are infeasible.
+FIG3_WORKLOADS = ("caes", "stringsearch", "susan_corners", "susan_edges",
+                  "susan_smooth")
+
+
+def default_samples():
+    """Sample count per (workload, structure, mode) series.
+
+    The Leveugle-exact size is ~4000 (reported in every result); the
+    default here is wall-clock bounded and overridable with
+    ``REPRO_SFI_SAMPLES``.
+    """
+    return int(os.environ.get("REPRO_SFI_SAMPLES", "40"))
+
+
+class StudyConfig:
+    """Configuration of one full cross-level study."""
+
+    def __init__(self, workloads=WORKLOAD_NAMES, samples=None, seed=2017,
+                 window=SCALED_WINDOW, distribution="normal",
+                 same_binaries=False):
+        self.workloads = tuple(workloads)
+        self.samples = samples if samples is not None else default_samples()
+        self.seed = seed
+        self.window = window
+        self.distribution = distribution
+        #: Ablation A3: force both levels onto one toolchain's binary.
+        self.same_binaries = same_binaries
+
+    def gefin(self, workload):
+        return GeFIN(workload)
+
+    def safety_verifier(self, workload):
+        toolchain = GeFIN.DEFAULT_TOOLCHAIN if self.same_binaries else None
+        return SafetyVerifier(workload, toolchain=toolchain)
+
+
+class CrossLevelStudy:
+    """Runs the paper's experiment matrix and caches per-series results."""
+
+    def __init__(self, config=None):
+        self.config = config or StudyConfig()
+        self._cache = {}
+
+    # ------------------------------------------------------------------
+
+    def _campaign(self, level, workload, structure, mode):
+        key = (level, workload, structure, mode)
+        if key in self._cache:
+            return self._cache[key]
+        cfg = self.config
+        if level == "uarch":
+            front = cfg.gefin(workload)
+        else:
+            front = cfg.safety_verifier(workload)
+        result = front.campaign(
+            structure, mode=mode, samples=cfg.samples, seed=cfg.seed,
+            window=cfg.window, distribution=cfg.distribution,
+        )
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Figure 1: register-file unsafeness, pinout OP, windowed
+    # ------------------------------------------------------------------
+
+    def figure1(self, progress=None):
+        """Returns ``{series: {workload: CampaignResult}}`` for Fig. 1."""
+        series = {"GeFIN": {}, "RTL": {}, "GeFIN-no timer": {}}
+        for workload in self.config.workloads:
+            series["GeFIN"][workload] = self._campaign(
+                "uarch", workload, "regfile", "pinout")
+            series["RTL"][workload] = self._campaign(
+                "rtl", workload, "regfile", "pinout")
+            series["GeFIN-no timer"][workload] = self._campaign(
+                "uarch", workload, "regfile", "pinout-notimer")
+            if progress:
+                progress("fig1", workload)
+        return series
+
+    # ------------------------------------------------------------------
+    # Figure 2: L1D unsafeness, pinout OP, windowed (+ RTL acceleration)
+    # ------------------------------------------------------------------
+
+    def figure2(self, progress=None):
+        series = {"GeFIN": {}, "RTL": {}, "GeFIN-no timer": {}}
+        for workload in self.config.workloads:
+            series["GeFIN"][workload] = self._campaign(
+                "uarch", workload, "l1d.data", "pinout")
+            series["RTL"][workload] = self._campaign(
+                "rtl", workload, "l1d.data", "pinout")
+            series["GeFIN-no timer"][workload] = self._campaign(
+                "uarch", workload, "l1d.data", "pinout-notimer")
+            if progress:
+                progress("fig2", workload)
+        return series
+
+    # ------------------------------------------------------------------
+    # Figure 3: L1D AVF with the software observation point
+    # ------------------------------------------------------------------
+
+    def figure3(self, workloads=FIG3_WORKLOADS, progress=None):
+        series = {"GeFIN": {}, "RTL": {}}
+        for workload in workloads:
+            series["GeFIN"][workload] = self._campaign(
+                "uarch", workload, "l1d.data", "avf")
+            series["RTL"][workload] = self._campaign(
+                "rtl", workload, "l1d.data", "sop")
+            if progress:
+                progress("fig3", workload)
+        return series
+
+    # ------------------------------------------------------------------
+    # Headline deltas (SS V)
+    # ------------------------------------------------------------------
+
+    def headline(self, fig1=None, fig3=None):
+        """The abstract's numbers: RF delta from Fig. 1, L1D delta from
+        Fig. 3 (the paper's SS V references exactly those figures)."""
+        fig1 = fig1 or self.figure1()
+        fig3 = fig3 or self.figure3()
+        rf = CrossLevelComparison("regfile", "pinout")
+        for workload in self.config.workloads:
+            rf.add_results(fig1["GeFIN"][workload], fig1["RTL"][workload])
+        l1d = CrossLevelComparison("l1d.data", "avf")
+        for workload in fig3["GeFIN"]:
+            l1d.add_results(fig3["GeFIN"][workload],
+                            fig3["RTL"][workload])
+        return {"regfile": rf, "l1d": l1d}

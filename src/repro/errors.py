@@ -1,0 +1,34 @@
+"""Common simulation fault/exception model.
+
+All three models (reference interpreter, microarchitectural simulator and
+RT-level simulator) signal abnormal execution through :class:`SimFault`.
+The fault-injection classifier maps these onto the paper's *Unsafe*
+category (they are detectable errors -- crashes/DUEs -- rather than silent
+corruptions).
+"""
+
+
+class SimFault(Exception):
+    """An architectural exception raised while simulating.
+
+    Attributes:
+        kind: one of ``undefined-inst``, ``mem-fault``, ``align-fault``,
+            ``syscall-error``, ``halt-trap``.
+        detail: free-form human-readable context.
+        addr: program counter (or effective address) involved, if known.
+    """
+
+    def __init__(self, kind, detail="", addr=None):
+        self.kind = kind
+        self.detail = detail
+        self.addr = addr
+        where = f" at {addr:#010x}" if addr is not None else ""
+        super().__init__(f"{kind}{where}: {detail}" if detail else kind + where)
+
+
+class SimTimeout(Exception):
+    """The simulation exceeded its cycle/instruction watchdog."""
+
+    def __init__(self, limit, what="cycles"):
+        self.limit = limit
+        super().__init__(f"watchdog expired after {limit} {what}")

@@ -1,0 +1,30 @@
+"""Statistical fault injection (SFI) -- the paper's methodology.
+
+The campaign engine (:mod:`repro.injection.campaign`) is generic over the
+simulator protocol shared by :class:`repro.uarch.MicroArchSim` and
+:class:`repro.rtl.RTLSim`; the two front-ends --
+:class:`repro.injection.gefin.GeFIN` (microarchitecture level) and
+:class:`repro.injection.safety_verifier.SafetyVerifier` (RT level) --
+apply the same faults, the same observation points and the same
+termination rules at both abstraction levels, which is exactly the
+experimental design of the paper (SS III).
+"""
+
+from repro.injection.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.injection.classify import FaultClass
+from repro.injection.faults import FaultSpec
+from repro.injection.gefin import GeFIN
+from repro.injection.safety_verifier import SafetyVerifier
+from repro.injection.sampling import leveugle_sample_size, wilson_interval
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultClass",
+    "FaultSpec",
+    "GeFIN",
+    "SafetyVerifier",
+    "leveugle_sample_size",
+    "wilson_interval",
+]

@@ -1,0 +1,333 @@
+"""The SFI campaign engine, generic over the two abstraction levels.
+
+A campaign follows the paper's two-step industrial flow (SS III-A):
+
+1. **Golden simulation**: one fault-free run, recording the pinout trace,
+   the program output and periodic drained checkpoints (plus, for the
+   RTL acceleration, the golden L1D access log).
+2. **Faulty simulations**: for each sampled fault the nearest checkpoint
+   is restored, execution advances to the injection instant, one bit is
+   flipped, and the run continues until the post-injection window
+   expires (the paper's 20 kcycles, scaled -- see ``SCALED_WINDOW``) or,
+   in "no timer" / software-observation modes, to program end.
+
+Classification follows SS IV-A: any deviation at the configured
+observation point makes a run Unsafe.
+"""
+
+import bisect
+import time
+
+from repro.injection import faults as fault_mod
+from repro.injection.classify import FaultClass, FaultRecord, compare_traces
+from repro.injection.distributions import make_distribution, make_rng
+from repro.injection.observation import hardware_state_digest
+from repro.injection.sampling import (
+    achieved_error_margin,
+    fault_population,
+    leveugle_sample_size,
+    wilson_interval,
+)
+from repro.uarch.simulator import RunStatus
+
+#: The paper terminates each faulty run 20 kcycles after injection.  Our
+#: workloads are scaled down ~500x relative to MiBench-on-A9 (DESIGN.md),
+#: so the equivalent window keeping the window/run-length ratio in the
+#: paper's range is ~2 kcycles.
+SCALED_WINDOW = 2000
+
+
+class CampaignConfig:
+    """Knobs of one campaign (defaults follow the paper's setup)."""
+
+    def __init__(self, samples=100, window=SCALED_WINDOW,
+                 observation="pinout", distribution="normal", seed=2017,
+                 checkpoint_interval=None, accelerate=False,
+                 accelerate_lead=32, hang_factor=3.0, error_margin=0.02,
+                 confidence=0.99):
+        if observation not in ("pinout", "software", "arch"):
+            raise ValueError(f"unknown observation point {observation!r}")
+        if observation == "arch" and window is not None:
+            raise ValueError(
+                "the arch (HVF) observation point compares end-of-run "
+                "state; use window=None"
+            )
+        self.samples = samples
+        self.window = window
+        self.observation = observation
+        self.distribution = distribution
+        self.seed = seed
+        self.checkpoint_interval = checkpoint_interval
+        self.accelerate = accelerate
+        self.accelerate_lead = accelerate_lead
+        self.hang_factor = hang_factor
+        self.error_margin = error_margin
+        self.confidence = confidence
+
+    def describe(self):
+        window = "to-end" if self.window is None else f"{self.window}cyc"
+        return (
+            f"{self.samples} faults, window={window},"
+            f" op={self.observation}, dist={self.distribution}"
+        )
+
+
+class CampaignResult:
+    """Counts, records and statistics of one campaign."""
+
+    def __init__(self, workload, level, structure, config):
+        self.workload = workload
+        self.level = level
+        self.structure = structure
+        self.config = config
+        self.records = []
+        self.golden_cycles = 0
+        self.golden_insts = 0
+        self.golden_seconds = 0.0
+        self.total_seconds = 0.0
+        self.population = 0
+
+    def add(self, record):
+        self.records.append(record)
+
+    @property
+    def n(self):
+        return len(self.records)
+
+    def count(self, fclass):
+        return sum(1 for r in self.records if r.fclass is fclass)
+
+    @property
+    def unsafe_count(self):
+        return sum(1 for r in self.records if r.fclass.unsafe)
+
+    @property
+    def unsafeness(self):
+        """The paper's vulnerability metric: unsafe runs / injections."""
+        return self.unsafe_count / self.n if self.n else 0.0
+
+    def confidence_interval(self, confidence=0.95):
+        return wilson_interval(self.unsafe_count, self.n, confidence)
+
+    @property
+    def seconds_per_run(self):
+        if not self.records:
+            return 0.0
+        return sum(r.wall_seconds for r in self.records) / self.n
+
+    def recommended_samples(self):
+        """Leveugle-exact sample size for the configured margins."""
+        return leveugle_sample_size(
+            self.population, self.config.error_margin,
+            self.config.confidence,
+        )
+
+    def achieved_margin(self):
+        return achieved_error_margin(self.population, self.n,
+                                     self.config.confidence)
+
+    def summary(self):
+        low, high = self.confidence_interval()
+        return {
+            "workload": self.workload,
+            "level": self.level,
+            "structure": self.structure,
+            "n": self.n,
+            "unsafeness": self.unsafeness,
+            "ci95": (low, high),
+            "masked": self.count(FaultClass.MASKED),
+            "sdc": self.count(FaultClass.SDC),
+            "due": self.count(FaultClass.DUE),
+            "hang": self.count(FaultClass.HANG),
+            "mismatch": self.count(FaultClass.MISMATCH),
+            "latent": self.count(FaultClass.LATENT),
+            "golden_cycles": self.golden_cycles,
+            "s_per_run": self.seconds_per_run,
+            "population": self.population,
+            "recommended_samples": self.recommended_samples(),
+            "achieved_margin": self.achieved_margin(),
+        }
+
+    def __repr__(self):
+        return (
+            f"CampaignResult({self.workload}/{self.level}/{self.structure}:"
+            f" {self.unsafe_count}/{self.n} unsafe"
+            f" = {100 * self.unsafeness:.1f}%)"
+        )
+
+
+class Campaign:
+    """One SFI campaign against one structure of one simulator."""
+
+    def __init__(self, sim_factory, structure, config=None, workload="?",
+                 level="?"):
+        self.sim_factory = sim_factory
+        self.structure = structure
+        self.config = config or CampaignConfig()
+        self.workload = workload
+        self.level = level
+
+    # ------------------------------------------------------------------
+
+    def _golden_phase(self, sim, result):
+        """Fault-free run with periodic drained checkpoints."""
+        cfg = self.config
+        started = time.perf_counter()
+        access_log = []
+        if cfg.accelerate and self.structure.startswith("l1d."):
+            sim.dcache.access_listener = (
+                lambda cycle, index, way, write, addr:
+                access_log.append((cycle, index, way, write, addr))
+            )
+        checkpoints = [sim.checkpoint()]
+        interval = cfg.checkpoint_interval
+        while True:
+            stop = sim.cycle + (interval or 4000)
+            status = sim.run(stop_cycle=stop)
+            if status is not RunStatus.STOPPED:
+                break
+            checkpoints.append(sim.checkpoint())
+            if sim.exited or sim.fault is not None:
+                break
+        if not sim.exited:
+            raise RuntimeError(
+                f"golden run did not exit cleanly: {status}, {sim.fault}"
+            )
+        result.golden_cycles = sim.cycle
+        result.golden_insts = sim.icount
+        result.golden_seconds = time.perf_counter() - started
+        golden = {
+            "output": sim.output,
+            "pinout_keys": [t.key() for t in sim.pinout],
+            "end_cycle": sim.cycle,
+            "checkpoints": checkpoints,
+            "cp_cycles": [cp["cycle"] for cp in checkpoints],
+            "access_log": access_log,
+        }
+        if cfg.observation == "arch":
+            golden["hw_state"] = hardware_state_digest(sim)
+        return golden
+
+    def _sample(self, sim, golden, result):
+        cfg = self.config
+        bit_count = sim.fault_targets()[self.structure]
+        result.population = fault_population(bit_count,
+                                             golden["end_cycle"])
+        rng = make_rng(cfg.seed)
+        distribution = make_distribution(
+            cfg.distribution, 1, max(golden["end_cycle"] - 1, 1)
+        )
+        specs = fault_mod.sample_faults(
+            rng, self.structure, bit_count, distribution, cfg.samples
+        )
+        if cfg.accelerate and self.structure == "l1d.data":
+            index = {}
+            for cycle, set_i, way, _, _ in golden["access_log"]:
+                index.setdefault((set_i, way), []).append(cycle)
+            specs = [
+                self._accelerate_with_index(sim, fault, index)
+                for fault in specs
+            ]
+        return specs
+
+    def _accelerate_with_index(self, sim, fault, index):
+        cfg = sim.dcache.config
+        set_i, way, _, _ = fault_mod.decode_cache_data_bit(fault.bit, cfg)
+        cycles = index.get((set_i, way))
+        if not cycles:
+            return fault
+        pos = bisect.bisect_right(cycles, fault.cycle)
+        if pos >= len(cycles):
+            return fault
+        new_cycle = max(fault.cycle,
+                        cycles[pos] - self.config.accelerate_lead)
+        return fault_mod.FaultSpec(fault.structure, fault.bit, new_cycle,
+                                   original_cycle=fault.cycle)
+
+    def _classify(self, sim, status, golden, trace_base):
+        cfg = self.config
+        if status is RunStatus.FAULT:
+            return FaultClass.DUE, str(sim.fault)
+        if status is RunStatus.TIMEOUT:
+            return FaultClass.HANG, "watchdog expired"
+        if cfg.observation == "software":
+            if status is RunStatus.EXITED:
+                if sim.output == golden["output"]:
+                    return FaultClass.MASKED, ""
+                return FaultClass.SDC, "program output differs"
+            # Window expired before program end: compare the prefix.
+            if golden["output"].startswith(sim.output):
+                return FaultClass.MASKED, "window expired, prefix clean"
+            return FaultClass.SDC, "output prefix differs"
+        if cfg.observation == "arch":
+            # HVF-style layer boundary: output first, then latent state.
+            if sim.output != golden["output"]:
+                return FaultClass.SDC, "program output differs"
+            if hardware_state_digest(sim) != golden["hw_state"]:
+                return FaultClass.LATENT, "hardware state differs"
+            return FaultClass.MASKED, ""
+        # Pinout observation: strictly the write-back/refill traffic at
+        # the core pins, as in the paper.  Silent corruption that never
+        # reaches the pins is invisible here -- that blindness is the
+        # paper's Fig. 2 finding, so the observation stays pure.
+        golden_suffix = golden["pinout_keys"][trace_base:]
+        faulty_suffix = [t.key() for t in sim.pinout[trace_base:]]
+        if status is RunStatus.EXITED:
+            match = faulty_suffix == golden_suffix
+        else:
+            match = compare_traces(golden_suffix, faulty_suffix)
+        if match:
+            return FaultClass.MASKED, ""
+        return FaultClass.MISMATCH, "pinout trace deviates"
+
+    def run(self, progress=None):
+        """Execute the campaign.  Returns a :class:`CampaignResult`."""
+        cfg = self.config
+        result = CampaignResult(self.workload, self.level, self.structure,
+                                cfg)
+        total_start = time.perf_counter()
+        sim = self.sim_factory()
+        golden = self._golden_phase(sim, result)
+        specs = self._sample(sim, golden, result)
+        hang_deadline = int(
+            golden["end_cycle"] * cfg.hang_factor
+            + (cfg.window or 0) + 20_000
+        )
+        cp_cycles = golden["cp_cycles"]
+        for i, fault in enumerate(specs):
+            run_start = time.perf_counter()
+            cp_index = max(bisect.bisect_right(cp_cycles, fault.cycle) - 1,
+                           0)
+            checkpoint = golden["checkpoints"][cp_index]
+            sim.restore(checkpoint)
+            trace_base = len(checkpoint["pinout"])
+            status = sim.run(stop_cycle=fault.cycle,
+                             max_cycles=hang_deadline)
+            if status is not RunStatus.STOPPED:
+                # The restored run ended before the injection instant
+                # (drain jitter near program end): the fault lands in dead
+                # time and cannot corrupt anything.
+                record = FaultRecord(
+                    fault, FaultClass.MASKED, "after program end",
+                    sim_cycles=0,
+                    wall_seconds=time.perf_counter() - run_start,
+                )
+                result.add(record)
+                continue
+            sim.inject(fault.structure, fault.bit)
+            if cfg.window is not None:
+                status = sim.run(stop_cycle=fault.cycle + cfg.window,
+                                 max_cycles=hang_deadline)
+            else:
+                status = sim.run(max_cycles=hang_deadline)
+            fclass, detail = self._classify(sim, status, golden, trace_base)
+            record = FaultRecord(
+                fault, fclass, detail,
+                sim_cycles=sim.cycle - fault.cycle,
+                wall_seconds=time.perf_counter() - run_start,
+            )
+            result.add(record)
+            if progress is not None:
+                progress(i + 1, len(specs), record)
+        result.total_seconds = time.perf_counter() - total_start
+        return result

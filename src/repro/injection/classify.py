@@ -1,0 +1,76 @@
+"""Fault-effect classification.
+
+The paper's top-level dichotomy (SS IV-A)::
+
+    Masked/Safe : no deviation observed at the observation point
+    Unsafe      : any mismatch against the fault-free simulation
+
+We additionally keep the finer-grained classes every SFI framework
+reports, and map them onto Safe/Unsafe:
+
+========== ======= ==========================================
+class      safe?   meaning
+========== ======= ==========================================
+MASKED     yes     observation channel identical to golden
+SDC        no      program output differs silently
+DUE        no      architectural exception / crash detected
+HANG       no      watchdog expired (lockup)
+MISMATCH   no      pinout/signal trace deviated from golden
+LATENT     no      hardware state corrupted, output clean
+                   (HVF-style "arch" observation point only)
+========== ======= ==========================================
+"""
+
+import enum
+
+
+class FaultClass(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    DUE = "due"
+    HANG = "hang"
+    MISMATCH = "mismatch"
+    LATENT = "latent"
+
+    @property
+    def safe(self):
+        return self is FaultClass.MASKED
+
+    @property
+    def unsafe(self):
+        return not self.safe
+
+
+class FaultRecord:
+    """Outcome of one injection run."""
+
+    __slots__ = ("fault", "fclass", "detail", "sim_cycles", "wall_seconds")
+
+    def __init__(self, fault, fclass, detail="", sim_cycles=0,
+                 wall_seconds=0.0):
+        self.fault = fault
+        self.fclass = fclass
+        self.detail = detail
+        self.sim_cycles = sim_cycles
+        self.wall_seconds = wall_seconds
+
+    def __repr__(self):
+        return f"FaultRecord({self.fault!r} -> {self.fclass.value})"
+
+
+def compare_traces(golden_keys, faulty_keys, limit=None):
+    """Content+order pinout comparison.
+
+    Returns True when the faulty trace is a consistent prefix-match of the
+    golden trace (the faulty run may be shorter because of the
+    post-injection window).  ``limit`` bounds how many golden entries the
+    faulty run was given the chance to produce.
+    """
+    span = len(faulty_keys) if limit is None else min(len(faulty_keys),
+                                                      limit)
+    if len(faulty_keys) > len(golden_keys):
+        return False
+    for i in range(span):
+        if faulty_keys[i] != golden_keys[i]:
+            return False
+    return True

@@ -1,0 +1,69 @@
+"""Injection-instant distributions.
+
+The paper injects "a single transient fault (bit-flip) ... per run, on a
+normal distribution" (SS IV): the injection instant is drawn from a normal
+distribution over the run, truncated to the observable execution window.
+A uniform alternative is provided for ablation A4.
+"""
+
+import random
+
+
+class InjectionTimeDistribution:
+    """Base: draws integer cycles in ``[start, end]`` inclusive."""
+
+    name = "base"
+
+    def __init__(self, start, end):
+        if end < start:
+            raise ValueError(f"empty injection window [{start}, {end}]")
+        self.start = start
+        self.end = end
+
+    def draw(self, rng):
+        raise NotImplementedError
+
+
+class UniformDistribution(InjectionTimeDistribution):
+    """Every cycle equally likely."""
+
+    name = "uniform"
+
+    def draw(self, rng):
+        return rng.randint(self.start, self.end)
+
+
+class TruncatedNormalDistribution(InjectionTimeDistribution):
+    """Normal around mid-run, rejected-sampled into the window.
+
+    ``sigma_fraction`` scales the standard deviation relative to the
+    window length; the paper does not state sigma, so the default keeps
+    ~95 % of the mass inside the central half of the run.
+    """
+
+    name = "normal"
+
+    def __init__(self, start, end, sigma_fraction=0.25):
+        super().__init__(start, end)
+        self.mean = (start + end) / 2.0
+        self.sigma = max((end - start) * sigma_fraction, 1.0)
+
+    def draw(self, rng):
+        for _ in range(64):
+            value = int(round(rng.gauss(self.mean, self.sigma)))
+            if self.start <= value <= self.end:
+                return value
+        return rng.randint(self.start, self.end)
+
+
+def make_distribution(name, start, end):
+    if name == "uniform":
+        return UniformDistribution(start, end)
+    if name == "normal":
+        return TruncatedNormalDistribution(start, end)
+    raise ValueError(f"unknown distribution {name!r}")
+
+
+def make_rng(seed):
+    """The campaign RNG (isolated from the global random state)."""
+    return random.Random(seed)

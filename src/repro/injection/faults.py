@@ -1,0 +1,73 @@
+"""Fault model: single transient bit flips in named storage structures."""
+
+
+class FaultSpec:
+    """One fault to inject: flip ``bit`` of ``structure`` at ``cycle``."""
+
+    __slots__ = ("structure", "bit", "cycle", "original_cycle")
+
+    def __init__(self, structure, bit, cycle, original_cycle=None):
+        self.structure = structure
+        self.bit = bit
+        self.cycle = cycle
+        #: The cycle drawn from the distribution, before any
+        #: inject-near-consumption acceleration moved it.
+        self.original_cycle = (
+            cycle if original_cycle is None else original_cycle
+        )
+
+    @property
+    def accelerated(self):
+        return self.cycle != self.original_cycle
+
+    def __repr__(self):
+        moved = f" (<-{self.original_cycle})" if self.accelerated else ""
+        return (
+            f"FaultSpec({self.structure}[bit {self.bit}]"
+            f" @ cycle {self.cycle}{moved})"
+        )
+
+
+def sample_faults(rng, structure, bit_count, distribution, samples):
+    """Draw ``samples`` independent (bit, cycle) faults."""
+    out = []
+    for _ in range(samples):
+        bit = rng.randrange(bit_count)
+        cycle = distribution.draw(rng)
+        out.append(FaultSpec(structure, bit, cycle))
+    return out
+
+
+def decode_cache_data_bit(bit_index, cache_config):
+    """Locate a flat L1 data-array bit: returns (set, way, byte, bit)."""
+    byte_index, bit = divmod(bit_index, 8)
+    line = cache_config.line_size
+    ways = cache_config.ways
+    set_index = byte_index // (ways * line)
+    way = (byte_index // line) % ways
+    offset = byte_index % line
+    return set_index, way, offset, bit
+
+
+def accelerate_fault(fault, cache_config, access_log, lead_cycles=32):
+    """The paper's RTL-framework optimisation (SS IV-B): move the injection
+    instant "closer to its consumption time".
+
+    Given the golden run's access log (``(cycle, set, way, write, addr)``
+    tuples), the injection cycle is advanced to ``lead_cycles`` before the
+    next access that touches the faulted line, so the flipped bit is far
+    more likely to be consumed -- and observed -- within the small
+    post-injection window.  Faults whose line is never touched again keep
+    their drawn instant.
+    """
+    if not fault.structure.endswith(".data"):
+        return fault
+    set_index, way, _, _ = decode_cache_data_bit(fault.bit, cache_config)
+    for cycle, acc_set, acc_way, _, _ in access_log:
+        if cycle <= fault.cycle:
+            continue
+        if acc_set == set_index and acc_way == way:
+            new_cycle = max(fault.cycle, cycle - lead_cycles)
+            return FaultSpec(fault.structure, fault.bit, new_cycle,
+                             original_cycle=fault.cycle)
+    return fault

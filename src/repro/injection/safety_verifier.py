@@ -1,0 +1,93 @@
+"""Safety Verifier: the RT-level injection front-end.
+
+Models the paper's industrial workflow (Yogitech s.p.a. / Intel: Cadence
+NCSIM simulation driven by the Yogitech Safety Verifier, SS III-A):
+bare-metal RT-level simulation, safeness computed at the core pinout, and
+the two study-specific extensions the paper describes --
+
+* an injection model for the L1 data cache (normally considered protected
+  by the safety industry), including the framework optimisation that
+  moves the injection instant next to the fault's consumption time
+  (SS IV-B);
+* a software observation point (SOP) enabling AVF computation (SS IV-C).
+"""
+
+from repro.injection.campaign import Campaign, CampaignConfig, SCALED_WINDOW
+from repro.isa.toolchain import Toolchain
+from repro.rtl.config import RTLConfig
+from repro.rtl.simulator import RTLSim
+from repro.workloads import registry
+
+
+class SafetyVerifier:
+    """Campaign front-end over :class:`RTLSim`.
+
+    Modes:
+
+    * ``pinout`` -- safeness at the core pinout with the scaled 20 kcycle
+      window (the orange bars of Figs. 1-2).  For L1D data campaigns the
+      inject-near-consumption acceleration defaults to on, as in the
+      paper's RTL framework.
+    * ``sop``    -- software observation point, run to end (Fig. 3 AVF).
+    """
+
+    LEVEL = "rtl"
+    #: Different toolchain from the microarchitectural flow (SS III-C).
+    DEFAULT_TOOLCHAIN = "armcc"
+
+    #: Same campaign cache scaling as GeFIN (equivalent setup, SS III-C).
+    SCALED_CACHE_BYTES = 1024
+
+    def __init__(self, workload, toolchain=None, rtl_config=None,
+                 trace_signals=False, scaled_caches=True):
+        self.workload = workload
+        self.toolchain = Toolchain(toolchain or self.DEFAULT_TOOLCHAIN)
+        # Campaigns default to tracing off for wall-clock tractability;
+        # Table II measures the traced (NCSIM-like) throughput explicitly.
+        if rtl_config is None:
+            kwargs = {"trace_signals": trace_signals}
+            if scaled_caches:
+                kwargs["dcache_size"] = self.SCALED_CACHE_BYTES
+                kwargs["icache_size"] = self.SCALED_CACHE_BYTES
+            rtl_config = RTLConfig(**kwargs)
+        self.rtl_config = rtl_config
+        self.program = registry.build(workload, self.toolchain)
+
+    def sim_factory(self):
+        return RTLSim(self.program, self.rtl_config)
+
+    def campaign(self, structure, mode="pinout", samples=100, seed=2017,
+                 window=SCALED_WINDOW, distribution="normal",
+                 accelerate=None, progress=None, **extra):
+        if accelerate is None:
+            accelerate = structure == "l1d.data" and mode == "pinout"
+        if mode == "pinout":
+            config = CampaignConfig(
+                samples=samples, window=window, observation="pinout",
+                seed=seed, distribution=distribution,
+                accelerate=accelerate, **extra,
+            )
+        elif mode == "sop":
+            config = CampaignConfig(
+                samples=samples, window=None, observation="software",
+                seed=seed, distribution=distribution,
+                accelerate=accelerate, **extra,
+            )
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        runner = Campaign(
+            self.sim_factory, structure, config,
+            workload=self.workload, level=self.LEVEL,
+        )
+        return runner.run(progress=progress)
+
+    def golden_run(self):
+        sim = self.sim_factory()
+        sim.run()
+        return sim
+
+    def __repr__(self):
+        return (
+            f"SafetyVerifier({self.workload!r},"
+            f" toolchain={self.toolchain.name})"
+        )

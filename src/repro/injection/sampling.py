@@ -1,0 +1,109 @@
+"""Statistical machinery: Leveugle sample sizing and Wilson intervals.
+
+The paper (SS IV) sizes its campaigns with the formulation of Leveugle et
+al., "Statistical fault injection: quantified error and confidence",
+DATE 2009: for a fault population of size N, error margin e and a
+confidence level with normal quantile t, assuming worst-case p = 0.5::
+
+    n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+
+With e = 2 %, 99 % confidence and the large populations of the register
+file and L1D over full runs, n converges to ~4000 -- the paper's number.
+"""
+
+import math
+
+#: Two-sided normal quantiles for common confidence levels.
+_Z = {
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.98: 2.3263478740408408,
+    0.99: 2.5758293035489004,
+    0.995: 2.807033768343811,
+}
+
+
+def z_score(confidence):
+    """Two-sided normal quantile for ``confidence`` (e.g. 0.99)."""
+    if confidence in _Z:
+        return _Z[confidence]
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence {confidence} outside (0, 1)")
+    # Acklam-style rational approximation through the error function
+    # inverse; adequate for sample sizing.
+    return math.sqrt(2.0) * _erfinv(confidence)
+
+
+def _erfinv(y):
+    # Winitzki approximation, refined by one Newton step.
+    a = 0.147
+    sign = 1.0 if y >= 0 else -1.0
+    ln_term = math.log(1.0 - y * y)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    x = sign * math.sqrt(math.sqrt(first * first - ln_term / a) - first)
+    for _ in range(2):
+        err = math.erf(x) - y
+        x -= err / (2.0 / math.sqrt(math.pi) * math.exp(-x * x))
+    return x
+
+
+def leveugle_sample_size(population, error_margin=0.02, confidence=0.99,
+                         p=0.5):
+    """Number of faults to inject for the requested statistical quality.
+
+    ``population`` is the size of the fault space (bits x cycles for a
+    time-dependent transient-fault campaign).
+    """
+    if population <= 0:
+        raise ValueError("population must be positive")
+    t = z_score(confidence)
+    numerator = population
+    denominator = 1.0 + (error_margin ** 2) * (population - 1) / (
+        t * t * p * (1.0 - p)
+    )
+    return max(1, math.ceil(numerator / denominator))
+
+
+def fault_population(bit_count, cycles):
+    """Transient-fault population: every (bit, cycle) pair."""
+    return bit_count * max(cycles, 1)
+
+
+def wilson_interval(successes, trials, confidence=0.95):
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; degenerates gracefully for 0 trials.
+    """
+    if trials == 0:
+        return (0.0, 1.0)
+    z = z_score(confidence)
+    phat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = phat + z2 / (2 * trials)
+    margin = z * math.sqrt(
+        (phat * (1.0 - phat) + z2 / (4 * trials)) / trials
+    )
+    low = max(0.0, (centre - margin) / denom)
+    high = min(1.0, (centre + margin) / denom)
+    # Pin the exact endpoints (rounding can push them past phat).
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return (min(low, phat), max(high, phat))
+
+
+def achieved_error_margin(population, samples, confidence=0.99, p=0.5):
+    """Invert the Leveugle formula: the error margin a given sample size
+    actually buys (reported by the harness when scaled-down campaigns are
+    run)."""
+    if samples <= 0:
+        return 1.0
+    t = z_score(confidence)
+    if samples >= population:
+        return 0.0
+    return math.sqrt(
+        (population - samples) * t * t * p * (1 - p)
+        / (samples * (population - 1))
+    )

@@ -1,0 +1,35 @@
+"""ARMlet: a 32-bit ARM-inspired ISA, toolchain and reference model.
+
+This package provides the instruction-set substrate shared by both CPU
+models compared in the paper:
+
+* :mod:`repro.isa.registers` / :mod:`repro.isa.flags` -- architectural state.
+* :mod:`repro.isa.instructions` -- the decoded instruction representation.
+* :mod:`repro.isa.alu` -- the *functional* description of the data-path
+  logic.  The paper (SS II-B) notes that logic blocks are functionally
+  identical at RTL and microarchitecture level; both of our simulators
+  therefore share this module, exactly as the argument requires.
+* :mod:`repro.isa.encoding` -- 32-bit binary encoder/decoder.
+* :mod:`repro.isa.assembler` -- two-pass assembler with data directives.
+* :mod:`repro.isa.toolchain` -- the two "different toolchains" of SS III-C.
+* :mod:`repro.isa.program` -- linked program images.
+* :mod:`repro.isa.interp` -- golden architectural interpreter.
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Cond, Inst, Op
+from repro.isa.interp import Interpreter
+from repro.isa.program import MemoryLayout, Program
+from repro.isa.toolchain import Toolchain
+
+__all__ = [
+    "AssemblerError",
+    "Cond",
+    "Inst",
+    "Interpreter",
+    "MemoryLayout",
+    "Op",
+    "Program",
+    "Toolchain",
+    "assemble",
+]

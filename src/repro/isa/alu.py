@@ -1,0 +1,141 @@
+"""Functional data-path logic shared by both CPU models.
+
+The paper's SS II-B argues that cross-level comparison of *storage* faults is
+meaningful because the surrounding logic is functionally identical in the
+RTL and microarchitectural models.  We make that premise literal: both of
+our simulators execute their ALU, shifter and multiplier through these
+functions, so any divergence between the models comes from structure and
+timing -- never from data-path semantics.
+
+All values are 32-bit unsigned Python ints; helpers mask as needed.
+"""
+
+from repro.isa.flags import Flags
+from repro.isa.instructions import Op, ShiftKind
+
+MASK32 = 0xFFFFFFFF
+
+
+def u32(value):
+    return value & MASK32
+
+
+def s32(value):
+    """Interpret a 32-bit value as signed."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def barrel_shift(value, kind, amount, carry_in):
+    """Apply the barrel shifter.  Returns ``(result, carry_out)``.
+
+    Follows ARM semantics for the common cases used by the assembler
+    (amount 0..31 for immediate shifts, 0..255 for register shifts).
+    """
+    value = u32(value)
+    amount &= 0xFF
+    if amount == 0:
+        return value, carry_in
+    if kind == ShiftKind.LSL:
+        if amount > 32:
+            return 0, False
+        if amount == 32:
+            return 0, bool(value & 1)
+        carry = bool((value >> (32 - amount)) & 1)
+        return u32(value << amount), carry
+    if kind == ShiftKind.LSR:
+        if amount > 32:
+            return 0, False
+        if amount == 32:
+            return 0, bool(value >> 31)
+        carry = bool((value >> (amount - 1)) & 1)
+        return value >> amount, carry
+    if kind == ShiftKind.ASR:
+        if amount >= 32:
+            filled = MASK32 if value & 0x80000000 else 0
+            return filled, bool(value >> 31)
+        carry = bool((value >> (amount - 1)) & 1)
+        return u32(s32(value) >> amount), carry
+    if kind == ShiftKind.ROR:
+        amount %= 32
+        if amount == 0:
+            return value, bool(value >> 31)
+        result = u32((value >> amount) | (value << (32 - amount)))
+        return result, bool(result >> 31)
+    raise ValueError(f"bad shift kind {kind}")
+
+
+def add_with_carry(a, b, carry_in):
+    """ARM AddWithCarry: returns ``(result, carry_out, overflow)``."""
+    a = u32(a)
+    b = u32(b)
+    unsigned = a + b + int(carry_in)
+    result = unsigned & MASK32
+    carry = unsigned > MASK32
+    signed = s32(a) + s32(b) + int(carry_in)
+    overflow = signed != s32(result)
+    return result, carry, overflow
+
+
+#: Maps every data-processing op (immediate forms normalised to register
+#: forms by the caller) to its arithmetic class.
+_LOGICAL = {Op.AND, Op.EOR, Op.ORR, Op.BIC, Op.MOV, Op.MVN, Op.TST, Op.TEQ}
+
+
+def dp_compute(op, rn_value, op2_value, flags, shifter_carry):
+    """Execute one data-processing operation.
+
+    ``op`` must be a register-form :class:`Op` (callers normalise the
+    immediate forms first).  Returns ``(result, Flags)`` where the flags are
+    the values the operation *would* set (the caller applies them only when
+    the instruction has the S bit or is a compare).
+    """
+    rn_value = u32(rn_value)
+    op2_value = u32(op2_value)
+    carry = flags.c
+    overflow = flags.v
+    if op == Op.AND or op == Op.TST:
+        result = rn_value & op2_value
+        carry = shifter_carry
+    elif op == Op.EOR or op == Op.TEQ:
+        result = rn_value ^ op2_value
+        carry = shifter_carry
+    elif op == Op.ORR:
+        result = rn_value | op2_value
+        carry = shifter_carry
+    elif op == Op.BIC:
+        result = rn_value & u32(~op2_value)
+        carry = shifter_carry
+    elif op == Op.MOV:
+        result = op2_value
+        carry = shifter_carry
+    elif op == Op.MVN:
+        result = u32(~op2_value)
+        carry = shifter_carry
+    elif op == Op.SUB or op == Op.CMP:
+        result, carry, overflow = add_with_carry(rn_value, ~op2_value, True)
+    elif op == Op.RSB:
+        result, carry, overflow = add_with_carry(op2_value, ~rn_value, True)
+    elif op == Op.ADD or op == Op.CMN:
+        result, carry, overflow = add_with_carry(rn_value, op2_value, False)
+    elif op == Op.ADC:
+        result, carry, overflow = add_with_carry(rn_value, op2_value, flags.c)
+    elif op == Op.SBC:
+        result, carry, overflow = add_with_carry(rn_value, ~op2_value, flags.c)
+    else:
+        raise ValueError(f"not a data-processing op: {op!r}")
+    new_flags = Flags(
+        n=bool(result & 0x80000000),
+        z=result == 0,
+        c=carry,
+        v=overflow,
+    )
+    return result, new_flags
+
+
+def multiply(op, rn_value, rm_value, ra_value):
+    """MUL / MLA (low 32 bits, ARM semantics)."""
+    product = u32(rn_value) * u32(rm_value)
+    if op == Op.MLA:
+        product += u32(ra_value)
+    return u32(product)

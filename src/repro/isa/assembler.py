@@ -1,0 +1,878 @@
+"""Two-pass assembler for the ARMlet ISA.
+
+Supported syntax (a pragmatic subset of ARM UAL):
+
+* labels (``loop:``), comments (``;``, ``@``, ``//``);
+* sections ``.text`` / ``.data``; data directives ``.word``, ``.half``,
+  ``.byte``, ``.ascii``, ``.asciz``, ``.space N [, fill]``, ``.align N``
+  (N a power-of-two byte alignment), ``.equ NAME, expr``, ``.pool``;
+* every :class:`~repro.isa.instructions.Op` with optional condition and S
+  suffixes (``addseq``, ``bne``, ``ldrbeq`` ...);
+* operand2 shifts (``mov r0, r1, lsl #3`` / ``lsl r2``), immediate and
+  register-offset addressing with pre/post index and writeback;
+* register lists (``push {r4-r7, lr}``);
+* pseudo-instructions: ``ldr rd, =expr`` (MOVW/MOVT or literal pool,
+  depending on the toolchain), ``adr rd, label``, ``lsl/lsr/asr/ror``,
+  ``neg``, ``push``/``pop``; PC-relative ``ldr rd, label``.
+
+Expressions accept decimal/hex/char literals, symbols, ``+ - * / << >> & |``
+and parentheses.
+"""
+
+import re
+
+from repro.isa.flags import COND_INDEX
+from repro.isa.instructions import (
+    COMPARE_OPS,
+    Cond,
+    DP_IMM_FORM,
+    Inst,
+    MEM_REG_FORM,
+    Op,
+    SHIFT_NAMES,
+    ShiftKind,
+)
+from repro.isa.program import DEFAULT_LAYOUT, Program
+from repro.isa.registers import parse_reg
+from repro.isa.toolchain import Toolchain
+
+
+class AssemblerError(Exception):
+    """A syntax or range error, annotated with the source line."""
+
+    def __init__(self, message, lineno=None, line=""):
+        where = f" (line {lineno}: {line.strip()!r})" if lineno else ""
+        super().__init__(message + where)
+        self.lineno = lineno
+
+
+_DP_BASES = {
+    "and": Op.AND, "eor": Op.EOR, "sub": Op.SUB, "rsb": Op.RSB,
+    "add": Op.ADD, "adc": Op.ADC, "sbc": Op.SBC, "orr": Op.ORR,
+    "bic": Op.BIC, "mov": Op.MOV, "mvn": Op.MVN, "cmp": Op.CMP,
+    "cmn": Op.CMN, "tst": Op.TST, "teq": Op.TEQ,
+}
+_MEM_BASES = {
+    "ldr": Op.LDR, "str": Op.STR, "ldrb": Op.LDRB, "strb": Op.STRB,
+    "ldrh": Op.LDRH, "strh": Op.STRH,
+}
+_SHIFT_PSEUDOS = ("lsl", "lsr", "asr", "ror")
+_SIMPLE_BASES = {
+    "movw": Op.MOVW, "movt": Op.MOVT, "mul": Op.MUL, "mla": Op.MLA,
+    "bx": Op.BX, "svc": Op.SVC, "nop": Op.NOP, "hlt": Op.HLT,
+    "ldm": Op.LDM, "stm": Op.STM, "ldmia": Op.LDM, "stmdb": Op.STM,
+    "push": Op.STM, "pop": Op.LDM, "adr": None, "neg": None,
+}
+_ALL_BASES = sorted(
+    list(_DP_BASES) + list(_MEM_BASES) + list(_SIMPLE_BASES)
+    + list(_SHIFT_PSEUDOS),
+    key=len,
+    reverse=True,
+)
+
+_NUM_RE = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$")
+_TOKEN_RE = re.compile(
+    r"\s*(0x[0-9a-fA-F]+|\d+|'(?:\\.|[^'])'|[A-Za-z_.$][\w.$]*"
+    r"|<<|>>|[()+\-*/&|%])"
+)
+
+
+def _char_value(token):
+    inner = token[1:-1]
+    escapes = {"\\n": "\n", "\\t": "\t", "\\0": "\0", "\\\\": "\\",
+               "\\'": "'"}
+    inner = escapes.get(inner, inner)
+    if len(inner) != 1:
+        raise ValueError(f"bad char literal {token}")
+    return ord(inner)
+
+
+class _ExprParser:
+    """Tiny recursive-descent evaluator for assembler expressions."""
+
+    def __init__(self, text, symbols):
+        self.tokens = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if not match:
+                if text[pos:].strip():
+                    raise ValueError(f"bad expression {text!r}")
+                break
+            self.tokens.append(match.group(1))
+            pos = match.end()
+        self.pos = 0
+        self.symbols = symbols
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self):
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def parse(self):
+        value = self._or()
+        if self._peek() is not None:
+            raise ValueError(f"trailing tokens in expression: {self._peek()}")
+        return value
+
+    def _or(self):
+        value = self._and()
+        while self._peek() == "|":
+            self._next()
+            value |= self._and()
+        return value
+
+    def _and(self):
+        value = self._shift()
+        while self._peek() == "&":
+            self._next()
+            value &= self._shift()
+        return value
+
+    def _shift(self):
+        value = self._sum()
+        while self._peek() in ("<<", ">>"):
+            op = self._next()
+            rhs = self._sum()
+            value = value << rhs if op == "<<" else value >> rhs
+        return value
+
+    def _sum(self):
+        value = self._product()
+        while self._peek() in ("+", "-"):
+            op = self._next()
+            rhs = self._product()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _product(self):
+        value = self._unary()
+        while self._peek() in ("*", "/", "%"):
+            op = self._next()
+            rhs = self._unary()
+            if op == "*":
+                value *= rhs
+            elif op == "/":
+                value //= rhs
+            else:
+                value %= rhs
+        return value
+
+    def _unary(self):
+        token = self._peek()
+        if token == "-":
+            self._next()
+            return -self._unary()
+        if token == "+":
+            self._next()
+            return self._unary()
+        if token == "(":
+            self._next()
+            value = self._or()
+            if self._next() != ")":
+                raise ValueError("unbalanced parentheses")
+            return value
+        return self._atom()
+
+    def _atom(self):
+        token = self._next()
+        if token is None:
+            raise ValueError("unexpected end of expression")
+        if token.startswith("0x"):
+            return int(token, 16)
+        if token.isdigit():
+            return int(token)
+        if token.startswith("'"):
+            return _char_value(token)
+        if token in self.symbols:
+            return self.symbols[token]
+        raise ValueError(f"undefined symbol {token!r}")
+
+
+def _eval_expr(text, symbols):
+    try:
+        return _ExprParser(text.strip(), symbols).parse()
+    except ValueError as exc:
+        raise AssemblerError(str(exc)) from exc
+
+
+def _split_operands(text):
+    """Split an operand string on top-level commas ([], {} aware)."""
+    parts = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "[{(":
+            depth += 1
+        elif char in "]})":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _strip_comment(line):
+    out = []
+    in_str = False
+    i = 0
+    while i < len(line):
+        char = line[i]
+        if char == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_str = not in_str
+        if not in_str:
+            if char in ";@" or line.startswith("//", i):
+                break
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def _parse_mnemonic(token):
+    """Split a mnemonic into (base, s_flag, cond).
+
+    Branches are special-cased because ``bls`` is B.LS while ``bl`` is BL.
+    Other mnemonics follow UAL order: base, optional ``s``, optional cond.
+    """
+    token = token.lower()
+    if token == "b":
+        return "b", False, Cond.AL
+    if token == "bl":
+        return "bl", False, Cond.AL
+    if token.startswith("bl") and token[2:] in COND_INDEX:
+        return "bl", False, Cond(COND_INDEX[token[2:]])
+    if token.startswith("bx"):
+        rest = token[2:]
+        if rest == "":
+            return "bx", False, Cond.AL
+        if rest in COND_INDEX:
+            return "bx", False, Cond(COND_INDEX[rest])
+    if token.startswith("b") and token[1:] in COND_INDEX:
+        return "b", False, Cond(COND_INDEX[token[1:]])
+    for base in _ALL_BASES:
+        if not token.startswith(base):
+            continue
+        rest = token[len(base):]
+        s_flag = False
+        if rest.startswith("s") and base not in ("cmp", "cmn", "tst", "teq"):
+            s_flag = True
+            rest = rest[1:]
+        if rest == "":
+            return base, s_flag, Cond.AL
+        if rest in COND_INDEX:
+            return base, s_flag, Cond(COND_INDEX[rest])
+        if s_flag and rest == "":  # pragma: no cover
+            return base, True, Cond.AL
+    raise AssemblerError(f"unknown mnemonic {token!r}")
+
+
+class _Item:
+    """One pass-1 item: a sized chunk of a section."""
+
+    __slots__ = ("kind", "addr", "size", "payload", "lineno", "line")
+
+    def __init__(self, kind, addr, size, payload, lineno, line):
+        self.kind = kind  # 'inst', 'bytes', 'ldr=', 'pool'
+        self.addr = addr
+        self.size = size
+        self.payload = payload
+        self.lineno = lineno
+        self.line = line
+
+
+class Assembler:
+    """Two-pass assembler.  Use :func:`assemble` unless you need the
+    intermediate state (tests do)."""
+
+    def __init__(self, toolchain=None, layout=None):
+        self.toolchain = toolchain or Toolchain("gnu")
+        self.layout = layout or DEFAULT_LAYOUT
+        self.symbols = {}
+        self.items = []
+        self._text_lc = self.layout.text_base
+        self._data_lc = self.layout.data_base
+        self._section = "text"
+        self._pending_literals = []
+
+    # ------------------------------------------------------------------
+    # pass 1: sizing and symbol collection
+    # ------------------------------------------------------------------
+
+    def _lc(self):
+        return self._text_lc if self._section == "text" else self._data_lc
+
+    def _advance(self, size):
+        if self._section == "text":
+            self._text_lc += size
+        else:
+            self._data_lc += size
+
+    def _emit(self, kind, size, payload, lineno, line):
+        item = _Item(kind, self._lc(), size, payload, lineno, line)
+        item.kind = kind if self._section == "text" else "data:" + kind
+        self.items.append(item)
+        self._advance(size)
+        return item
+
+    def _align_to(self, alignment, lineno, line):
+        if alignment <= 1:
+            return
+        lc = self._lc()
+        pad = (-lc) % alignment
+        if pad == 0:
+            return
+        if self._section == "text":
+            if pad % 4:
+                raise AssemblerError(
+                    "text alignment must be word-multiple", lineno, line
+                )
+            for _ in range(pad // 4):
+                self._emit("inst", 4, ("nop", ""), lineno, line)
+        else:
+            self._emit("bytes", pad, bytes(pad), lineno, line)
+
+    def _flush_pool(self, lineno, line):
+        """Emit pending literal-pool words (armcc strategy)."""
+        for key in self._pending_literals:
+            label = f"$lit${key[1]}"
+            self.symbols[label] = self._lc()
+            self._emit("bytes", 4, ("litword", key[0]), lineno, line)
+        self._pending_literals = []
+
+    def _pass1_line(self, lineno, raw):
+        line = _strip_comment(raw).strip()
+        while line:
+            match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:", line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in self.symbols:
+                raise AssemblerError(
+                    f"duplicate label {label!r}", lineno, raw
+                )
+            if self._section == "text":
+                self._align_to(self.toolchain.label_alignment, lineno, raw)
+            self.symbols[label] = self._lc()
+            line = line[match.end():].strip()
+        if not line:
+            return
+        if line.startswith("."):
+            self._pass1_directive(line, lineno, raw)
+            return
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        operands = parts[1] if len(parts) > 1 else ""
+        if self._section != "text":
+            raise AssemblerError("instruction in .data", lineno, raw)
+        try:
+            base, _, _ = _parse_mnemonic(mnemonic)
+        except AssemblerError as exc:
+            raise AssemblerError(str(exc), lineno, raw) from exc
+        if base == "ldr" and operands.count("=") and "[" not in operands:
+            ops = _split_operands(operands)
+            if len(ops) == 2 and ops[1].startswith("="):
+                expr = ops[1][1:]
+                if self.toolchain.uses_literal_pool:
+                    key = (expr, len(self._pending_literals)
+                           + sum(1 for s in self.symbols if
+                                 s.startswith("$lit$")))
+                    # Deduplicate identical pending expressions.
+                    existing = [k for k in self._pending_literals
+                                if k[0] == expr]
+                    key = existing[0] if existing else key
+                    if not existing:
+                        self._pending_literals.append(key)
+                    self._emit(
+                        "ldr=", 4, (mnemonic, ops[0], f"$lit${key[1]}"),
+                        lineno, raw,
+                    )
+                else:
+                    self._emit(
+                        "ldr=", 8, (mnemonic, ops[0], expr), lineno, raw
+                    )
+                return
+        self._emit("inst", 4, (mnemonic, operands), lineno, raw)
+
+    def _pass1_directive(self, line, lineno, raw):
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self._section = "text"
+        elif name == ".data":
+            self._section = "data"
+        elif name in (".global", ".globl", ".type", ".size", ".func",
+                      ".endfunc", ".syntax", ".arch", ".cpu", ".ltorg"):
+            if name == ".ltorg":
+                self._flush_pool(lineno, raw)
+        elif name == ".pool":
+            self._flush_pool(lineno, raw)
+        elif name == ".equ" or name == ".set":
+            sym, _, expr = rest.partition(",")
+            value = _eval_expr(expr, self.symbols)
+            self.symbols[sym.strip()] = value
+        elif name == ".align" or name == ".balign":
+            alignment = _eval_expr(rest, self.symbols)
+            if alignment & (alignment - 1):
+                raise AssemblerError(
+                    ".align must be a power of two", lineno, raw
+                )
+            self._align_to(alignment, lineno, raw)
+        elif name == ".word" or name == ".long":
+            exprs = _split_operands(rest)
+            self._align_to(4 if self._section == "data" else 4, lineno, raw)
+            self._emit("bytes", 4 * len(exprs), ("words", exprs), lineno, raw)
+        elif name == ".half" or name == ".short":
+            exprs = _split_operands(rest)
+            self._align_to(2, lineno, raw)
+            self._emit("bytes", 2 * len(exprs), ("halves", exprs), lineno,
+                       raw)
+        elif name == ".byte":
+            exprs = _split_operands(rest)
+            self._emit("bytes", len(exprs), ("bytes", exprs), lineno, raw)
+        elif name in (".ascii", ".asciz", ".string"):
+            match = re.match(r'^\s*"((?:\\.|[^"\\])*)"\s*$', rest)
+            if not match:
+                raise AssemblerError("bad string literal", lineno, raw)
+            blob = (
+                match.group(1)
+                .encode("utf-8")
+                .decode("unicode_escape")
+                .encode("latin-1")
+            )
+            if name != ".ascii":
+                blob += b"\x00"
+            self._emit("bytes", len(blob), blob, lineno, raw)
+        elif name == ".space" or name == ".skip":
+            args = _split_operands(rest)
+            size = _eval_expr(args[0], self.symbols)
+            fill = _eval_expr(args[1], self.symbols) if len(args) > 1 else 0
+            self._emit("bytes", size, bytes([fill & 0xFF] * size), lineno,
+                       raw)
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", lineno, raw)
+
+    # ------------------------------------------------------------------
+    # pass 2: instruction selection
+    # ------------------------------------------------------------------
+
+    def _reg(self, token, lineno, line):
+        try:
+            return parse_reg(token)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), lineno, line) from exc
+
+    def _imm(self, token, lineno, line):
+        token = token.strip()
+        if not token.startswith("#"):
+            raise AssemblerError(f"expected immediate, got {token!r}",
+                                 lineno, line)
+        return _eval_expr(token[1:], self.symbols)
+
+    def _parse_shift(self, tokens, lineno, line):
+        """Parse trailing shift tokens -> (kind, amount, shift_reg)."""
+        if not tokens:
+            return ShiftKind.LSL, 0, None
+        spec = tokens[0].split(None, 1)
+        kind_name = spec[0].lower()
+        if kind_name == "rrx":
+            raise AssemblerError("rrx not supported", lineno, line)
+        if kind_name not in SHIFT_NAMES:
+            raise AssemblerError(f"bad shift {tokens[0]!r}", lineno, line)
+        kind = SHIFT_NAMES[kind_name]
+        if len(spec) != 2:
+            raise AssemblerError("missing shift amount", lineno, line)
+        arg = spec[1].strip()
+        if arg.startswith("#"):
+            amount = _eval_expr(arg[1:], self.symbols)
+            if not 0 <= amount <= 32:
+                raise AssemblerError(f"shift amount {amount} out of range",
+                                     lineno, line)
+            return kind, amount, None
+        return kind, 0, self._reg(arg, lineno, line)
+
+    def _parse_reglist(self, token, lineno, line):
+        token = token.strip()
+        if not (token.startswith("{") and token.endswith("}")):
+            raise AssemblerError(f"expected register list, got {token!r}",
+                                 lineno, line)
+        mask = 0
+        for part in token[1:-1].split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "-" in part:
+                lo_txt, hi_txt = part.split("-", 1)
+                lo = self._reg(lo_txt, lineno, line)
+                hi = self._reg(hi_txt, lineno, line)
+                if hi < lo:
+                    raise AssemblerError(f"bad range {part!r}", lineno, line)
+                for i in range(lo, hi + 1):
+                    mask |= 1 << i
+            else:
+                mask |= 1 << self._reg(part, lineno, line)
+        if mask == 0:
+            raise AssemblerError("empty register list", lineno, line)
+        return mask
+
+    def _parse_mem_operand(self, tokens, lineno, line):
+        """Parse ``[rn, ...]`` forms.  Returns a dict of fields."""
+        first = tokens[0].strip()
+        post_offset = None
+        if first.endswith("!"):
+            body = first[:-1].strip()
+            writeback = True
+            pre = True
+        elif first.endswith("]") and len(tokens) > 1:
+            body = first
+            pre = False
+            writeback = True
+            post_offset = tokens[1]
+        else:
+            body = first
+            pre = True
+            writeback = False
+        if not (body.startswith("[") and body.endswith("]")):
+            raise AssemblerError(f"bad address {first!r}", lineno, line)
+        inner = _split_operands(body[1:-1])
+        rn = self._reg(inner[0], lineno, line)
+        fields = {
+            "rn": rn, "pre": pre, "writeback": writeback,
+            "imm": 0, "rm": None,
+            "shift_kind": ShiftKind.LSL, "shift_amount": 0,
+        }
+        offset_tokens = inner[1:]
+        if post_offset is not None:
+            if offset_tokens:
+                raise AssemblerError("both pre and post offsets", lineno,
+                                     line)
+            offset_tokens = [post_offset]
+            fields["pre"] = False
+        if not offset_tokens:
+            if not pre:
+                raise AssemblerError("missing post-index offset", lineno,
+                                     line)
+            fields["writeback"] = False
+            return fields
+        head = offset_tokens[0].strip()
+        if head.startswith("#"):
+            fields["imm"] = _eval_expr(head[1:], self.symbols)
+        else:
+            fields["rm"] = self._reg(head, lineno, line)
+            kind, amount, shift_reg = self._parse_shift(
+                offset_tokens[1:], lineno, line
+            )
+            if shift_reg is not None:
+                raise AssemblerError(
+                    "register-specified shift not allowed in addresses",
+                    lineno, line,
+                )
+            fields["shift_kind"] = kind
+            fields["shift_amount"] = amount
+        return fields
+
+    def _select_dp(self, op, cond, s_flag, ops, lineno, line):
+        """Build a data-processing Inst from parsed operands."""
+        unary = op in (Op.MOV, Op.MVN)
+        compare = op in COMPARE_OPS
+        if compare:
+            rd, rn = 0, self._reg(ops[0], lineno, line)
+            rest = ops[1:]
+        elif unary:
+            rd, rn = self._reg(ops[0], lineno, line), 0
+            rest = ops[1:]
+        else:
+            rd = self._reg(ops[0], lineno, line)
+            rn = self._reg(ops[1], lineno, line)
+            rest = ops[2:]
+        if not rest:
+            raise AssemblerError("missing operand2", lineno, line)
+        op2 = rest[0].strip()
+        if op2.startswith("#"):
+            imm = _eval_expr(op2[1:], self.symbols)
+            op, imm = self._legalise_imm(op, imm, lineno, line)
+            return Inst(DP_IMM_FORM[op], cond=cond, s=s_flag, rd=rd, rn=rn,
+                        imm=imm)
+        rm = self._reg(op2, lineno, line)
+        kind, amount, shift_reg = self._parse_shift(rest[1:], lineno, line)
+        return Inst(op, cond=cond, s=s_flag, rd=rd, rn=rn, rm=rm,
+                    shift_kind=kind, shift_amount=amount,
+                    shift_reg=shift_reg)
+
+    @staticmethod
+    def _flip_imm_op(op):
+        return {
+            Op.ADD: Op.SUB, Op.SUB: Op.ADD, Op.CMP: Op.CMN, Op.CMN: Op.CMP,
+            Op.MOV: Op.MVN, Op.MVN: Op.MOV,
+        }.get(op)
+
+    def _legalise_imm(self, op, imm, lineno, line):
+        """Fit an immediate into 13 bits, flipping the op when possible."""
+        if 0 <= imm <= 0x1FFF:
+            return op, imm
+        flipped = self._flip_imm_op(op)
+        if flipped is not None:
+            if op in (Op.MOV, Op.MVN):
+                alt = (~imm) & 0xFFFFFFFF
+            else:
+                alt = -imm
+            if 0 <= alt <= 0x1FFF:
+                return flipped, alt
+        raise AssemblerError(
+            f"immediate {imm:#x} not encodable (use ldr =...)", lineno, line
+        )
+
+    def _pass2_item(self, item):
+        lineno, line = item.lineno, item.line
+        if item.kind == "ldr=":
+            return self._expand_ldr_eq(item)
+        mnemonic, operands = item.payload
+        base, s_flag, cond = _parse_mnemonic(mnemonic)
+        ops = _split_operands(operands)
+        if base in _DP_BASES:
+            op = _DP_BASES[base]
+            if (base == "mov" and len(ops) == 2 and not ops[1].startswith("#")
+                    and ops[1].strip().lower() in ("pc",)):
+                pass  # plain mov rd, pc is fine through the generic path
+            inst = self._select_dp(op, cond, s_flag, ops, lineno, line)
+        elif base in _SHIFT_PSEUDOS:
+            # lsl rd, rm, #n  ==  mov rd, rm, lsl #n
+            kind = SHIFT_NAMES[base]
+            rd = self._reg(ops[0], lineno, line)
+            rm = self._reg(ops[1], lineno, line)
+            arg = ops[2].strip()
+            if arg.startswith("#"):
+                amount = _eval_expr(arg[1:], self.symbols)
+                inst = Inst(Op.MOV, cond=cond, s=s_flag, rd=rd, rm=rm,
+                            shift_kind=kind, shift_amount=amount)
+            else:
+                inst = Inst(Op.MOV, cond=cond, s=s_flag, rd=rd, rm=rm,
+                            shift_kind=kind,
+                            shift_reg=self._reg(arg, lineno, line))
+        elif base == "neg":
+            rd = self._reg(ops[0], lineno, line)
+            rm = self._reg(ops[1], lineno, line) if len(ops) > 1 else rd
+            inst = Inst(Op.RSBI, cond=cond, s=s_flag, rd=rd, rn=rm, imm=0)
+        elif base in _MEM_BASES:
+            inst = self._select_mem(_MEM_BASES[base], cond, ops, item)
+        elif base in ("ldm", "ldmia", "stm", "stmdb", "push", "pop"):
+            inst = self._select_multi(base, cond, ops, lineno, line)
+        elif base == "b" or base == "bl":
+            target = _eval_expr(ops[0], self.symbols)
+            op = Op.B if base == "b" else Op.BL
+            inst = Inst(op, cond=cond, imm=target - item.addr)
+        elif base == "bx":
+            inst = Inst(Op.BX, cond=cond, rm=self._reg(ops[0], lineno, line))
+        elif base == "movw" or base == "movt":
+            rd = self._reg(ops[0], lineno, line)
+            imm = self._imm(ops[1], lineno, line)
+            op = Op.MOVW if base == "movw" else Op.MOVT
+            inst = Inst(op, cond=cond, rd=rd, imm=imm & 0xFFFF)
+        elif base == "mul":
+            inst = Inst(Op.MUL, cond=cond, s=s_flag,
+                        rd=self._reg(ops[0], lineno, line),
+                        rn=self._reg(ops[1], lineno, line),
+                        rm=self._reg(ops[2], lineno, line))
+        elif base == "mla":
+            inst = Inst(Op.MLA, cond=cond, s=s_flag,
+                        rd=self._reg(ops[0], lineno, line),
+                        rn=self._reg(ops[1], lineno, line),
+                        rm=self._reg(ops[2], lineno, line),
+                        ra=self._reg(ops[3], lineno, line))
+        elif base == "svc":
+            inst = Inst(Op.SVC, cond=cond, imm=self._imm(ops[0], lineno,
+                                                         line))
+        elif base == "adr":
+            rd = self._reg(ops[0], lineno, line)
+            target = _eval_expr(ops[1], self.symbols)
+            delta = target - (item.addr + 8)
+            if 0 <= delta <= 0x1FFF:
+                inst = Inst(Op.ADDI, cond=cond, rd=rd, rn=15, imm=delta)
+            elif -0x1FFF <= delta < 0:
+                inst = Inst(Op.SUBI, cond=cond, rd=rd, rn=15, imm=-delta)
+            else:
+                raise AssemblerError(f"adr target too far ({delta})",
+                                     lineno, line)
+        elif base == "nop":
+            inst = Inst(Op.NOP, cond=cond)
+        elif base == "hlt":
+            inst = Inst(Op.HLT, cond=cond)
+        else:  # pragma: no cover - _parse_mnemonic filtered already
+            raise AssemblerError(f"unsupported {base!r}", lineno, line)
+        inst.addr = item.addr
+        inst.text = f"{mnemonic} {operands}".strip()
+        return [inst]
+
+    def _select_mem(self, op, cond, ops, item):
+        lineno, line = item.lineno, item.line
+        rd = self._reg(ops[0], lineno, line)
+        rest = ops[1:]
+        if not rest:
+            raise AssemblerError("missing address", lineno, line)
+        if not rest[0].lstrip().startswith("["):
+            # PC-relative: ldr rd, label
+            target = _eval_expr(rest[0], self.symbols)
+            delta = target - (item.addr + 8)
+            if not -2048 <= delta <= 2047:
+                raise AssemblerError(
+                    f"pc-relative target too far ({delta})", lineno, line
+                )
+            return Inst(op, cond=cond, rd=rd, rn=15, imm=delta, pre=True)
+        fields = self._parse_mem_operand(rest, lineno, line)
+        if fields["rm"] is None:
+            if not -2048 <= fields["imm"] <= 2047:
+                raise AssemblerError(
+                    f"offset {fields['imm']} out of range", lineno, line
+                )
+            return Inst(op, cond=cond, rd=rd, rn=fields["rn"],
+                        imm=fields["imm"], pre=fields["pre"],
+                        writeback=fields["writeback"])
+        return Inst(MEM_REG_FORM[op], cond=cond, rd=rd, rn=fields["rn"],
+                    rm=fields["rm"], shift_kind=fields["shift_kind"],
+                    shift_amount=fields["shift_amount"], pre=fields["pre"],
+                    writeback=fields["writeback"])
+
+    def _select_multi(self, base, cond, ops, lineno, line):
+        if base == "push":
+            mask = self._parse_reglist(ops[0], lineno, line)
+            return Inst(Op.STM, cond=cond, rn=13, reglist=mask,
+                        writeback=True)
+        if base == "pop":
+            mask = self._parse_reglist(ops[0], lineno, line)
+            return Inst(Op.LDM, cond=cond, rn=13, reglist=mask,
+                        writeback=True)
+        rn_token = ops[0].strip()
+        writeback = rn_token.endswith("!")
+        if writeback:
+            rn_token = rn_token[:-1]
+        rn = self._reg(rn_token, lineno, line)
+        mask = self._parse_reglist(ops[1], lineno, line)
+        op = Op.LDM if base.startswith("ldm") else Op.STM
+        return Inst(op, cond=cond, rn=rn, reglist=mask, writeback=writeback)
+
+    def _expand_ldr_eq(self, item):
+        mnemonic, rd_token, expr = item.payload
+        _, _, cond = _parse_mnemonic(mnemonic)
+        rd = self._reg(rd_token, item.lineno, item.line)
+        if self.toolchain.uses_literal_pool:
+            target = self.symbols.get(expr)
+            if target is None:
+                raise AssemblerError(
+                    f"unresolved literal {expr!r} (missing .pool?)",
+                    item.lineno, item.line,
+                )
+            delta = target - (item.addr + 8)
+            if not -2048 <= delta <= 2047:
+                raise AssemblerError(
+                    f"literal pool too far ({delta}); add a .pool directive",
+                    item.lineno, item.line,
+                )
+            inst = Inst(Op.LDR, cond=cond, rd=rd, rn=15, imm=delta,
+                        addr=item.addr, text=f"ldr r{rd}, ={expr}")
+            return [inst]
+        value = _eval_expr(expr, self.symbols) & 0xFFFFFFFF
+        low = Inst(Op.MOVW, cond=cond, rd=rd, imm=value & 0xFFFF,
+                   addr=item.addr, text=f"movw r{rd}, #{value & 0xFFFF:#x}")
+        high = Inst(Op.MOVT, cond=cond, rd=rd, imm=value >> 16,
+                    addr=item.addr + 4,
+                    text=f"movt r{rd}, #{value >> 16:#x}")
+        return [low, high]
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def assemble(self, source, name="program"):
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            try:
+                self._pass1_line(lineno, raw)
+            except AssemblerError:
+                raise
+            except ValueError as exc:
+                raise AssemblerError(str(exc), lineno, raw) from exc
+        if self._section != "text":
+            self._section = "text"
+        if self._pending_literals:
+            self._flush_pool(None, "")
+        insts = []
+        raw_words = {}
+        data = bytearray()
+        for item in self.items:
+            if item.kind == "inst" or item.kind == "ldr=":
+                try:
+                    insts.extend(self._pass2_item(item))
+                except AssemblerError:
+                    raise
+                except ValueError as exc:
+                    raise AssemblerError(str(exc), item.lineno,
+                                         item.line) from exc
+            elif item.kind == "bytes":
+                # literal pool or inline .word inside .text
+                blob = self._render_bytes(item)
+                if len(blob) % 4:
+                    raise AssemblerError("unaligned data in .text",
+                                         item.lineno, item.line)
+                for i in range(0, len(blob), 4):
+                    word = int.from_bytes(blob[i:i + 4], "little")
+                    index = len(insts)
+                    raw_words[index] = word
+                    insts.append(Inst(Op.HLT, addr=item.addr + i,
+                                      text=".word"))
+            elif item.kind.startswith("data:"):
+                offset = item.addr - self.layout.data_base
+                blob = self._render_bytes(item)
+                if len(data) < offset:
+                    data += bytes(offset - len(data))
+                data[offset:offset + len(blob)] = blob
+        expected = (self._text_lc - self.layout.text_base) // 4
+        if len(insts) != expected:
+            raise AssemblerError(
+                f"pass mismatch: sized {expected} slots, emitted "
+                f"{len(insts)}"
+            )
+        return Program(
+            name, insts, bytes(data), self.symbols, layout=self.layout,
+            source=source, toolchain=self.toolchain.name,
+            raw_words=raw_words,
+        )
+
+    def _render_bytes(self, item):
+        payload = item.payload
+        if isinstance(payload, (bytes, bytearray)):
+            return bytes(payload)
+        kind, arg = payload
+        if kind == "litword":
+            value = _eval_expr(arg, self.symbols) & 0xFFFFFFFF
+            return value.to_bytes(4, "little")
+        if kind == "words":
+            out = bytearray()
+            for expr in arg:
+                value = _eval_expr(expr, self.symbols) & 0xFFFFFFFF
+                out += value.to_bytes(4, "little")
+            return bytes(out)
+        if kind == "halves":
+            out = bytearray()
+            for expr in arg:
+                value = _eval_expr(expr, self.symbols) & 0xFFFF
+                out += value.to_bytes(2, "little")
+            return bytes(out)
+        if kind == "bytes":
+            return bytes(
+                _eval_expr(expr, self.symbols) & 0xFF for expr in arg
+            )
+        raise AssemblerError(f"bad payload {kind!r}", item.lineno, item.line)
+
+
+def assemble(source, name="program", toolchain=None, layout=None):
+    """Assemble ``source`` text into a :class:`Program`."""
+    return Assembler(toolchain=toolchain, layout=layout).assemble(
+        source, name=name
+    )

@@ -1,0 +1,216 @@
+"""32-bit binary encoding of ARMlet instructions.
+
+Layout (bit 31 is the MSB):
+
+    [31:28] cond    [27:22] opcode    [21:0] format-specific
+
+Format-specific fields:
+
+* data processing, register operand2 (``AND`` .. ``TEQ``)::
+
+      S[21] rd[20:17] rn[16:13] rm[12:9] shkind[8:7] shbyreg[6] amt[5:0]
+
+  ``amt`` holds the shift amount (0..31) or, when ``shbyreg`` is set, the
+  register holding the amount.
+
+* data processing, immediate operand2 (``ANDI`` .. ``TEQI``)::
+
+      S[21] rd[20:17] rn[16:13] imm13[12:0]          (unsigned, 0..8191)
+
+* ``MOVW``/``MOVT``::   rd[21:18] imm16[15:0]
+* ``MUL``/``MLA``::     S[21] rd[20:17] rn[16:13] rm[12:9] ra[8:5]
+* memory, immediate::   rd[21:18] rn[17:14] P[13] W[12] simm12[11:0]
+* memory, register::    rd[21:18] rn[17:14] P[13] W[12] rm[11:8]
+                        shkind[7:6] amt[5:1]
+* ``LDM``/``STM``::     rn[21:18] W[17] reglist[15:0]
+* ``B``/``BL``::        simm22[21:0]                  (word offset)
+* ``BX``::              rm[3:0]
+* ``SVC``::             imm22[21:0]
+* ``NOP``/``HLT``::     zero
+
+The decoded form round-trips exactly; :mod:`tests.test_encoding` proves it
+property-based.
+"""
+
+from repro.isa.instructions import (
+    DP_IMM_OPS,
+    DP_REG_OPS,
+    Cond,
+    Inst,
+    MEM_SIZE,
+    Op,
+    ShiftKind,
+)
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be represented in 32 bits."""
+
+
+def _check(value, low, high, what, inst):
+    if not low <= value <= high:
+        raise EncodingError(
+            f"{what}={value} out of range [{low}, {high}] in {inst!r}"
+        )
+    return value
+
+
+def _signed_field(value, bits, what, inst):
+    low = -(1 << (bits - 1))
+    high = (1 << (bits - 1)) - 1
+    _check(value, low, high, what, inst)
+    return value & ((1 << bits) - 1)
+
+
+def _unsigned_field(value, bits, what, inst):
+    _check(value, 0, (1 << bits) - 1, what, inst)
+    return value
+
+
+_MEM_IMM_OPS = frozenset({Op.LDR, Op.STR, Op.LDRB, Op.STRB, Op.LDRH, Op.STRH})
+_MEM_REG_OPS = frozenset(
+    {Op.LDRR, Op.STRR, Op.LDRBR, Op.STRBR, Op.LDRHR, Op.STRHR}
+)
+
+
+def encode(inst):
+    """Encode a decoded :class:`Inst` to its 32-bit word."""
+    op = inst.op
+    word = (int(inst.cond) << 28) | (int(op) << 22)
+    if op in DP_REG_OPS:
+        by_reg = inst.shift_reg is not None
+        amt = inst.shift_reg if by_reg else inst.shift_amount
+        amt = _unsigned_field(amt, 6 if not by_reg else 4, "shift", inst)
+        word |= (
+            (int(inst.s) << 21)
+            | (inst.rd << 17)
+            | (inst.rn << 13)
+            | (inst.rm << 9)
+            | (int(inst.shift_kind) << 7)
+            | (int(by_reg) << 6)
+            | amt
+        )
+    elif op in DP_IMM_OPS:
+        imm = _unsigned_field(inst.imm, 13, "imm13", inst)
+        word |= (
+            (int(inst.s) << 21) | (inst.rd << 17) | (inst.rn << 13) | imm
+        )
+    elif op in (Op.MOVW, Op.MOVT):
+        imm = _unsigned_field(inst.imm, 16, "imm16", inst)
+        word |= (inst.rd << 18) | imm
+    elif op in (Op.MUL, Op.MLA):
+        word |= (
+            (int(inst.s) << 21)
+            | (inst.rd << 17)
+            | (inst.rn << 13)
+            | (inst.rm << 9)
+            | (inst.ra << 5)
+        )
+    elif op in _MEM_IMM_OPS:
+        imm = _signed_field(inst.imm, 12, "offset", inst)
+        word |= (
+            (inst.rd << 18)
+            | (inst.rn << 14)
+            | (int(inst.pre) << 13)
+            | (int(inst.writeback) << 12)
+            | imm
+        )
+    elif op in _MEM_REG_OPS:
+        amt = _unsigned_field(inst.shift_amount, 5, "shift", inst)
+        word |= (
+            (inst.rd << 18)
+            | (inst.rn << 14)
+            | (int(inst.pre) << 13)
+            | (int(inst.writeback) << 12)
+            | (inst.rm << 8)
+            | (int(inst.shift_kind) << 6)
+            | (amt << 1)
+        )
+    elif op in (Op.LDM, Op.STM):
+        word |= (
+            (inst.rn << 18)
+            | (int(inst.writeback) << 17)
+            | _unsigned_field(inst.reglist, 16, "reglist", inst)
+        )
+    elif op in (Op.B, Op.BL):
+        if inst.imm & 0b11:
+            raise EncodingError(f"branch offset not word aligned in {inst!r}")
+        word |= _signed_field(inst.imm >> 2, 22, "offset", inst)
+    elif op == Op.BX:
+        word |= inst.rm
+    elif op == Op.SVC:
+        word |= _unsigned_field(inst.imm, 22, "svc", inst)
+    elif op in (Op.NOP, Op.HLT):
+        pass
+    else:  # pragma: no cover - enum is exhaustive
+        raise EncodingError(f"unencodable op {op!r}")
+    return word
+
+
+def _sext(value, bits):
+    sign = 1 << (bits - 1)
+    return (value ^ sign) - sign
+
+
+def decode(word, addr=0):
+    """Decode a 32-bit word back to an :class:`Inst`."""
+    cond = Cond((word >> 28) & 0xF)
+    try:
+        op = Op((word >> 22) & 0x3F)
+    except ValueError as exc:
+        raise EncodingError(f"undefined opcode in {word:#010x}") from exc
+    inst = Inst(op, cond=cond, addr=addr)
+    if op in DP_REG_OPS:
+        inst.s = bool((word >> 21) & 1)
+        inst.rd = (word >> 17) & 0xF
+        inst.rn = (word >> 13) & 0xF
+        inst.rm = (word >> 9) & 0xF
+        inst.shift_kind = ShiftKind((word >> 7) & 0x3)
+        if (word >> 6) & 1:
+            inst.shift_reg = word & 0xF
+        else:
+            inst.shift_amount = word & 0x3F
+    elif op in DP_IMM_OPS:
+        inst.s = bool((word >> 21) & 1)
+        inst.rd = (word >> 17) & 0xF
+        inst.rn = (word >> 13) & 0xF
+        inst.imm = word & 0x1FFF
+    elif op in (Op.MOVW, Op.MOVT):
+        inst.rd = (word >> 18) & 0xF
+        inst.imm = word & 0xFFFF
+    elif op in (Op.MUL, Op.MLA):
+        inst.s = bool((word >> 21) & 1)
+        inst.rd = (word >> 17) & 0xF
+        inst.rn = (word >> 13) & 0xF
+        inst.rm = (word >> 9) & 0xF
+        inst.ra = (word >> 5) & 0xF
+    elif op in _MEM_IMM_OPS:
+        inst.rd = (word >> 18) & 0xF
+        inst.rn = (word >> 14) & 0xF
+        inst.pre = bool((word >> 13) & 1)
+        inst.writeback = bool((word >> 12) & 1)
+        inst.imm = _sext(word & 0xFFF, 12)
+    elif op in _MEM_REG_OPS:
+        inst.rd = (word >> 18) & 0xF
+        inst.rn = (word >> 14) & 0xF
+        inst.pre = bool((word >> 13) & 1)
+        inst.writeback = bool((word >> 12) & 1)
+        inst.rm = (word >> 8) & 0xF
+        inst.shift_kind = ShiftKind((word >> 6) & 0x3)
+        inst.shift_amount = (word >> 1) & 0x1F
+    elif op in (Op.LDM, Op.STM):
+        inst.rn = (word >> 18) & 0xF
+        inst.writeback = bool((word >> 17) & 1)
+        inst.reglist = word & 0xFFFF
+    elif op in (Op.B, Op.BL):
+        inst.imm = _sext(word & 0x3FFFFF, 22) << 2
+    elif op == Op.BX:
+        inst.rm = word & 0xF
+    elif op == Op.SVC:
+        inst.imm = word & 0x3FFFFF
+    return inst
+
+
+def mem_access_size(op):
+    """Byte width of a scalar memory op (4 for LDM/STM bursts)."""
+    return MEM_SIZE.get(op, 4)

@@ -1,0 +1,93 @@
+"""NZCV condition flags and condition-code evaluation."""
+
+#: Condition code numeric values (match the encoding field).
+COND_CODES = (
+    "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+    "hi", "ls", "ge", "lt", "gt", "le", "al",
+)
+
+COND_INDEX = {name: i for i, name in enumerate(COND_CODES)}
+COND_INDEX["hs"] = COND_INDEX["cs"]
+COND_INDEX["lo"] = COND_INDEX["cc"]
+
+
+class Flags:
+    """The NZCV flag bits of the program-status register."""
+
+    __slots__ = ("n", "z", "c", "v")
+
+    def __init__(self, n=False, z=False, c=False, v=False):
+        self.n = n
+        self.z = z
+        self.c = c
+        self.v = v
+
+    def pack(self):
+        """Pack to a 4-bit integer, NZCV from bit 3 down to bit 0."""
+        return (self.n << 3) | (self.z << 2) | (self.c << 1) | int(self.v)
+
+    @classmethod
+    def unpack(cls, bits):
+        return cls(
+            n=bool(bits & 0b1000),
+            z=bool(bits & 0b0100),
+            c=bool(bits & 0b0010),
+            v=bool(bits & 0b0001),
+        )
+
+    def copy(self):
+        return Flags(self.n, self.z, self.c, self.v)
+
+    def __eq__(self, other):
+        if not isinstance(other, Flags):
+            return NotImplemented
+        return self.pack() == other.pack()
+
+    def __hash__(self):
+        return hash(self.pack())
+
+    def __repr__(self):
+        bits = "".join(
+            name if value else "-"
+            for name, value in zip("NZCV", (self.n, self.z, self.c, self.v))
+        )
+        return f"Flags({bits})"
+
+
+def cond_passed(cond, flags):
+    """Evaluate condition code ``cond`` (index or packed flags tuple).
+
+    ``cond`` is the numeric condition index; ``flags`` a :class:`Flags`.
+    """
+    n, z, c, v = flags.n, flags.z, flags.c, flags.v
+    if cond == 14:  # al
+        return True
+    if cond == 0:  # eq
+        return z
+    if cond == 1:  # ne
+        return not z
+    if cond == 2:  # cs/hs
+        return c
+    if cond == 3:  # cc/lo
+        return not c
+    if cond == 4:  # mi
+        return n
+    if cond == 5:  # pl
+        return not n
+    if cond == 6:  # vs
+        return v
+    if cond == 7:  # vc
+        return not v
+    if cond == 8:  # hi
+        return c and not z
+    if cond == 9:  # ls
+        return (not c) or z
+    if cond == 10:  # ge
+        return n == v
+    if cond == 11:  # lt
+        return n != v
+    if cond == 12:  # gt
+        return (not z) and n == v
+    if cond == 13:  # le
+        return z or n != v
+    raise ValueError(f"invalid condition code {cond}")

@@ -1,0 +1,262 @@
+"""Golden architectural interpreter (the reference model).
+
+This is the "architectural emulator" tier of the paper's taxonomy
+(SS I: software-level emulation without hardware details).  It defines the
+ISA-visible semantics against which both hardware models are co-simulated
+in the test suite, and it validates every workload.
+"""
+
+from repro.errors import SimFault, SimTimeout
+from repro.isa import alu
+from repro.isa.flags import Flags, cond_passed
+from repro.isa.instructions import (
+    COMPARE_OPS,
+    DP_IMM_OPS,
+    DP_REG_FORM,
+    DP_REG_OPS,
+    LOAD_OPS,
+    MEM_SIZE,
+    Op,
+    UNARY_OPS,
+)
+from repro.isa.registers import RegisterFile
+from repro.isa.syscalls import SyscallEmulator, SyscallError
+from repro.memory.ram import RAM
+
+_PC = 15
+
+
+class InterpResult:
+    """Outcome of an interpreter run."""
+
+    def __init__(self, output, exit_code, inst_count):
+        self.output = output
+        self.exit_code = exit_code
+        self.inst_count = inst_count
+
+    def __repr__(self):
+        return (
+            f"InterpResult(exit={self.exit_code},"
+            f" insts={self.inst_count}, out={len(self.output)}B)"
+        )
+
+
+class Interpreter:
+    """Executes a :class:`~repro.isa.program.Program` architecturally."""
+
+    def __init__(self, program):
+        self.program = program
+        self.ram = RAM(program.layout.ram_size)
+        program.load_into(self.ram)
+        self.regs = RegisterFile()
+        self.regs.write(13, program.layout.stack_top)
+        self.flags = Flags()
+        self.pc = program.entry
+        self.syscalls = SyscallEmulator()
+        self.inst_count = 0
+        self.halted = False
+
+    # -- operand helpers ---------------------------------------------------
+
+    def _read_reg(self, index, inst_addr):
+        if index == _PC:
+            return (inst_addr + 8) & 0xFFFFFFFF
+        return self.regs.read(index)
+
+    def _operand2(self, inst):
+        """Resolve operand2 -> (value, shifter_carry)."""
+        if inst.op in DP_IMM_OPS:
+            return inst.imm & 0xFFFFFFFF, self.flags.c
+        value = self._read_reg(inst.rm, inst.addr)
+        if inst.shift_reg is not None:
+            amount = self._read_reg(inst.shift_reg, inst.addr) & 0xFF
+        else:
+            amount = inst.shift_amount
+        return alu.barrel_shift(value, inst.shift_kind, amount, self.flags.c)
+
+    def _write_reg(self, index, value):
+        """Write a register; a write to PC is a branch."""
+        if index == _PC:
+            self.pc = value & 0xFFFFFFFC
+            return True
+        self.regs.write(index, value)
+        return False
+
+    # -- memory helpers ----------------------------------------------------
+
+    def _mem_read(self, addr, size):
+        if addr % size:
+            raise SimFault("align-fault", f"{size}-byte load", addr=addr)
+        if size == 4:
+            return self.ram.read32(addr)
+        if size == 2:
+            return self.ram.read16(addr)
+        return self.ram.read8(addr)
+
+    def _mem_write(self, addr, size, value):
+        if addr % size:
+            raise SimFault("align-fault", f"{size}-byte store", addr=addr)
+        if size == 4:
+            self.ram.write32(addr, value)
+        elif size == 2:
+            self.ram.write16(addr, value)
+        else:
+            self.ram.write8(addr, value)
+
+    # -- main loop ----------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction.  Returns False once halted."""
+        if self.halted:
+            return False
+        inst = self.program.inst_at(self.pc)
+        if inst is None:
+            raise SimFault("mem-fault", "fetch outside text", addr=self.pc)
+        self.inst_count += 1
+        next_pc = inst.addr + 4
+        if not cond_passed(inst.cond, self.flags):
+            self.pc = next_pc
+            return True
+        branched = self._execute(inst)
+        if not branched:
+            self.pc = next_pc
+        return not self.halted
+
+    def _execute(self, inst):
+        op = inst.op
+        if op in DP_REG_OPS or op in DP_IMM_OPS:
+            return self._exec_dp(inst)
+        if op == Op.MOVW:
+            return self._write_reg(inst.rd, inst.imm & 0xFFFF)
+        if op == Op.MOVT:
+            old = self._read_reg(inst.rd, inst.addr)
+            return self._write_reg(
+                inst.rd, (old & 0xFFFF) | ((inst.imm & 0xFFFF) << 16)
+            )
+        if op in (Op.MUL, Op.MLA):
+            result = alu.multiply(
+                op,
+                self._read_reg(inst.rn, inst.addr),
+                self._read_reg(inst.rm, inst.addr),
+                self._read_reg(inst.ra, inst.addr),
+            )
+            if inst.s:
+                self.flags.n = bool(result & 0x80000000)
+                self.flags.z = result == 0
+            return self._write_reg(inst.rd, result)
+        if op in MEM_SIZE:
+            return self._exec_mem(inst)
+        if op == Op.LDM:
+            return self._exec_ldm(inst)
+        if op == Op.STM:
+            return self._exec_stm(inst)
+        if op == Op.B:
+            self.pc = (inst.addr + inst.imm) & 0xFFFFFFFC
+            return True
+        if op == Op.BL:
+            self.regs.write(14, inst.addr + 4)
+            self.pc = (inst.addr + inst.imm) & 0xFFFFFFFC
+            return True
+        if op == Op.BX:
+            self.pc = self._read_reg(inst.rm, inst.addr) & 0xFFFFFFFC
+            return True
+        if op == Op.SVC:
+            return self._exec_svc(inst)
+        if op == Op.NOP:
+            return False
+        if op == Op.HLT:
+            raise SimFault("halt-trap", "executed HLT/pool word",
+                           addr=inst.addr)
+        raise SimFault("undefined-inst", repr(op), addr=inst.addr)
+
+    def _exec_dp(self, inst):
+        op2, shifter_carry = self._operand2(inst)
+        op = DP_REG_FORM.get(inst.op, inst.op)
+        rn_value = (
+            0 if op in UNARY_OPS else self._read_reg(inst.rn, inst.addr)
+        )
+        result, new_flags = alu.dp_compute(
+            op, rn_value, op2, self.flags, shifter_carry
+        )
+        if inst.s or op in COMPARE_OPS:
+            self.flags = new_flags
+        if op in COMPARE_OPS:
+            return False
+        return self._write_reg(inst.rd, result)
+
+    def _exec_mem(self, inst):
+        size = MEM_SIZE[inst.op]
+        base = self._read_reg(inst.rn, inst.addr)
+        if inst.op in (Op.LDR, Op.STR, Op.LDRB, Op.STRB, Op.LDRH, Op.STRH):
+            offset = inst.imm
+        else:
+            value = self._read_reg(inst.rm, inst.addr)
+            offset, _ = alu.barrel_shift(
+                value, inst.shift_kind, inst.shift_amount, self.flags.c
+            )
+        addr = (base + offset) & 0xFFFFFFFF if inst.pre else base
+        branched = False
+        if inst.op in LOAD_OPS:
+            value = self._mem_read(addr, size)
+            branched = self._write_reg(inst.rd, value)
+        else:
+            self._mem_write(addr, size, self._read_reg(inst.rd, inst.addr))
+        if inst.writeback or not inst.pre:
+            wb_value = (base + offset) & 0xFFFFFFFF
+            if inst.rn != inst.rd or inst.op not in LOAD_OPS:
+                branched = self._write_reg(inst.rn, wb_value) or branched
+        return branched
+
+    def _exec_ldm(self, inst):
+        base = self._read_reg(inst.rn, inst.addr)
+        addr = base
+        branched = False
+        count = 0
+        for i in range(16):
+            if inst.reglist & (1 << i):
+                value = self._mem_read(addr, 4)
+                branched = self._write_reg(i, value) or branched
+                addr += 4
+                count += 1
+        if inst.writeback and not (inst.reglist & (1 << inst.rn)):
+            self.regs.write(inst.rn, base + 4 * count)
+        return branched
+
+    def _exec_stm(self, inst):
+        base = self._read_reg(inst.rn, inst.addr)
+        count = bin(inst.reglist).count("1")
+        addr = (base - 4 * count) & 0xFFFFFFFF
+        start = addr
+        for i in range(16):
+            if inst.reglist & (1 << i):
+                self._mem_write(addr, 4, self._read_reg(i, inst.addr))
+                addr += 4
+        if inst.writeback:
+            self.regs.write(inst.rn, start)
+        return False
+
+    def _exec_svc(self, inst):
+        try:
+            result = self.syscalls.handle(
+                inst.imm,
+                lambda i: self.regs.read(i),
+                lambda a: self.ram.read8(a),
+            )
+        except SyscallError as exc:
+            raise SimFault("syscall-error", str(exc), addr=inst.addr) from exc
+        self.regs.write(0, result)
+        if self.syscalls.exited:
+            self.halted = True
+        return False
+
+    def run(self, max_insts=5_000_000):
+        """Run to exit.  Raises :class:`SimTimeout` past ``max_insts``."""
+        while not self.halted:
+            if self.inst_count >= max_insts:
+                raise SimTimeout(max_insts, "instructions")
+            self.step()
+        return InterpResult(
+            bytes(self.syscalls.output),
+            self.syscalls.exit_code,
+            self.inst_count,
+        )

@@ -1,0 +1,97 @@
+"""Linked program images and the bare-metal memory layout."""
+
+from repro.isa.encoding import encode
+
+
+class MemoryLayout:
+    """Bare-metal address map used by all three models.
+
+    The layout mirrors the paper's bare-metal RTL environment: code at the
+    reset vector, a data segment, and a descending stack at the top of a
+    flat on-chip RAM.
+    """
+
+    def __init__(self, text_base=0x0000_0000, data_base=0x0001_0000,
+                 stack_top=0x0003_FF00, ram_size=0x0004_0000):
+        if stack_top > ram_size:
+            raise ValueError("stack above end of RAM")
+        if text_base >= data_base:
+            raise ValueError("text must precede data")
+        self.text_base = text_base
+        self.data_base = data_base
+        self.stack_top = stack_top
+        self.ram_size = ram_size
+
+    def __repr__(self):
+        return (
+            f"MemoryLayout(text={self.text_base:#x}, data={self.data_base:#x},"
+            f" stack_top={self.stack_top:#x}, ram={self.ram_size:#x})"
+        )
+
+
+DEFAULT_LAYOUT = MemoryLayout()
+
+
+class Program:
+    """An assembled, linked program.
+
+    Attributes:
+        name: human-readable workload name.
+        insts: decoded instructions, indexed by ``(addr - text_base) // 4``.
+        words: the matching encoded 32-bit words.
+        data: ``bytes`` of the initialised data segment.
+        symbols: label -> address map.
+        layout: the :class:`MemoryLayout` it was linked against.
+        entry: start address.
+        source: the assembly source text it came from.
+        toolchain: name of the toolchain variant that produced it.
+    """
+
+    def __init__(self, name, insts, data, symbols, layout=None, entry=None,
+                 source="", toolchain="default", raw_words=None):
+        self.name = name
+        self.insts = list(insts)
+        self.words = [encode(inst) for inst in self.insts]
+        # Literal-pool slots carry arbitrary 32-bit data; the decoded view
+        # keeps an HLT trap there but the binary image holds the raw word.
+        self.raw_words = dict(raw_words or {})
+        for index, word in self.raw_words.items():
+            self.words[index] = word & 0xFFFFFFFF
+        self.data = bytes(data)
+        self.symbols = dict(symbols)
+        self.layout = layout or DEFAULT_LAYOUT
+        self.entry = self.layout.text_base if entry is None else entry
+        self.source = source
+        self.toolchain = toolchain
+
+    @property
+    def text_size(self):
+        return 4 * len(self.insts)
+
+    def inst_at(self, addr):
+        """Decoded instruction at byte address ``addr`` (None when outside
+        the text segment)."""
+        offset = addr - self.layout.text_base
+        index = offset >> 2
+        if offset < 0 or offset & 0b11 or index >= len(self.insts):
+            return None
+        return self.insts[index]
+
+    def text_bytes(self):
+        """The encoded text segment as little-endian bytes."""
+        blob = bytearray()
+        for word in self.words:
+            blob += word.to_bytes(4, "little")
+        return bytes(blob)
+
+    def load_into(self, ram):
+        """Write text + data segments into a :class:`repro.memory.ram.RAM`."""
+        ram.write_block(self.layout.text_base, self.text_bytes())
+        if self.data:
+            ram.write_block(self.layout.data_base, self.data)
+
+    def __repr__(self):
+        return (
+            f"Program({self.name!r}, {len(self.insts)} insts,"
+            f" {len(self.data)} data bytes, toolchain={self.toolchain!r})"
+        )

@@ -1,0 +1,82 @@
+"""Architectural register model for the ARMlet ISA.
+
+Sixteen 32-bit general-purpose registers, with the ARM conventions for the
+stack pointer (r13), link register (r14) and program counter (r15).
+"""
+
+NUM_REGS = 16
+
+SP = 13
+LR = 14
+PC = 15
+
+#: Canonical register names, index -> name.
+REG_NAMES = tuple(f"r{i}" for i in range(NUM_REGS))
+
+#: Accepted aliases when parsing assembly source.
+REG_ALIASES = {
+    "sp": SP,
+    "lr": LR,
+    "pc": PC,
+    "fp": 11,
+    "ip": 12,
+}
+
+
+def reg_name(index):
+    """Return the canonical name of register ``index`` (``sp``/``lr``/``pc``
+    for the special registers)."""
+    if index == SP:
+        return "sp"
+    if index == LR:
+        return "lr"
+    if index == PC:
+        return "pc"
+    return REG_NAMES[index]
+
+
+def parse_reg(token):
+    """Parse a register token (``r4``, ``SP``, ``lr`` ...) to its index.
+
+    Raises ``ValueError`` for anything that is not a register name.
+    """
+    text = token.strip().lower()
+    if text in REG_ALIASES:
+        return REG_ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        index = int(text[1:])
+        if 0 <= index < NUM_REGS:
+            return index
+    raise ValueError(f"not a register: {token!r}")
+
+
+class RegisterFile:
+    """A simple architectural register file (the golden-model storage).
+
+    The two CPU models implement their own storage (physical registers at
+    the microarchitecture level, flip-flop arrays at RTL); this class backs
+    the reference interpreter only.
+    """
+
+    __slots__ = ("_regs",)
+
+    def __init__(self):
+        self._regs = [0] * NUM_REGS
+
+    def read(self, index):
+        return self._regs[index]
+
+    def write(self, index, value):
+        self._regs[index] = value & 0xFFFFFFFF
+
+    def snapshot(self):
+        return list(self._regs)
+
+    def restore(self, values):
+        self._regs = list(values)
+
+    def __repr__(self):
+        cells = ", ".join(
+            f"{reg_name(i)}={value:#010x}" for i, value in enumerate(self._regs)
+        )
+        return f"RegisterFile({cells})"

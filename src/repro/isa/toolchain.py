@@ -1,0 +1,51 @@
+"""Toolchain variants.
+
+The paper could not use identical binaries on the two flows: "the same
+binary files could not be used and the benchmarks were built using the same
+source files with the same options, using different tool chains" (SS III-C).
+We reproduce that situation with two deterministic code generators that
+consume the same assembly source but emit different (semantically
+equivalent) binaries:
+
+* ``gnu``   -- synthesises ``ldr rd, =const`` as a MOVW/MOVT pair and packs
+  code densely.
+* ``armcc`` -- synthesises constants through PC-relative literal pools and
+  pads branch-target labels to 8-byte fetch-group boundaries with NOPs.
+
+Both the cross-level study and ablation A3 (same-binary vs cross-toolchain)
+are driven by this knob.
+"""
+
+
+class Toolchain:
+    """A named, deterministic set of code-generation choices."""
+
+    KNOWN = ("gnu", "armcc")
+
+    def __init__(self, name="gnu"):
+        if name not in self.KNOWN:
+            raise ValueError(
+                f"unknown toolchain {name!r}; expected one of {self.KNOWN}"
+            )
+        self.name = name
+
+    @property
+    def uses_literal_pool(self):
+        """``ldr rd, =x`` strategy: literal pool (armcc) or MOVW/MOVT (gnu)."""
+        return self.name == "armcc"
+
+    @property
+    def label_alignment(self):
+        """Byte alignment enforced at text labels (1 = none)."""
+        return 8 if self.name == "armcc" else 1
+
+    def __eq__(self, other):
+        if isinstance(other, Toolchain):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __repr__(self):
+        return f"Toolchain({self.name!r})"

@@ -1,0 +1,7 @@
+"""Memory-system substrate shared by both CPU models."""
+
+from repro.memory.bus import Transaction
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.ram import RAM
+
+__all__ = ["Cache", "CacheConfig", "RAM", "Transaction"]

@@ -1,0 +1,13 @@
+"""RT-level model of the Cortex-A9-class core.
+
+This package substitutes for the paper's commercial RTL + Cadence NCSIM
+flow: a cycle-by-cycle, flip-flop/array-accurate, dual-issue in-order
+pipeline with explicit cache-controller FSMs and a word-beat external bus
+whose traffic is the *core pinout* observed by the Safety-Verifier-style
+injector.  See DESIGN.md SS2 for the substitution argument.
+"""
+
+from repro.rtl.config import RTLConfig
+from repro.rtl.simulator import RTLSim
+
+__all__ = ["RTLConfig", "RTLSim"]

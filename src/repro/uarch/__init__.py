@@ -1,0 +1,12 @@
+"""Microarchitecture-level model of the Cortex-A9-class core.
+
+This package is the paper's "GeFIN on gem5" substrate: a cycle-level,
+out-of-order, rename-based core model whose major storage structures (the
+56-entry physical register file and the L1 caches) hold live values, so
+injected bit-flips propagate exactly as they would through gem5's arrays.
+"""
+
+from repro.uarch.config import CortexA9Config
+from repro.uarch.simulator import MicroArchSim, RunStatus
+
+__all__ = ["CortexA9Config", "MicroArchSim", "RunStatus"]

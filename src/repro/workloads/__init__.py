@@ -1,0 +1,21 @@
+"""MiBench-like workload kernels for the cross-level study.
+
+The paper (SS III-D) uses a MiBench subset: FFT, qsort, cAES, sha,
+stringsearch and the three susan kernels.  Real MiBench binaries cannot be
+compiled for the ARMlet ISA, so each kernel is re-implemented in assembly
+with a deterministic embedded dataset.  Every workload module exposes
+``source()`` (assembly text) and ``expected_output()`` (the bit-exact
+golden output computed by an independent Python reference), so the test
+suite validates each kernel on the reference interpreter before it is ever
+used in a fault-injection campaign.
+"""
+
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    build,
+    build_all,
+    expected_output,
+    get,
+)
+
+__all__ = ["WORKLOAD_NAMES", "build", "build_all", "expected_output", "get"]

@@ -1,0 +1,281 @@
+"""MiBench cAES kernel: AES-128 ECB encryption of four blocks."""
+
+import struct
+
+from repro.workloads.datagen import (
+    AES_BLOCKS,
+    AES_KEY,
+    aes_plaintext,
+    aes_reference,
+    aes_sbox,
+    bytes_directive,
+)
+
+NAME = "caes"
+
+
+def source(seed=90001):
+    sbox = bytes(aes_sbox())
+    plain = aes_plaintext(seed)
+    return f"""
+; AES-128 ECB over {AES_BLOCKS} blocks: key expansion + 10 rounds/block.
+    .text
+_start:
+    bl   expand_key
+    movw r10, #0             ; block index
+blk_loop:
+    ldr  r0, =plain
+    add  r0, r0, r10, lsl #4
+    ldr  r1, =state
+    movw r2, #16
+copy_in:
+    ldrb r3, [r0], #1
+    strb r3, [r1], #1
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  copy_in
+    bl   encrypt
+    ldr  r0, =state
+    ldr  r1, =outbuf
+    add  r1, r1, r10, lsl #4
+    movw r2, #16
+copy_out:
+    ldrb r3, [r0], #1
+    strb r3, [r1], #1
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  copy_out
+    add  r10, r10, #1
+    cmp  r10, #{AES_BLOCKS}
+    blt  blk_loop
+    ; print ciphertext as {AES_BLOCKS * 4} hex words
+    ldr  r4, =outbuf
+    movw r5, #{AES_BLOCKS * 4}
+print_loop:
+    ldr  r0, [r4], #4
+    svc  #3
+    sub  r5, r5, #1
+    cmp  r5, #0
+    bgt  print_loop
+    movw r0, #10
+    svc  #1
+    movw r0, #0
+    svc  #0
+    .pool
+
+; xtime: r0 = GF(2^8) doubling of r0 (clobbers r0, flags only)
+xtime:
+    lsl  r0, r0, #1
+    tst  r0, #0x100
+    eorne r0, r0, #0x1b
+    and  r0, r0, #0xff
+    bx   lr
+
+expand_key:
+    push {{r4-r11, lr}}
+    ldr  r0, =key
+    ldr  r1, =rk
+    movw r2, #16
+ek_copy:
+    ldrb r3, [r0], #1
+    strb r3, [r1], #1
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  ek_copy
+    movw r4, #4              ; word index i
+    movw r11, #1             ; rcon
+ek_loop:
+    ldr  r6, =rk
+    add  r5, r6, r4, lsl #2
+    sub  r5, r5, #4          ; &rk[4*(i-1)]
+    ldrb r6, [r5]
+    ldrb r7, [r5, #1]
+    ldrb r8, [r5, #2]
+    ldrb r9, [r5, #3]
+    and  r10, r4, #3
+    cmp  r10, #0
+    bne  ek_noxform
+    ; RotWord
+    mov  r10, r6
+    mov  r6, r7
+    mov  r7, r8
+    mov  r8, r9
+    mov  r9, r10
+    ; SubWord
+    ldr  r10, =sbox
+    ldrb r6, [r10, r6]
+    ldrb r7, [r10, r7]
+    ldrb r8, [r10, r8]
+    ldrb r9, [r10, r9]
+    eor  r6, r6, r11         ; ^= rcon
+    mov  r0, r11
+    bl   xtime
+    mov  r11, r0
+ek_noxform:
+    ldr  r10, =rk
+    add  r5, r10, r4, lsl #2 ; &rk[4*i]
+    sub  r10, r5, #16        ; &rk[4*(i-4)]
+    ldrb r12, [r10]
+    eor  r12, r12, r6
+    strb r12, [r5]
+    ldrb r12, [r10, #1]
+    eor  r12, r12, r7
+    strb r12, [r5, #1]
+    ldrb r12, [r10, #2]
+    eor  r12, r12, r8
+    strb r12, [r5, #2]
+    ldrb r12, [r10, #3]
+    eor  r12, r12, r9
+    strb r12, [r5, #3]
+    add  r4, r4, #1
+    cmp  r4, #44
+    blt  ek_loop
+    pop  {{r4-r11, lr}}
+    bx   lr
+    .pool
+
+encrypt:
+    push {{r4-r12, lr}}
+    ; round 0: AddRoundKey
+    ldr  r0, =state
+    ldr  r1, =rk
+    movw r2, #16
+ark0:
+    ldrb r3, [r0]
+    ldrb r4, [r1], #1
+    eor  r3, r3, r4
+    strb r3, [r0], #1
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  ark0
+    movw r11, #1             ; round counter
+enc_round:
+    ; SubBytes
+    ldr  r0, =state
+    ldr  r1, =sbox
+    movw r2, #16
+sb_loop:
+    ldrb r3, [r0]
+    ldrb r3, [r1, r3]
+    strb r3, [r0], #1
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  sb_loop
+    ; ShiftRows: tmp[r + 4c] = state[r + 4*((c + r) & 3)]
+    ldr  r0, =state
+    ldr  r1, =tmp
+    movw r4, #0              ; row
+sr_row:
+    movw r5, #0              ; col
+sr_col:
+    add  r6, r5, r4
+    and  r6, r6, #3
+    add  r6, r4, r6, lsl #2
+    ldrb r7, [r0, r6]
+    add  r6, r4, r5, lsl #2
+    strb r7, [r1, r6]
+    add  r5, r5, #1
+    cmp  r5, #4
+    blt  sr_col
+    add  r4, r4, #1
+    cmp  r4, #4
+    blt  sr_row
+    cmp  r11, #10
+    beq  last_round
+    ; MixColumns: tmp -> state
+    ldr  r9, =tmp
+    ldr  r10, =state
+    movw r4, #0              ; column byte offset 0,4,8,12
+mc_loop:
+    add  r1, r9, r4
+    ldrb r5, [r1]
+    ldrb r6, [r1, #1]
+    ldrb r7, [r1, #2]
+    ldrb r8, [r1, #3]
+    mov  r0, r5
+    bl   xtime
+    mov  r1, r0              ; xt0
+    mov  r0, r6
+    bl   xtime
+    mov  r2, r0              ; xt1
+    mov  r0, r7
+    bl   xtime
+    mov  r3, r0              ; xt2
+    mov  r0, r8
+    bl   xtime
+    mov  r12, r0             ; xt3
+    add  r14, r10, r4
+    eor  r0, r1, r2          ; m0 = xt0^xt1^c1^c2^c3
+    eor  r0, r0, r6
+    eor  r0, r0, r7
+    eor  r0, r0, r8
+    strb r0, [r14]
+    eor  r0, r5, r2          ; m1 = c0^xt1^xt2^c2^c3
+    eor  r0, r0, r3
+    eor  r0, r0, r7
+    eor  r0, r0, r8
+    strb r0, [r14, #1]
+    eor  r0, r5, r6          ; m2 = c0^c1^xt2^xt3^c3
+    eor  r0, r0, r3
+    eor  r0, r0, r12
+    eor  r0, r0, r8
+    strb r0, [r14, #2]
+    eor  r0, r1, r5          ; m3 = xt0^c0^c1^c2^xt3
+    eor  r0, r0, r6
+    eor  r0, r0, r7
+    eor  r0, r0, r12
+    strb r0, [r14, #3]
+    add  r4, r4, #4
+    cmp  r4, #16
+    blt  mc_loop
+    b    add_rk
+last_round:
+    ldr  r0, =tmp
+    ldr  r1, =state
+    movw r2, #16
+lr_copy:
+    ldrb r3, [r0], #1
+    strb r3, [r1], #1
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  lr_copy
+add_rk:
+    ldr  r0, =state
+    ldr  r1, =rk
+    add  r1, r1, r11, lsl #4
+    movw r2, #16
+ark_loop:
+    ldrb r3, [r0]
+    ldrb r5, [r1], #1
+    eor  r3, r3, r5
+    strb r3, [r0], #1
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  ark_loop
+    add  r11, r11, #1
+    cmp  r11, #10
+    ble  enc_round
+    pop  {{r4-r12, lr}}
+    bx   lr
+    .pool
+
+    .data
+sbox:
+{bytes_directive(sbox)}
+key:
+{bytes_directive(AES_KEY)}
+plain:
+{bytes_directive(plain)}
+    .align 4
+rk:     .space 176
+state:  .space 16
+tmp:    .space 16
+    .align 4
+outbuf: .space {16 * AES_BLOCKS}
+"""
+
+
+def expected_output(seed=90001):
+    cipher = aes_reference(seed)
+    words = struct.unpack(f"<{AES_BLOCKS * 4}I", cipher)
+    return b"".join(b"%08x" % w for w in words) + b"\n"

@@ -1,0 +1,437 @@
+"""Deterministic dataset generation and bit-exact Python references.
+
+Workload assembly sources embed data produced here, and the matching
+reference functions reproduce the kernel's integer arithmetic exactly
+(32-bit wrap-around, arithmetic shifts), so expected outputs are known in
+advance without trusting the simulators.
+"""
+
+import hashlib
+import math
+
+MASK32 = 0xFFFFFFFF
+
+
+def u32(value):
+    return value & MASK32
+
+
+def s32(value):
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class LCG:
+    """The classic Numerical-Recipes LCG; identical constants are used by
+    the in-assembly generators where a workload builds data at runtime."""
+
+    A = 1664525
+    C = 1013904223
+
+    def __init__(self, seed):
+        self.state = u32(seed)
+
+    def next(self):
+        self.state = u32(self.state * self.A + self.C)
+        return self.state
+
+    def below(self, bound):
+        return self.next() % bound
+
+
+def words_directive(values, per_line=8):
+    """Render a list of ints as ``.word`` directives."""
+    lines = []
+    for i in range(0, len(values), per_line):
+        chunk = ", ".join(f"{u32(v):#010x}" for v in values[i:i + per_line])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(lines)
+
+
+def bytes_directive(blob, per_line=16):
+    """Render bytes as ``.byte`` directives."""
+    lines = []
+    for i in range(0, len(blob), per_line):
+        chunk = ", ".join(f"{b:#04x}" for b in blob[i:i + per_line])
+        lines.append(f"    .byte {chunk}")
+    return "\n".join(lines)
+
+
+def fold_checksum(values, seed=0):
+    """The common 32-bit output fold used by every workload:
+    ``h = h*31 + v`` over a sequence of words."""
+    h = u32(seed)
+    for v in values:
+        h = u32(h * 31 + u32(v))
+    return h
+
+
+# ---------------------------------------------------------------------------
+# FFT (fixed point, radix-2, Q14 twiddles)
+# ---------------------------------------------------------------------------
+
+FFT_N = 64
+FFT_QSHIFT = 14
+
+
+def fft_inputs(seed=2017):
+    rng = LCG(seed)
+    re = [s32(rng.next() % 2048 - 1024) for _ in range(FFT_N)]
+    im = [s32(rng.next() % 2048 - 1024) for _ in range(FFT_N)]
+    return re, im
+
+
+def fft_twiddles():
+    """Q14 twiddle factors W_N^k = exp(-2*pi*i*k/N) for k < N/2."""
+    scale = 1 << FFT_QSHIFT
+    wre, wim = [], []
+    for k in range(FFT_N // 2):
+        angle = -2.0 * math.pi * k / FFT_N
+        wre.append(int(round(math.cos(angle) * scale)))
+        wim.append(int(round(math.sin(angle) * scale)))
+    return wre, wim
+
+
+def fft_reference(seed=2017):
+    """Bit-exact fixed-point FFT matching the assembly kernel."""
+    re, im = fft_inputs(seed)
+    re = [u32(v) for v in re]
+    im = [u32(v) for v in im]
+    wre, wim = fft_twiddles()
+    bits = FFT_N.bit_length() - 1
+    # Bit reversal permutation.
+    for i in range(FFT_N):
+        j = int(format(i, f"0{bits}b")[::-1], 2)
+        if j > i:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+    half = 1
+    while half < FFT_N:
+        step = FFT_N // (2 * half)
+        for base in range(0, FFT_N, 2 * half):
+            for j in range(half):
+                tw = j * step
+                br, bi = re[base + half + j], im[base + half + j]
+                wr, wi = wre[tw], wim[tw]
+                t_re = u32(s32(u32(s32(br) * wr) - u32(s32(bi) * wi))
+                           >> FFT_QSHIFT)
+                t_im = u32(s32(u32(s32(br) * wi) + u32(s32(bi) * wr))
+                           >> FFT_QSHIFT)
+                ar, ai = re[base + j], im[base + j]
+                re[base + half + j] = u32(ar - t_re)
+                im[base + half + j] = u32(ai - t_im)
+                re[base + j] = u32(ar + t_re)
+                im[base + j] = u32(ai + t_im)
+        half *= 2
+    return re, im
+
+
+# ---------------------------------------------------------------------------
+# qsort
+# ---------------------------------------------------------------------------
+
+QSORT_N = 128
+
+
+def qsort_inputs(seed=77):
+    rng = LCG(seed)
+    return [rng.next() % 100000 for _ in range(QSORT_N)]
+
+
+def qsort_reference(seed=77):
+    return sorted(qsort_inputs(seed))
+
+
+# ---------------------------------------------------------------------------
+# AES-128 (cAES): pure-Python reference
+# ---------------------------------------------------------------------------
+
+_SBOX = None
+
+
+def aes_sbox():
+    """Compute the AES S-box from first principles (no tables trusted)."""
+    global _SBOX
+    if _SBOX is not None:
+        return _SBOX
+
+    def gmul(a, b):
+        p = 0
+        for _ in range(8):
+            if b & 1:
+                p ^= a
+            high = a & 0x80
+            a = (a << 1) & 0xFF
+            if high:
+                a ^= 0x1B
+            b >>= 1
+        return p
+
+    # Multiplicative inverses in GF(2^8) by brute force (fine offline).
+    inv = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if gmul(x, y) == 1:
+                inv[x] = y
+                break
+    sbox = []
+    for x in range(256):
+        b = inv[x]
+        s = 0
+        for i in range(8):
+            bit = (
+                (b >> i) ^ (b >> ((i + 4) % 8)) ^ (b >> ((i + 5) % 8))
+                ^ (b >> ((i + 6) % 8)) ^ (b >> ((i + 7) % 8))
+                ^ (0x63 >> i)
+            ) & 1
+            s |= bit << i
+        sbox.append(s)
+    _SBOX = sbox
+    return sbox
+
+
+def _xtime(a):
+    a <<= 1
+    if a & 0x100:
+        a = (a ^ 0x1B) & 0xFF
+    return a
+
+
+def aes_expand_key(key):
+    sbox = aes_sbox()
+    words = [list(key[4 * i:4 * i + 4]) for i in range(4)]
+    rcon = 1
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [sbox[b] for b in temp]
+            temp[0] ^= rcon
+            rcon = _xtime(rcon)
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [b for word in words for b in word]
+
+
+def aes_encrypt_block(block, round_keys):
+    sbox = aes_sbox()
+    state = [block[i] ^ round_keys[i] for i in range(16)]
+    for rnd in range(1, 11):
+        state = [sbox[b] for b in state]
+        # ShiftRows on column-major state (state[r + 4*c]).
+        shifted = list(state)
+        for r in range(1, 4):
+            for c in range(4):
+                shifted[r + 4 * c] = state[r + 4 * ((c + r) % 4)]
+        state = shifted
+        if rnd != 10:
+            mixed = []
+            for c in range(4):
+                col = state[4 * c:4 * c + 4]
+                mixed.extend([
+                    _xtime(col[0]) ^ _xtime(col[1]) ^ col[1] ^ col[2]
+                    ^ col[3],
+                    col[0] ^ _xtime(col[1]) ^ _xtime(col[2]) ^ col[2]
+                    ^ col[3],
+                    col[0] ^ col[1] ^ _xtime(col[2]) ^ _xtime(col[3])
+                    ^ col[3],
+                    _xtime(col[0]) ^ col[0] ^ col[1] ^ col[2]
+                    ^ _xtime(col[3]),
+                ])
+            state = mixed
+        rk = round_keys[16 * rnd:16 * rnd + 16]
+        state = [state[i] ^ rk[i] for i in range(16)]
+    return bytes(state)
+
+
+AES_KEY = bytes(range(16))
+AES_BLOCKS = 4
+
+
+def aes_plaintext(seed=90001):
+    rng = LCG(seed)
+    return bytes(rng.next() & 0xFF for _ in range(16 * AES_BLOCKS))
+
+
+def aes_reference(seed=90001):
+    round_keys = aes_expand_key(AES_KEY)
+    plain = aes_plaintext(seed)
+    out = b""
+    for i in range(AES_BLOCKS):
+        out += aes_encrypt_block(plain[16 * i:16 * i + 16], round_keys)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# SHA-1
+# ---------------------------------------------------------------------------
+
+SHA_MSG_LEN = 192
+
+
+def sha_message(seed=4242):
+    rng = LCG(seed)
+    return bytes(rng.next() & 0xFF for _ in range(SHA_MSG_LEN))
+
+
+def sha_reference(seed=4242):
+    return hashlib.sha1(sha_message(seed)).digest()
+
+
+def sha_padded_message(seed=4242):
+    """The message with SHA-1 padding applied (the assembly kernel hashes
+    pre-padded blocks; padding correctness is asserted in tests)."""
+    msg = sha_message(seed)
+    length = len(msg)
+    msg += b"\x80"
+    while len(msg) % 64 != 56:
+        msg += b"\x00"
+    msg += (8 * length).to_bytes(8, "big")
+    return msg
+
+
+# ---------------------------------------------------------------------------
+# stringsearch (Boyer-Moore-Horspool)
+# ---------------------------------------------------------------------------
+
+SEARCH_TEXT = (
+    b"It is a far, far better thing that I do, than I have ever done; "
+    b"it is a far, far better rest that I go to than I have ever known. "
+    b"Call me Ishmael. Some years ago - never mind how long precisely - "
+    b"having little or no money in my purse, and nothing particular to "
+    b"interest me on shore, I thought I would sail about a little and "
+    b"see the watery part of the world. In the beginning God created "
+    b"the heaven and the earth. Now the earth was unformed and void."
+)
+
+SEARCH_PATTERNS = (
+    b"far better",
+    b"Ishmael",
+    b"watery part",
+    b"unformed",
+    b"nonexistent pattern",
+    b"the",
+    b"never mind",
+    b"zzz",
+)
+
+
+def bmh_search(text, pattern):
+    """First match offset or -1, Horspool shift table semantics."""
+    m = len(pattern)
+    n = len(text)
+    if m == 0 or m > n:
+        return -1
+    shift = [m] * 256
+    for i in range(m - 1):
+        shift[pattern[i]] = m - 1 - i
+    pos = 0
+    while pos <= n - m:
+        j = m - 1
+        while j >= 0 and text[pos + j] == pattern[j]:
+            j -= 1
+        if j < 0:
+            return pos
+        pos += shift[text[pos + m - 1]]
+    return -1
+
+
+def stringsearch_reference():
+    return [bmh_search(SEARCH_TEXT, p) for p in SEARCH_PATTERNS]
+
+
+# ---------------------------------------------------------------------------
+# SUSAN (corners / edges / smoothing) on a synthetic grayscale image
+# ---------------------------------------------------------------------------
+
+SUSAN_W = 24
+SUSAN_H = 24
+SUSAN_BT = 20  # brightness threshold
+
+
+def susan_image(seed=555):
+    """A deterministic image with structure: gradient + bright square +
+    noise, so all three kernels have real features to find."""
+    rng = LCG(seed)
+    img = bytearray(SUSAN_W * SUSAN_H)
+    for y in range(SUSAN_H):
+        for x in range(SUSAN_W):
+            value = (x * 5 + y * 3) & 0xFF
+            if 8 <= x < 16 and 8 <= y < 16:
+                value = (value + 120) & 0xFF
+            value = (value + rng.next() % 8) & 0xFF
+            img[y * SUSAN_W + x] = value
+    return bytes(img)
+
+
+def susan_lut():
+    """The brightness-similarity LUT: 100 * exp(-((dI/t)^6)) quantised.
+
+    Matches MiBench susan's similarity function, tabulated over the byte
+    difference so the assembly kernel is a pure table lookup.
+    """
+    lut = []
+    for diff in range(256):
+        value = int(round(100.0 * math.exp(-((diff / SUSAN_BT) ** 6))))
+        lut.append(value)
+    return lut
+
+
+def _usan_area(img, x, y, lut):
+    """USAN area over a 3x3 neighbourhood (37-pixel mask shrunk to fit the
+    small image, preserving the algorithm's structure)."""
+    center = img[y * SUSAN_W + x]
+    total = 0
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            pixel = img[(y + dy) * SUSAN_W + (x + dx)]
+            total += lut[abs(pixel - center)]
+    return total
+
+
+def susan_edges_reference(seed=555):
+    """Edge response per inner pixel: max(0, g - usan) with g = 600."""
+    img = susan_image(seed)
+    lut = susan_lut()
+    out = []
+    for y in range(1, SUSAN_H - 1):
+        for x in range(1, SUSAN_W - 1):
+            usan = _usan_area(img, x, y, lut)
+            response = 600 - usan
+            out.append(response if response > 0 else 0)
+    return out
+
+
+def susan_corners_reference(seed=555):
+    """Corner mask per inner pixel: 1 when usan < 400 (geometric g/2)."""
+    img = susan_image(seed)
+    lut = susan_lut()
+    out = []
+    for y in range(1, SUSAN_H - 1):
+        for x in range(1, SUSAN_W - 1):
+            usan = _usan_area(img, x, y, lut)
+            out.append(1 if usan < 400 else 0)
+    return out
+
+
+def susan_smooth_reference(seed=555):
+    """Brightness-weighted 3x3 smoothing, integer division semantics."""
+    img = susan_image(seed)
+    lut = susan_lut()
+    out = []
+    for y in range(1, SUSAN_H - 1):
+        for x in range(1, SUSAN_W - 1):
+            center = img[y * SUSAN_W + x]
+            num = 0
+            den = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    if dx == 0 and dy == 0:
+                        continue
+                    pixel = img[(y + dy) * SUSAN_W + (x + dx)]
+                    weight = lut[abs(pixel - center)]
+                    num += weight * pixel
+                    den += weight
+            out.append(num // den if den else center)
+    return out

@@ -1,0 +1,138 @@
+"""MiBench FFT kernel: 64-point fixed-point radix-2 FFT (Q14 twiddles)."""
+
+from repro.workloads import datagen
+from repro.workloads.datagen import (
+    FFT_N,
+    fft_inputs,
+    fft_reference,
+    fft_twiddles,
+    fold_checksum,
+    words_directive,
+)
+from repro.workloads.registry import FOLD_ROUTINE, PRINT_CHECKSUM_AND_EXIT
+
+NAME = "fft"
+
+
+def source(seed=2017):
+    re, im = fft_inputs(seed)
+    wre, wim = fft_twiddles()
+    bits = FFT_N.bit_length() - 1
+    return f"""
+; 64-point radix-2 decimation-in-time FFT, Q14 fixed point.
+    .text
+_start:
+    bl   fft
+    ; checksum = fold(re) then fold(im)
+    movw r0, #0
+    ldr  r1, =data_re
+    movw r2, #{FFT_N}
+    bl   fold_words
+    ldr  r1, =data_im
+    movw r2, #{FFT_N}
+    bl   fold_words
+    b    print_checksum_and_exit
+{PRINT_CHECKSUM_AND_EXIT}
+{FOLD_ROUTINE}
+    .pool
+
+fft:
+    push {{r4-r12, lr}}
+    ldr  r0, =data_re
+    ldr  r1, =data_im
+    ldr  r2, =tw_re
+    ldr  r3, =tw_im
+    ; ---- bit reversal ----
+    movw r4, #0              ; i
+brev_loop:
+    movw r5, #0              ; j
+    movw r6, #0              ; bit counter
+    mov  r7, r4
+brev_bits:
+    lsl  r5, r5, #1
+    and  r8, r7, #1
+    orr  r5, r5, r8
+    lsr  r7, r7, #1
+    add  r6, r6, #1
+    cmp  r6, #{bits}
+    blt  brev_bits
+    cmp  r5, r4
+    ble  brev_next
+    ldr  r8, [r0, r4, lsl #2]
+    ldr  r9, [r0, r5, lsl #2]
+    str  r9, [r0, r4, lsl #2]
+    str  r8, [r0, r5, lsl #2]
+    ldr  r8, [r1, r4, lsl #2]
+    ldr  r9, [r1, r5, lsl #2]
+    str  r9, [r1, r4, lsl #2]
+    str  r8, [r1, r5, lsl #2]
+brev_next:
+    add  r4, r4, #1
+    cmp  r4, #{FFT_N}
+    blt  brev_loop
+    ; ---- butterflies ----
+    movw r4, #1              ; half
+    movw r5, #{FFT_N // 2}   ; step
+stage_loop:
+    movw r6, #0              ; base
+base_loop:
+    movw r7, #0              ; j
+inner_loop:
+    mul  r8, r7, r5          ; tw = j * step
+    ldr  r9, [r2, r8, lsl #2]    ; wr
+    ldr  r10, [r3, r8, lsl #2]   ; wi
+    add  r11, r6, r4
+    add  r11, r11, r7        ; idx_b = base + half + j
+    ldr  r12, [r0, r11, lsl #2]  ; br
+    ldr  r14, [r1, r11, lsl #2]  ; bi
+    mul  r8, r12, r9         ; p1 = br*wr
+    mul  r9, r14, r9         ; p4 = bi*wr
+    mul  r12, r12, r10       ; p3 = br*wi
+    mul  r10, r14, r10       ; p2 = bi*wi
+    sub  r8, r8, r10
+    asr  r8, r8, #{datagen.FFT_QSHIFT}    ; t_re
+    add  r12, r12, r9
+    asr  r12, r12, #{datagen.FFT_QSHIFT}  ; t_im
+    sub  r14, r11, r4        ; idx_a = idx_b - half
+    ldr  r9, [r0, r14, lsl #2]   ; ar
+    ldr  r10, [r1, r14, lsl #2]  ; ai
+    sub  r9, r9, r8
+    str  r9, [r0, r11, lsl #2]   ; re[idx_b] = ar - t_re
+    add  r9, r9, r8
+    add  r9, r9, r8
+    str  r9, [r0, r14, lsl #2]   ; re[idx_a] = ar + t_re
+    sub  r10, r10, r12
+    str  r10, [r1, r11, lsl #2]
+    add  r10, r10, r12
+    add  r10, r10, r12
+    str  r10, [r1, r14, lsl #2]
+    add  r7, r7, #1
+    cmp  r7, r4
+    blt  inner_loop
+    add  r6, r6, r4, lsl #1  ; base += 2*half
+    cmp  r6, #{FFT_N}
+    blt  base_loop
+    lsl  r4, r4, #1          ; half *= 2
+    lsr  r5, r5, #1          ; step /= 2
+    cmp  r4, #{FFT_N}
+    blt  stage_loop
+    pop  {{r4-r12, lr}}
+    bx   lr
+    .pool
+
+    .data
+data_re:
+{words_directive(re)}
+data_im:
+{words_directive(im)}
+tw_re:
+{words_directive(wre)}
+tw_im:
+{words_directive(wim)}
+"""
+
+
+def expected_output(seed=2017):
+    re, im = fft_reference(seed)
+    checksum = fold_checksum(list(re) + list(im))
+    return b"%08x\n" % checksum

@@ -1,0 +1,92 @@
+"""MiBench qsort kernel: iterative quicksort (Lomuto) over 128 words."""
+
+from repro.workloads.datagen import (
+    QSORT_N,
+    fold_checksum,
+    qsort_inputs,
+    qsort_reference,
+    words_directive,
+)
+from repro.workloads.registry import FOLD_ROUTINE, PRINT_CHECKSUM_AND_EXIT
+
+NAME = "qsort"
+
+
+def source(seed=77):
+    data = qsort_inputs(seed)
+    return f"""
+; Iterative quicksort with an explicit (lo, hi) work stack.
+    .text
+_start:
+    bl   qsort
+    movw r0, #0
+    ldr  r1, =array
+    movw r2, #{QSORT_N}
+    bl   fold_words
+    b    print_checksum_and_exit
+{PRINT_CHECKSUM_AND_EXIT}
+{FOLD_ROUTINE}
+    .pool
+
+qsort:
+    push {{r4-r11, lr}}
+    ldr  r0, =array
+    movw r1, #0              ; lo
+    movw r2, #{QSORT_N - 1}  ; hi
+    movw r9, #1              ; stack depth
+    push {{r1, r2}}
+qs_loop:
+    cmp  r9, #0
+    beq  qs_done
+    pop  {{r1, r2}}          ; lo, hi
+    sub  r9, r9, #1
+    cmp  r1, r2
+    bge  qs_loop
+    ; Lomuto partition, pivot = a[hi]
+    ldr  r3, [r0, r2, lsl #2]    ; pivot
+    sub  r4, r1, #1          ; i = lo - 1
+    mov  r5, r1              ; j = lo
+part_loop:
+    cmp  r5, r2
+    bge  part_done
+    ldr  r6, [r0, r5, lsl #2]
+    cmp  r6, r3
+    bhi  part_next           ; unsigned a[j] > pivot -> skip
+    add  r4, r4, #1
+    ldr  r7, [r0, r4, lsl #2]
+    str  r6, [r0, r4, lsl #2]
+    str  r7, [r0, r5, lsl #2]
+part_next:
+    add  r5, r5, #1
+    b    part_loop
+part_done:
+    add  r4, r4, #1
+    ldr  r7, [r0, r4, lsl #2]
+    ldr  r6, [r0, r2, lsl #2]
+    str  r6, [r0, r4, lsl #2]
+    str  r7, [r0, r2, lsl #2]
+    ; push (lo, p-1) and (p+1, hi); r6 holds the lo half, r7 the hi half
+    ; (STMDB stores the lower-numbered register at the lower address, so
+    ; a later pop {{r1, r2}} yields r1 = lo, r2 = hi)
+    mov  r6, r1
+    sub  r7, r4, #1
+    push {{r6, r7}}
+    add  r9, r9, #1
+    add  r6, r4, #1
+    mov  r7, r2
+    push {{r6, r7}}
+    add  r9, r9, #1
+    b    qs_loop
+qs_done:
+    pop  {{r4-r11, lr}}
+    bx   lr
+    .pool
+
+    .data
+array:
+{words_directive(data)}
+"""
+
+
+def expected_output(seed=77):
+    return b"%08x\n" % fold_checksum(qsort_reference(seed))

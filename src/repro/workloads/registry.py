@@ -1,0 +1,82 @@
+"""Workload registry and shared assembly fragments."""
+
+from repro.isa.assembler import assemble
+from repro.isa.toolchain import Toolchain
+
+#: Benchmark names in the paper's Table II order.
+WORKLOAD_NAMES = (
+    "fft",
+    "qsort",
+    "caes",
+    "sha",
+    "stringsearch",
+    "susan_corners",
+    "susan_edges",
+    "susan_smooth",
+)
+
+#: Shared epilogue: print the 32-bit checksum in r0 as hex + newline, exit.
+PRINT_CHECKSUM_AND_EXIT = """
+print_checksum_and_exit:
+    svc  #3              ; print_hex(r0)
+    movw r0, #10
+    svc  #1              ; putc('\\n')
+    movw r0, #0
+    svc  #0              ; exit(0)
+"""
+
+#: Shared fold routine: r0 = fold(r0=seed; words at [r1, r1+4*r2)).
+FOLD_ROUTINE = """
+; fold_words: r0 = running hash, r1 = base, r2 = count -> r0
+; clobbers r3, r12
+fold_words:
+    cmp  r2, #0
+    beq  fold_done
+    movw r12, #31
+fold_loop:
+    ldr  r3, [r1], #4
+    mul  r0, r0, r12
+    add  r0, r0, r3
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  fold_loop
+fold_done:
+    bx   lr
+"""
+
+
+def get(name):
+    """Return the workload module for ``name`` (imported lazily)."""
+    import importlib
+
+    table = {
+        "fft": ("repro.workloads.fft", None),
+        "qsort": ("repro.workloads.qsort_wl", None),
+        "caes": ("repro.workloads.aes", None),
+        "sha": ("repro.workloads.sha", None),
+        "stringsearch": ("repro.workloads.stringsearch", None),
+        "susan_corners": ("repro.workloads.susan", "corners"),
+        "susan_edges": ("repro.workloads.susan", "edges"),
+        "susan_smooth": ("repro.workloads.susan", "smooth"),
+    }
+    if name not in table:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(table)}")
+    module_name, attr = table[name]
+    module = importlib.import_module(module_name)
+    return getattr(module, attr) if attr else module
+
+
+def build(name, toolchain=None):
+    """Assemble workload ``name`` with the given toolchain variant."""
+    module = get(name)
+    toolchain = toolchain or Toolchain("gnu")
+    return assemble(module.source(), name=name, toolchain=toolchain)
+
+
+def build_all(toolchain=None):
+    return {name: build(name, toolchain) for name in WORKLOAD_NAMES}
+
+
+def expected_output(name):
+    """The golden output bytes computed by the Python reference."""
+    return get(name).expected_output()

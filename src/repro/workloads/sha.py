@@ -1,0 +1,161 @@
+"""MiBench sha kernel: SHA-1 over a 192-byte message (4 padded blocks)."""
+
+from repro.workloads.datagen import (
+    bytes_directive,
+    sha_padded_message,
+    sha_reference,
+)
+
+NAME = "sha"
+
+
+def source(seed=4242):
+    padded = sha_padded_message(seed)
+    nblocks = len(padded) // 64
+    return f"""
+; SHA-1 over a pre-padded {len(padded)}-byte message ({nblocks} blocks).
+    .text
+_start:
+    movw r10, #0             ; block index
+blk_loop:
+    ; ---- w[0..15]: big-endian words of the block ----
+    ldr  r0, =msg
+    add  r0, r0, r10, lsl #6
+    ldr  r1, =wbuf
+    movw r2, #16
+w_init:
+    ldrb r3, [r0], #1
+    ldrb r4, [r0], #1
+    ldrb r5, [r0], #1
+    ldrb r6, [r0], #1
+    lsl  r3, r3, #24
+    orr  r3, r3, r4, lsl #16
+    orr  r3, r3, r5, lsl #8
+    orr  r3, r3, r6
+    str  r3, [r1], #4
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  w_init
+    ; ---- w[16..79] = rol1(w[t-3]^w[t-8]^w[t-14]^w[t-16]) ----
+    movw r2, #16
+w_expand:
+    ldr  r1, =wbuf
+    add  r3, r1, r2, lsl #2
+    ldr  r4, [r3, #-12]
+    ldr  r5, [r3, #-32]
+    eor  r4, r4, r5
+    ldr  r5, [r3, #-56]
+    eor  r4, r4, r5
+    ldr  r5, [r3, #-64]
+    eor  r4, r4, r5
+    lsl  r5, r4, #1
+    lsr  r4, r4, #31
+    orr  r4, r5, r4
+    str  r4, [r3]
+    add  r2, r2, #1
+    cmp  r2, #80
+    blt  w_expand
+    ; ---- 80 rounds ----
+    ldr  r0, =hstate
+    ldr  r4, [r0]            ; a
+    ldr  r5, [r0, #4]        ; b
+    ldr  r6, [r0, #8]        ; c
+    ldr  r7, [r0, #12]       ; d
+    ldr  r8, [r0, #16]       ; e
+    movw r2, #0              ; t
+round_loop:
+    cmp  r2, #20
+    blt  group0
+    cmp  r2, #40
+    blt  group1
+    cmp  r2, #60
+    blt  group2
+    eor  r9, r5, r6          ; group 3: f = b^c^d
+    eor  r9, r9, r7
+    ldr  r3, =0xCA62C1D6
+    b    f_done
+group0:
+    and  r9, r5, r6          ; f = (b&c) | (~b & d)
+    mvn  r3, r5
+    and  r3, r3, r7
+    orr  r9, r9, r3
+    ldr  r3, =0x5A827999
+    b    f_done
+group1:
+    eor  r9, r5, r6
+    eor  r9, r9, r7
+    ldr  r3, =0x6ED9EBA1
+    b    f_done
+group2:
+    and  r9, r5, r6          ; f = (b&c)|(b&d)|(c&d)
+    and  r3, r5, r7
+    orr  r9, r9, r3
+    and  r3, r6, r7
+    orr  r9, r9, r3
+    ldr  r3, =0x8F1BBCDC
+f_done:
+    lsl  r12, r4, #5         ; temp = rol5(a)+f+e+k+w[t]
+    lsr  r14, r4, #27
+    orr  r12, r12, r14
+    add  r12, r12, r9
+    add  r12, r12, r8
+    add  r12, r12, r3
+    ldr  r14, =wbuf
+    ldr  r14, [r14, r2, lsl #2]
+    add  r12, r12, r14
+    mov  r8, r7              ; e = d
+    mov  r7, r6              ; d = c
+    lsl  r14, r5, #30        ; c = rol30(b)
+    lsr  r5, r5, #2
+    orr  r6, r14, r5
+    mov  r5, r4              ; b = a
+    mov  r4, r12             ; a = temp
+    add  r2, r2, #1
+    cmp  r2, #80
+    blt  round_loop
+    ; ---- h[i] += a..e ----
+    ldr  r0, =hstate
+    ldr  r3, [r0]
+    add  r3, r3, r4
+    str  r3, [r0]
+    ldr  r3, [r0, #4]
+    add  r3, r3, r5
+    str  r3, [r0, #4]
+    ldr  r3, [r0, #8]
+    add  r3, r3, r6
+    str  r3, [r0, #8]
+    ldr  r3, [r0, #12]
+    add  r3, r3, r7
+    str  r3, [r0, #12]
+    ldr  r3, [r0, #16]
+    add  r3, r3, r8
+    str  r3, [r0, #16]
+    add  r10, r10, #1
+    cmp  r10, #{nblocks}
+    blt  blk_loop
+    ; ---- print the digest ----
+    ldr  r4, =hstate
+    movw r5, #5
+digest_loop:
+    ldr  r0, [r4], #4
+    svc  #3
+    sub  r5, r5, #1
+    cmp  r5, #0
+    bgt  digest_loop
+    movw r0, #10
+    svc  #1
+    movw r0, #0
+    svc  #0
+    .pool
+
+    .data
+msg:
+{bytes_directive(padded)}
+    .align 4
+hstate: .word 0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0
+wbuf:   .space 320
+"""
+
+
+def expected_output(seed=4242):
+    return sha_reference(seed).hex().encode() + b"\n"

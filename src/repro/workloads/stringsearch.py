@@ -1,0 +1,111 @@
+"""MiBench stringsearch kernel: Boyer-Moore-Horspool over 8 patterns."""
+
+from repro.workloads.datagen import (
+    SEARCH_PATTERNS,
+    SEARCH_TEXT,
+    bytes_directive,
+    stringsearch_reference,
+)
+
+NAME = "stringsearch"
+
+
+def source():
+    pattern_labels = [f"pat{i}" for i in range(len(SEARCH_PATTERNS))]
+    pattern_defs = "\n".join(
+        f"{label}:\n{bytes_directive(pattern)}"
+        for label, pattern in zip(pattern_labels, SEARCH_PATTERNS)
+    )
+    table_rows = "\n".join(
+        f"    .word {label}, {len(pattern)}"
+        for label, pattern in zip(pattern_labels, SEARCH_PATTERNS)
+    )
+    return f"""
+; Boyer-Moore-Horspool search of {len(SEARCH_PATTERNS)} patterns.
+    .text
+_start:
+    movw r10, #0             ; pattern index
+pat_loop:
+    ldr  r0, =pat_table
+    add  r0, r0, r10, lsl #3
+    ldr  r4, [r0]            ; pattern base
+    ldr  r5, [r0, #4]        ; m
+    ; ---- shift table: all entries = m ----
+    ldr  r6, =shift_tab
+    movw r2, #256
+fill_loop:
+    str  r5, [r6], #4
+    sub  r2, r2, #1
+    cmp  r2, #0
+    bgt  fill_loop
+    ; ---- shift[pat[i]] = m-1-i for i < m-1 ----
+    ldr  r6, =shift_tab
+    movw r2, #0
+    sub  r3, r5, #1
+set_loop:
+    cmp  r2, r3
+    bge  set_done
+    ldrb r7, [r4, r2]
+    sub  r8, r3, r2
+    str  r8, [r6, r7, lsl #2]
+    add  r2, r2, #1
+    b    set_loop
+set_done:
+    ; ---- scan ----
+    ldr  r0, =text
+    movw r1, #{len(SEARCH_TEXT)}
+    sub  r9, r1, r5          ; n - m
+    movw r7, #0              ; pos
+scan_loop:
+    cmp  r7, r9
+    bgt  not_found
+    sub  r2, r5, #1          ; j = m-1
+cmp_loop:
+    cmp  r2, #0
+    blt  found
+    add  r3, r7, r2
+    ldrb r8, [r0, r3]
+    ldrb r12, [r4, r2]
+    cmp  r8, r12
+    bne  mismatch
+    sub  r2, r2, #1
+    b    cmp_loop
+mismatch:
+    add  r3, r7, r5
+    sub  r3, r3, #1
+    ldrb r8, [r0, r3]
+    ldr  r6, =shift_tab
+    ldr  r8, [r6, r8, lsl #2]
+    add  r7, r7, r8
+    b    scan_loop
+found:
+    mov  r0, r7
+    b    print_result
+not_found:
+    movw r0, #0
+    sub  r0, r0, #1
+print_result:
+    svc  #5                  ; print_int (signed)
+    movw r0, #10
+    svc  #1
+    add  r10, r10, #1
+    cmp  r10, #{len(SEARCH_PATTERNS)}
+    blt  pat_loop
+    movw r0, #0
+    svc  #0
+    .pool
+
+    .data
+text:
+{bytes_directive(SEARCH_TEXT)}
+    .align 4
+{pattern_defs}
+    .align 4
+pat_table:
+{table_rows}
+shift_tab: .space 1024
+"""
+
+
+def expected_output():
+    return b"".join(b"%d\n" % idx for idx in stringsearch_reference())

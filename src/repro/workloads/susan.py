@@ -1,0 +1,170 @@
+"""MiBench susan kernels: corner detection, edge detection, smoothing.
+
+All three variants share the USAN (Univalue Segment Assimilating Nucleus)
+core: for every inner pixel, brightness similarity of the neighbourhood is
+accumulated through an exponential LUT.  The variants differ only in what
+they compute from the accumulated value, exactly as in MiBench's susan.c
+(which is one binary with -c / -e / -s flags).
+"""
+
+from repro.workloads.datagen import (
+    SUSAN_H,
+    SUSAN_W,
+    bytes_directive,
+    fold_checksum,
+    susan_corners_reference,
+    susan_edges_reference,
+    susan_image,
+    susan_lut,
+    susan_smooth_reference,
+)
+
+_NEIGHBOUR_OFFSETS = (
+    -SUSAN_W - 1, -SUSAN_W, -SUSAN_W + 1, -1, 1,
+    SUSAN_W - 1, SUSAN_W, SUSAN_W + 1,
+)
+
+_MODE_BODY = {
+    # usan in r9 -> per-pixel value in r0
+    "corners": """
+    movw r0, #0
+    cmp  r9, #400
+    movlt r0, #1
+""",
+    "edges": """
+    movw r0, #600
+    sub  r0, r0, r9
+    cmp  r0, #0
+    movlt r0, #0
+""",
+    "smooth": """
+    mov  r0, r12             ; num
+    mov  r1, r9              ; den (never 0: lut[0] = 100)
+    bl   udiv
+""",
+}
+
+_SMOOTH_ACC = """
+    mul  r14, r2, r3         ; num += weight * pixel
+    add  r12, r12, r14
+"""
+
+_UDIV = """
+; udiv: r0 = r0 / r1 (unsigned); clobbers r1, r2, r3
+udiv:
+    movw r2, #0              ; quotient
+    movw r3, #1              ; current bit
+u_align:
+    cmp  r1, r0
+    bhs  u_loop
+    lsl  r1, r1, #1
+    lsl  r3, r3, #1
+    b    u_align
+u_loop:
+    cmp  r3, #0
+    beq  u_done
+    cmp  r0, r1
+    blo  u_skip
+    sub  r0, r0, r1
+    orr  r2, r2, r3
+u_skip:
+    lsr  r1, r1, #1
+    lsr  r3, r3, #1
+    b    u_loop
+u_done:
+    mov  r0, r2
+    bx   lr
+"""
+
+
+def _source(mode, seed=555):
+    img = susan_image(seed)
+    lut = bytes(susan_lut())
+    offsets = ", ".join(str(o) for o in _NEIGHBOUR_OFFSETS)
+    smooth_init = "    movw r12, #0\n" if mode == "smooth" else ""
+    smooth_acc = _SMOOTH_ACC if mode == "smooth" else ""
+    udiv = _UDIV if mode == "smooth" else ""
+    return f"""
+; SUSAN {mode} over a {SUSAN_W}x{SUSAN_H} grayscale image.
+    .text
+_start:
+    ldr  r10, =img
+    ldr  r11, =lut
+    movw r4, #1              ; y
+y_loop:
+    movw r5, #1              ; x
+x_loop:
+    movw r3, #{SUSAN_W}
+    mul  r6, r4, r3
+    add  r6, r6, r5          ; idx = y*W + x
+    ldrb r7, [r10, r6]       ; center
+    movw r8, #0              ; neighbour counter
+    movw r9, #0              ; usan / den
+{smooth_init}n_loop:
+    ldr  r2, =noff
+    ldr  r2, [r2, r8, lsl #2]
+    add  r2, r2, r6
+    ldrb r3, [r10, r2]       ; pixel
+    sub  r2, r3, r7          ; diff
+    cmp  r2, #0
+    rsblt r2, r2, #0         ; abs(diff)
+    ldrb r2, [r11, r2]       ; weight = lut[abs(diff)]
+    add  r9, r9, r2
+{smooth_acc}    add  r8, r8, #1
+    cmp  r8, #8
+    blt  n_loop
+{_MODE_BODY[mode]}
+    ; fold: h = h*31 + value
+    ldr  r2, =hvar
+    ldr  r1, [r2]
+    movw r3, #31
+    mul  r1, r1, r3
+    add  r1, r1, r0
+    str  r1, [r2]
+    add  r5, r5, #1
+    cmp  r5, #{SUSAN_W - 1}
+    blt  x_loop
+    add  r4, r4, #1
+    cmp  r4, #{SUSAN_H - 1}
+    blt  y_loop
+    ldr  r0, =hvar
+    ldr  r0, [r0]
+    svc  #3
+    movw r0, #10
+    svc  #1
+    movw r0, #0
+    svc  #0
+    .pool
+{udiv}
+    .pool
+
+    .data
+img:
+{bytes_directive(img)}
+lut:
+{bytes_directive(lut)}
+    .align 4
+noff:
+    .word {offsets}
+hvar:   .word 0
+"""
+
+
+class _Variant:
+    """One susan mode exposed with the standard workload interface."""
+
+    def __init__(self, mode, reference):
+        self.mode = mode
+        self.NAME = f"susan_{mode}"
+        self._reference = reference
+
+    def source(self, seed=555):
+        return _source(self.mode, seed)
+
+    def expected_output(self, seed=555):
+        return b"%08x\n" % fold_checksum(self._reference(seed))
+
+
+corners = _Variant("corners", susan_corners_reference)
+edges = _Variant("edges", susan_edges_reference)
+smooth = _Variant("smooth", susan_smooth_reference)

@@ -1,0 +1,88 @@
+"""Analysis layer: deltas, aggregation, rendering."""
+
+from repro.analysis.compare import CrossLevelComparison, LevelDelta
+from repro.analysis.report import bar_chart, campaign_table, render_table
+
+
+def test_level_delta_units():
+    delta = LevelDelta("fft", 0.10, 0.17)
+    assert abs(delta.percentile_units - 7.0) < 1e-9
+    assert abs(delta.relative - 7 / 17) < 1e-9
+
+
+def test_level_delta_zero_case():
+    delta = LevelDelta("x", 0.0, 0.0)
+    assert delta.relative == 0.0
+    assert delta.percentile_units == 0.0
+
+
+def test_comparison_aggregates():
+    comparison = CrossLevelComparison("regfile")
+    comparison.add("a", 0.10, 0.12)
+    comparison.add("b", 0.20, 0.15)
+    assert abs(comparison.mean_percentile_units - 3.5) < 1e-9
+    assert comparison.worst.workload == "b"
+    assert comparison.agreement_within(2.5) == 1
+    assert comparison.agreement_within(10.0) == 2
+
+
+def test_comparison_rows_include_average():
+    comparison = CrossLevelComparison("l1d")
+    comparison.add("a", 0.3, 0.2)
+    rows = comparison.rows()
+    assert rows[-1][0] == "average"
+    assert len(rows) == 2
+
+
+def test_comparison_paper_style_numbers():
+    """A synthetic series matching the paper's headline: ~0.7pp / ~10%."""
+    comparison = CrossLevelComparison("regfile")
+    for i, (u, r) in enumerate(
+            [(0.060, 0.067), (0.080, 0.073), (0.050, 0.057),
+             (0.090, 0.083), (0.070, 0.077)]):
+        comparison.add(f"w{i}", u, r)
+    assert 0.6 <= comparison.mean_percentile_units <= 0.8
+    assert 0.08 <= comparison.mean_relative <= 0.12
+
+
+def test_render_table_alignment():
+    text = render_table(("a", "bbb"), [("1", "2"), ("333", "4")],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert all(line.startswith(("|", "+")) for line in lines[1:])
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # rectangular
+
+
+def test_bar_chart_scales_and_labels():
+    chart = bar_chart(
+        {"GeFIN": [0.1, 0.4], "RTL": [0.2, 0.0]},
+        ["fft", "sha"], max_width=10, title="Fig",
+    )
+    assert "Fig" in chart and "fft:" in chart and "sha:" in chart
+    lines = chart.splitlines()
+    bar_lengths = {
+        line.split()[0]: line.count("#") for line in lines if "#" in line
+    }
+    assert bar_lengths.get("RTL", 0) >= 0
+    assert "40.0%" in chart
+
+
+def test_bar_chart_handles_none_series():
+    chart = bar_chart({"RTL": [None, 0.5]}, ["a", "b"])
+    assert "not measured" in chart
+
+
+def test_campaign_table_renders():
+    class _Stub:
+        def summary(self):
+            return {
+                "workload": "fft", "level": "rtl", "structure": "regfile",
+                "n": 10, "unsafeness": 0.2, "ci95": (0.05, 0.5),
+                "masked": 8, "sdc": 1, "due": 1, "hang": 0, "mismatch": 0,
+                "s_per_run": 0.5,
+            }
+
+    text = campaign_table([_Stub()], title="Campaigns")
+    assert "fft" in text and "20.0%" in text

@@ -1,0 +1,305 @@
+"""Two-pass assembler: syntax, directives, toolchains, errors."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Cond, Op, ShiftKind
+from repro.isa.toolchain import Toolchain
+
+
+def asm(body, toolchain=None):
+    return assemble(".text\n" + body, toolchain=toolchain)
+
+
+def one(body):
+    prog = asm(body)
+    assert len(prog.insts) == 1
+    return prog.insts[0]
+
+
+def test_basic_dp_register():
+    inst = one("add r1, r2, r3")
+    assert (inst.op, inst.rd, inst.rn, inst.rm) == (Op.ADD, 1, 2, 3)
+
+
+def test_dp_immediate_selects_imm_form():
+    inst = one("add r1, r2, #42")
+    assert inst.op == Op.ADDI and inst.imm == 42
+
+
+def test_negative_imm_flips_add_to_sub():
+    inst = one("add r1, r2, #-4")
+    assert inst.op == Op.SUBI and inst.imm == 4
+
+
+def test_mov_negative_becomes_mvn():
+    inst = one("mov r0, #-1")
+    assert inst.op == Op.MVNI and inst.imm == 0
+
+
+def test_cmp_negative_becomes_cmn():
+    inst = one("cmp r0, #-3")
+    assert inst.op == Op.CMNI and inst.imm == 3
+
+
+def test_unencodable_imm_raises():
+    with pytest.raises(AssemblerError):
+        one("add r0, r1, #0x12345")
+
+
+def test_s_suffix_and_cond_suffix():
+    inst = one("addseq r0, r0, r1")
+    assert inst.s and inst.cond == Cond.EQ
+
+
+def test_cond_only_suffix():
+    inst = one("moveq r0, r1")
+    assert inst.cond == Cond.EQ and not inst.s
+
+
+def test_branch_cond_vs_bl_disambiguation():
+    prog = asm("x: bls x\n bl x\n bleq x\n b x\n")
+    ops = [(i.op, i.cond) for i in prog.insts]
+    assert ops[0] == (Op.B, Cond.LS)
+    assert ops[1] == (Op.BL, Cond.AL)
+    assert ops[2] == (Op.BL, Cond.EQ)
+    assert ops[3] == (Op.B, Cond.AL)
+
+
+def test_operand2_shift_immediate():
+    inst = one("mov r0, r1, lsl #3")
+    assert inst.shift_kind == ShiftKind.LSL and inst.shift_amount == 3
+
+
+def test_operand2_shift_by_register():
+    inst = one("orr r0, r1, r2, asr r3")
+    assert inst.shift_kind == ShiftKind.ASR and inst.shift_reg == 3
+
+
+def test_shift_pseudo_ops():
+    inst = one("lsr r0, r1, #5")
+    assert inst.op == Op.MOV and inst.shift_kind == ShiftKind.LSR
+    assert inst.shift_amount == 5
+
+
+def test_neg_pseudo():
+    inst = one("neg r2, r3")
+    assert inst.op == Op.RSBI and inst.rn == 3 and inst.imm == 0
+
+
+def test_memory_addressing_forms():
+    prog = asm("""
+    ldr r0, [r1]
+    ldr r0, [r1, #8]
+    ldr r0, [r1, #-8]
+    ldr r0, [r1, #4]!
+    ldr r0, [r1], #4
+    ldr r0, [r1, r2]
+    ldr r0, [r1, r2, lsl #2]
+    """)
+    insts = prog.insts
+    assert insts[0].imm == 0 and insts[0].pre and not insts[0].writeback
+    assert insts[1].imm == 8
+    assert insts[2].imm == -8
+    assert insts[3].writeback and insts[3].pre
+    assert insts[4].writeback and not insts[4].pre and insts[4].imm == 4
+    assert insts[5].op == Op.LDRR
+    assert insts[6].shift_amount == 2
+
+
+def test_byte_and_half_ops():
+    prog = asm("ldrb r0, [r1]\n strh r2, [r3, #2]\n")
+    assert prog.insts[0].op == Op.LDRB
+    assert prog.insts[1].op == Op.STRH
+
+
+def test_push_pop_reglists():
+    prog = asm("push {r0-r2, lr}\n pop {r0-r2, lr}\n")
+    push, pop = prog.insts
+    assert push.op == Op.STM and push.rn == 13 and push.writeback
+    assert push.reglist == 0b0100000000000111
+    assert pop.op == Op.LDM and pop.reglist == push.reglist
+
+
+def test_empty_reglist_rejected():
+    with pytest.raises(AssemblerError):
+        asm("push {}")
+
+
+def test_ldm_stm_explicit():
+    prog = asm("ldmia r0!, {r1, r2}\n stmdb r3, {r4}\n")
+    assert prog.insts[0].writeback
+    assert not prog.insts[1].writeback
+
+
+def test_labels_and_branch_offsets():
+    prog = asm("""
+start:
+    nop
+loop:
+    b loop
+    b start
+""")
+    assert prog.insts[1].imm == 0          # b loop -> itself
+    assert prog.insts[2].imm == -8         # back to start
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        asm("a: nop\na: nop\n")
+
+
+def test_equ_and_expressions():
+    prog = assemble("""
+    .equ SIZE, 8
+    .equ DOUBLE, SIZE * 2
+    .text
+    movw r0, #SIZE + 1
+    movw r1, #(DOUBLE << 2) | 3
+""")
+    assert prog.insts[0].imm == 9
+    assert prog.insts[1].imm == (16 << 2) | 3
+
+
+def test_char_literals():
+    inst = one("movw r0, #'A'")
+    assert inst.imm == 65
+
+
+def test_data_directives():
+    prog = assemble("""
+    .text
+    nop
+    .data
+value: .word 0x11223344, 5
+half:  .half 0x1234
+byte:  .byte 1, 2, 3
+text:  .asciz "hi"
+pad:   .space 4, 0xFF
+""")
+    data = prog.data
+    assert data[0:4] == bytes.fromhex("44332211")
+    assert data[4:8] == (5).to_bytes(4, "little")
+    assert data[8:10] == bytes.fromhex("3412")
+    assert data[10:13] == bytes([1, 2, 3])
+    assert data[13:16] == b"hi\x00"
+    assert data[16:20] == b"\xff" * 4
+
+
+def test_align_directive_in_data():
+    prog = assemble("""
+    .data
+    .byte 1
+    .align 4
+word: .word 7
+""")
+    assert prog.symbols["word"] % 4 == 0
+
+
+def test_ldr_eq_gnu_expands_to_movw_movt():
+    prog = assemble(".text\n ldr r0, =0x12345678\n",
+                    toolchain=Toolchain("gnu"))
+    assert [i.op for i in prog.insts] == [Op.MOVW, Op.MOVT]
+    assert prog.insts[0].imm == 0x5678
+    assert prog.insts[1].imm == 0x1234
+
+
+def test_ldr_eq_armcc_uses_literal_pool():
+    prog = assemble(
+        ".text\n ldr r0, =0xCAFEBABE\n hlt\n .pool\n",
+        toolchain=Toolchain("armcc"),
+    )
+    ldr = prog.insts[0]
+    assert ldr.op == Op.LDR and ldr.rn == 15
+    # The pool word itself is in the binary image.
+    assert (0xCAFEBABE).to_bytes(4, "little") in prog.text_bytes()
+
+
+def test_armcc_aligns_labels():
+    prog = assemble(
+        ".text\n nop\n target: nop\n", toolchain=Toolchain("armcc")
+    )
+    assert prog.symbols["target"] % 8 == 0
+
+
+def test_toolchains_differ_but_symbols_resolve():
+    src = """
+    .text
+_start:
+    ldr r0, =data
+    hlt
+    .pool
+    .data
+data: .word 1
+"""
+    gnu = assemble(src, toolchain=Toolchain("gnu"))
+    armcc = assemble(src, toolchain=Toolchain("armcc"))
+    assert gnu.text_bytes() != armcc.text_bytes()
+    assert gnu.symbols["data"] == armcc.symbols["data"]
+
+
+def test_pc_relative_load():
+    prog = asm("ldr r0, lit\n hlt\n lit: .word 9\n")
+    ldr = prog.insts[0]
+    assert ldr.rn == 15
+    # target = addr + 8 + imm
+    assert ldr.imm + ldr.addr + 8 == prog.symbols["lit"]
+
+
+def test_adr_pseudo():
+    prog = asm("adr r0, target\n nop\n target: nop\n")
+    inst = prog.insts[0]
+    assert inst.op == Op.ADDI and inst.rn == 15
+    assert inst.imm == prog.symbols["target"] - (inst.addr + 8)
+
+
+def test_svc_and_hlt():
+    prog = asm("svc #3\n hlt\n")
+    assert prog.insts[0].op == Op.SVC and prog.insts[0].imm == 3
+    assert prog.insts[1].op == Op.HLT
+
+
+def test_comments_stripped():
+    prog = asm("nop ; comment\n nop @ other\n nop // third\n")
+    assert len(prog.insts) == 3
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError):
+        asm("frobnicate r0")
+
+
+def test_unknown_directive():
+    with pytest.raises(AssemblerError):
+        assemble(".bogus 4")
+
+
+def test_instruction_in_data_section_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".data\n add r0, r1, r2\n")
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblerError) as info:
+        asm("nop\nbadinst r0\n")
+    assert "line 3" in str(info.value)
+
+
+def test_word_in_text_becomes_raw_slot():
+    prog = asm("nop\n .word 0xDEADBEEF\n")
+    assert prog.words[1] == 0xDEADBEEF
+    assert prog.insts[1].op == Op.HLT  # executing the pool word traps
+
+
+def test_mul_and_mla():
+    prog = asm("mul r0, r1, r2\n mla r3, r4, r5, r6\n")
+    assert prog.insts[0].op == Op.MUL
+    mla = prog.insts[1]
+    assert (mla.rd, mla.rn, mla.rm, mla.ra) == (3, 4, 5, 6)
+
+
+def test_program_inst_at():
+    prog = asm("nop\n nop\n")
+    assert prog.inst_at(prog.layout.text_base) is prog.insts[0]
+    assert prog.inst_at(prog.layout.text_base + 2) is None  # unaligned
+    assert prog.inst_at(prog.layout.text_base + 800) is None

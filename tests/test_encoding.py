@@ -1,0 +1,155 @@
+"""Binary encoding: exhaustive round-trip property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instructions import (
+    Cond,
+    DP_IMM_OPS,
+    DP_REG_OPS,
+    Inst,
+    Op,
+    ShiftKind,
+)
+
+REG = st.integers(min_value=0, max_value=15)
+CONDS = st.sampled_from(list(Cond))
+
+
+def _roundtrip(inst):
+    word = encode(inst)
+    assert 0 <= word <= 0xFFFFFFFF
+    back = decode(word, addr=inst.addr)
+    assert encode(back) == word
+    return back
+
+
+@given(
+    op=st.sampled_from(sorted(DP_REG_OPS)),
+    cond=CONDS, s=st.booleans(), rd=REG, rn=REG, rm=REG,
+    kind=st.sampled_from(list(ShiftKind)),
+    amount=st.integers(min_value=0, max_value=32),
+)
+def test_dp_reg_roundtrip(op, cond, s, rd, rn, rm, kind, amount):
+    inst = Inst(op, cond=cond, s=s, rd=rd, rn=rn, rm=rm, shift_kind=kind,
+                shift_amount=amount)
+    back = _roundtrip(inst)
+    assert (back.op, back.cond, back.s) == (op, cond, s)
+    assert (back.rd, back.rn, back.rm) == (rd, rn, rm)
+    assert (back.shift_kind, back.shift_amount) == (kind, amount)
+    assert back.shift_reg is None
+
+
+@given(op=st.sampled_from(sorted(DP_REG_OPS)), rd=REG, rm=REG,
+       shift_reg=REG, kind=st.sampled_from(list(ShiftKind)))
+def test_dp_reg_shift_by_register_roundtrip(op, rd, rm, shift_reg, kind):
+    inst = Inst(op, rd=rd, rm=rm, shift_kind=kind, shift_reg=shift_reg)
+    back = _roundtrip(inst)
+    assert back.shift_reg == shift_reg
+
+
+@given(op=st.sampled_from(sorted(DP_IMM_OPS)), cond=CONDS, s=st.booleans(),
+       rd=REG, rn=REG, imm=st.integers(min_value=0, max_value=0x1FFF))
+def test_dp_imm_roundtrip(op, cond, s, rd, rn, imm):
+    back = _roundtrip(Inst(op, cond=cond, s=s, rd=rd, rn=rn, imm=imm))
+    assert back.imm == imm
+
+
+@given(op=st.sampled_from([Op.MOVW, Op.MOVT]), rd=REG,
+       imm=st.integers(min_value=0, max_value=0xFFFF))
+def test_wide_move_roundtrip(op, rd, imm):
+    back = _roundtrip(Inst(op, rd=rd, imm=imm))
+    assert (back.rd, back.imm) == (rd, imm)
+
+
+@given(rd=REG, rn=REG, rm=REG, ra=REG, s=st.booleans())
+def test_mul_mla_roundtrip(rd, rn, rm, ra, s):
+    for op in (Op.MUL, Op.MLA):
+        back = _roundtrip(Inst(op, s=s, rd=rd, rn=rn, rm=rm, ra=ra))
+        assert (back.rd, back.rn, back.rm, back.ra) == (rd, rn, rm, ra)
+
+
+@given(
+    op=st.sampled_from([Op.LDR, Op.STR, Op.LDRB, Op.STRB, Op.LDRH,
+                        Op.STRH]),
+    rd=REG, rn=REG, imm=st.integers(min_value=-2048, max_value=2047),
+    pre=st.booleans(), writeback=st.booleans(),
+)
+def test_mem_imm_roundtrip(op, rd, rn, imm, pre, writeback):
+    back = _roundtrip(Inst(op, rd=rd, rn=rn, imm=imm, pre=pre,
+                           writeback=writeback))
+    assert (back.rd, back.rn, back.imm) == (rd, rn, imm)
+    assert (back.pre, back.writeback) == (pre, writeback)
+
+
+@given(
+    op=st.sampled_from([Op.LDRR, Op.STRR, Op.LDRBR, Op.STRBR, Op.LDRHR,
+                        Op.STRHR]),
+    rd=REG, rn=REG, rm=REG,
+    kind=st.sampled_from(list(ShiftKind)),
+    amount=st.integers(min_value=0, max_value=31),
+)
+def test_mem_reg_roundtrip(op, rd, rn, rm, kind, amount):
+    back = _roundtrip(Inst(op, rd=rd, rn=rn, rm=rm, shift_kind=kind,
+                           shift_amount=amount))
+    assert (back.rm, back.shift_kind, back.shift_amount) == (rm, kind,
+                                                             amount)
+
+
+@given(op=st.sampled_from([Op.LDM, Op.STM]), rn=REG,
+       reglist=st.integers(min_value=1, max_value=0xFFFF),
+       writeback=st.booleans())
+def test_multi_roundtrip(op, rn, reglist, writeback):
+    back = _roundtrip(Inst(op, rn=rn, reglist=reglist,
+                           writeback=writeback))
+    assert (back.rn, back.reglist, back.writeback) == (rn, reglist,
+                                                       writeback)
+
+
+@given(op=st.sampled_from([Op.B, Op.BL]), cond=CONDS,
+       offset_words=st.integers(min_value=-(1 << 21),
+                                max_value=(1 << 21) - 1))
+def test_branch_roundtrip(op, cond, offset_words):
+    back = _roundtrip(Inst(op, cond=cond, imm=offset_words << 2))
+    assert back.imm == offset_words << 2
+
+
+@given(rm=REG)
+def test_bx_roundtrip(rm):
+    assert _roundtrip(Inst(Op.BX, rm=rm)).rm == rm
+
+
+@given(imm=st.integers(min_value=0, max_value=0x3FFFFF))
+def test_svc_roundtrip(imm):
+    assert _roundtrip(Inst(Op.SVC, imm=imm)).imm == imm
+
+
+def test_nop_hlt_roundtrip():
+    for op in (Op.NOP, Op.HLT):
+        assert _roundtrip(Inst(op)).op == op
+
+
+def test_branch_offset_alignment_checked():
+    with pytest.raises(EncodingError):
+        encode(Inst(Op.B, imm=2))
+
+
+def test_dp_imm_out_of_range():
+    with pytest.raises(EncodingError):
+        encode(Inst(Op.ADDI, rd=0, rn=0, imm=0x2000))
+
+
+def test_mem_offset_out_of_range():
+    with pytest.raises(EncodingError):
+        encode(Inst(Op.LDR, rd=0, rn=0, imm=4096))
+
+
+def test_undefined_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode(0xE000_0000 | (63 << 22))
+
+
+def test_decode_keeps_address():
+    word = encode(Inst(Op.NOP))
+    assert decode(word, addr=0x40).addr == 0x40

@@ -1,0 +1,121 @@
+"""Fault specs, distributions and the inject-near-consumption move."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.injection.distributions import (
+    TruncatedNormalDistribution,
+    UniformDistribution,
+    make_distribution,
+    make_rng,
+)
+from repro.injection.faults import (
+    FaultSpec,
+    accelerate_fault,
+    decode_cache_data_bit,
+    sample_faults,
+)
+from repro.memory.cache import CacheConfig
+
+
+@given(st.integers(min_value=0, max_value=2**20), st.integers(0, 100))
+def test_distribution_bounds_uniform(seed, span):
+    rng = make_rng(seed)
+    dist = UniformDistribution(10, 10 + span)
+    for _ in range(20):
+        assert 10 <= dist.draw(rng) <= 10 + span
+
+
+@given(st.integers(min_value=0, max_value=2**20))
+def test_distribution_bounds_normal(seed):
+    rng = make_rng(seed)
+    dist = TruncatedNormalDistribution(100, 5000)
+    for _ in range(50):
+        assert 100 <= dist.draw(rng) <= 5000
+
+
+def test_normal_centres_mid_run():
+    rng = make_rng(7)
+    dist = TruncatedNormalDistribution(0, 10_000)
+    draws = [dist.draw(rng) for _ in range(3000)]
+    mean = sum(draws) / len(draws)
+    assert 4000 < mean < 6000
+
+
+def test_uniform_spreads():
+    rng = make_rng(7)
+    dist = UniformDistribution(0, 9)
+    seen = {dist.draw(rng) for _ in range(500)}
+    assert len(seen) == 10
+
+
+def test_make_distribution_names():
+    assert make_distribution("uniform", 0, 1).name == "uniform"
+    assert make_distribution("normal", 0, 1).name == "normal"
+    with pytest.raises(ValueError):
+        make_distribution("weird", 0, 1)
+
+
+def test_empty_window_rejected():
+    with pytest.raises(ValueError):
+        UniformDistribution(10, 5)
+
+
+def test_sample_faults_deterministic_per_seed():
+    dist = UniformDistribution(1, 1000)
+    a = sample_faults(make_rng(3), "regfile", 512, dist, 20)
+    b = sample_faults(make_rng(3), "regfile", 512, dist, 20)
+    assert [(f.bit, f.cycle) for f in a] == [(f.bit, f.cycle) for f in b]
+    c = sample_faults(make_rng(4), "regfile", 512, dist, 20)
+    assert [(f.bit, f.cycle) for f in a] != [(f.bit, f.cycle) for f in c]
+
+
+def test_fault_spec_repr_and_acceleration_flag():
+    fault = FaultSpec("l1d.data", 5, 100)
+    assert not fault.accelerated
+    moved = FaultSpec("l1d.data", 5, 200, original_cycle=100)
+    assert moved.accelerated
+    assert "l1d.data" in repr(moved)
+
+
+@given(st.integers(min_value=0, max_value=1024 * 8 - 1))
+def test_decode_cache_data_bit_inverse(bit_index):
+    cfg = CacheConfig(1024, 4, 32)
+    set_i, way, offset, bit = decode_cache_data_bit(bit_index, cfg)
+    flat = (((set_i * cfg.ways) + way) * cfg.line_size + offset) * 8 + bit
+    assert flat == bit_index
+    assert 0 <= set_i < cfg.sets
+    assert 0 <= way < cfg.ways
+
+
+def test_accelerate_moves_to_next_access():
+    cfg = CacheConfig(1024, 4, 32)
+    # bit in set 0, way 0, byte 0
+    fault = FaultSpec("l1d.data", 0, 100)
+    log = [(50, 0, 0, False, 0), (500, 0, 0, True, 0),
+           (900, 0, 0, False, 0)]
+    moved = accelerate_fault(fault, cfg, log, lead_cycles=32)
+    assert moved.cycle == 500 - 32
+    assert moved.original_cycle == 100
+
+
+def test_accelerate_ignores_other_lines():
+    cfg = CacheConfig(1024, 4, 32)
+    fault = FaultSpec("l1d.data", 0, 100)
+    log = [(500, 3, 1, False, 0)]
+    moved = accelerate_fault(fault, cfg, log, lead_cycles=32)
+    assert moved.cycle == 100 and not moved.accelerated
+
+
+def test_accelerate_never_moves_backwards():
+    cfg = CacheConfig(1024, 4, 32)
+    fault = FaultSpec("l1d.data", 0, 490)
+    log = [(500, 0, 0, False, 0)]
+    moved = accelerate_fault(fault, cfg, log, lead_cycles=32)
+    assert moved.cycle == 490  # max(fault, access - lead)
+
+
+def test_accelerate_only_applies_to_data_array():
+    cfg = CacheConfig(1024, 4, 32)
+    fault = FaultSpec("regfile", 0, 100)
+    assert accelerate_fault(fault, cfg, [(500, 0, 0, False, 0)]) is fault

@@ -1,0 +1,266 @@
+"""Reference interpreter: architectural semantics."""
+
+import pytest
+
+from repro.errors import SimFault, SimTimeout
+from repro.isa import Interpreter, assemble
+
+
+def run(body, max_insts=100_000):
+    src = ".text\n_start:\n" + body
+    interp = Interpreter(assemble(src))
+    result = interp.run(max_insts=max_insts)
+    return interp, result
+
+
+EXIT = "    movw r0, #0\n    svc #0\n"
+
+
+def test_mov_add_chain():
+    interp, _ = run("""
+    movw r1, #7
+    movw r2, #5
+    add  r3, r1, r2
+""" + EXIT)
+    assert interp.regs.read(3) == 12
+
+
+def test_movw_movt_compose():
+    interp, _ = run("""
+    movw r1, #0x5678
+    movt r1, #0x1234
+""" + EXIT)
+    assert interp.regs.read(1) == 0x12345678
+
+
+def test_flags_and_conditional_branch():
+    interp, _ = run("""
+    movw r0, #3
+    movw r1, #0
+loop:
+    add  r1, r1, #2
+    sub  r0, r0, #1
+    cmp  r0, #0
+    bne  loop
+    mov  r4, r1
+""" + EXIT)
+    assert interp.regs.read(4) == 6
+
+
+def test_conditional_execution_skips():
+    interp, _ = run("""
+    movw r0, #1
+    cmp  r0, #2
+    moveq r1, #111
+    movne r2, #222
+""" + EXIT)
+    assert interp.regs.read(1) == 0
+    assert interp.regs.read(2) == 222
+
+
+def test_carry_chain_adc():
+    interp, _ = run("""
+    mvn  r0, #0          ; 0xFFFFFFFF
+    adds r1, r0, r0      ; carry out
+    movw r2, #0
+    adc  r2, r2, #0      ; r2 = carry
+""" + EXIT)
+    assert interp.regs.read(2) == 1
+
+
+def test_memory_word_roundtrip():
+    interp, _ = run("""
+    ldr  r1, =buffer
+    movw r2, #0xBEEF
+    movt r2, #0xDEAD
+    str  r2, [r1]
+    ldr  r3, [r1]
+""" + EXIT + "\n.data\nbuffer: .space 8\n")
+    assert interp.regs.read(3) == 0xDEADBEEF
+
+
+def test_byte_and_half_access():
+    interp, _ = run("""
+    ldr  r1, =buffer
+    movw r2, #0x1234
+    strh r2, [r1]
+    ldrb r3, [r1]
+    ldrb r4, [r1, #1]
+    ldrh r5, [r1]
+""" + EXIT + "\n.data\nbuffer: .space 4\n")
+    assert interp.regs.read(3) == 0x34
+    assert interp.regs.read(4) == 0x12
+    assert interp.regs.read(5) == 0x1234
+
+
+def test_pre_post_index_writeback():
+    interp, _ = run("""
+    ldr  r1, =buffer
+    movw r2, #1
+    str  r2, [r1], #4
+    movw r2, #2
+    str  r2, [r1], #4
+    ldr  r3, =buffer
+    ldr  r4, [r3]
+    ldr  r5, [r3, #4]
+""" + EXIT + "\n.data\nbuffer: .space 8\n")
+    assert interp.regs.read(4) == 1
+    assert interp.regs.read(5) == 2
+
+
+def test_push_pop_preserve():
+    interp, _ = run("""
+    movw r4, #10
+    movw r5, #20
+    push {r4, r5}
+    movw r4, #0
+    movw r5, #0
+    pop  {r4, r5}
+""" + EXIT)
+    assert interp.regs.read(4) == 10
+    assert interp.regs.read(5) == 20
+
+
+def test_bl_bx_call_return():
+    interp, _ = run("""
+    bl   func
+    mov  r5, r0
+""" + EXIT + """
+func:
+    movw r0, #99
+    bx   lr
+""")
+    assert interp.regs.read(5) == 99
+
+
+def test_pc_read_is_plus_8():
+    interp, _ = run("""
+    mov  r1, pc
+""" + EXIT)
+    # mov is the first instruction at the text base.
+    assert interp.regs.read(1) == interp.program.layout.text_base + 8
+
+
+def test_shift_by_register():
+    interp, _ = run("""
+    movw r1, #1
+    movw r2, #6
+    lsl  r3, r1, r2
+""" + EXIT)
+    assert interp.regs.read(3) == 64
+
+
+def test_mul_and_mla():
+    interp, _ = run("""
+    movw r1, #7
+    movw r2, #6
+    mul  r3, r1, r2
+    movw r4, #100
+    mla  r5, r1, r2, r4
+""" + EXIT)
+    assert interp.regs.read(3) == 42
+    assert interp.regs.read(5) == 142
+
+
+def test_output_syscalls():
+    _, result = run("""
+    movw r0, #65
+    svc  #1          ; putc 'A'
+    movw r0, #1234
+    svc  #2          ; print_uint
+    movw r0, #0xBEEF
+    svc  #3          ; print_hex
+""" + EXIT)
+    assert result.output.startswith(b"A1234")
+    assert b"0000beef" in result.output
+
+
+def test_print_int_negative():
+    _, result = run("""
+    movw r0, #0
+    sub  r0, r0, #5
+    svc  #5
+""" + EXIT)
+    assert result.output == b"-5"
+
+
+def test_sys_write_buffer():
+    _, result = run("""
+    ldr  r0, =msg
+    movw r1, #5
+    svc  #4
+""" + EXIT + "\n.data\nmsg: .ascii \"hello\"\n")
+    assert result.output == b"hello"
+
+
+def test_exit_code():
+    _, result = run("    movw r0, #7\n    svc #0\n")
+    assert result.exit_code == 7
+
+
+def test_unaligned_word_load_faults():
+    with pytest.raises(SimFault) as info:
+        run("""
+    ldr r1, =buffer
+    add r1, r1, #1
+    ldr r2, [r1]
+""" + EXIT + "\n.data\nbuffer: .space 8\n")
+    assert info.value.kind == "align-fault"
+
+
+def test_out_of_range_access_faults():
+    with pytest.raises(SimFault) as info:
+        run("""
+    mvn r1, #0
+    ldr r2, [r1]
+""" + EXIT)
+    assert info.value.kind in ("mem-fault", "align-fault")
+
+
+def test_fetch_off_text_faults():
+    with pytest.raises(SimFault) as info:
+        run("    nop\n")  # falls off the end, no exit
+    assert info.value.kind in ("mem-fault", "halt-trap")
+
+
+def test_executing_pool_word_traps():
+    with pytest.raises(SimFault) as info:
+        run("    .word 0x00000000\n")
+    assert info.value.kind == "halt-trap"
+
+
+def test_unknown_syscall_faults():
+    with pytest.raises(SimFault) as info:
+        run("    svc #999\n" + EXIT)
+    assert info.value.kind == "syscall-error"
+
+
+def test_watchdog_timeout():
+    with pytest.raises(SimTimeout):
+        run("loop: b loop\n", max_insts=500)
+
+
+def test_inst_count_counts_cond_fails():
+    interp, result = run("""
+    movw r0, #1
+    cmp  r0, #2
+    addeq r1, r1, #1
+""" + EXIT)
+    assert result.inst_count == 5
+
+
+def test_write_to_pc_branches():
+    interp, _ = run("""
+    ldr  r1, =target
+    mov  pc, r1
+    movw r5, #1     ; skipped
+target:
+    movw r6, #2
+""" + EXIT)
+    assert interp.regs.read(5) == 0
+    assert interp.regs.read(6) == 2
+
+
+def test_stack_pointer_initialised():
+    interp = Interpreter(assemble(".text\n_start: nop\n svc #0\n"))
+    assert interp.regs.read(13) == interp.program.layout.stack_top

@@ -1,0 +1,116 @@
+"""HVF-style architectural observation point and latent corruption."""
+
+import pytest
+
+from repro.injection import GeFIN
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.classify import FaultClass
+from repro.injection.observation import (
+    arch_digest,
+    hardware_state_digest,
+    memory_digest,
+)
+from repro.isa import assemble
+from repro.uarch import CortexA9Config, MicroArchSim, RunStatus
+
+CONFIG = CortexA9Config(dcache_size=1024, icache_size=1024)
+
+#: Writes a scratch word that is never read back: an injected flip there
+#: is invisible to the output (AVF-masked) but visible to HVF.
+LATENT_SRC = """
+    .text
+_start:
+    ldr  r1, =scratch
+    movw r2, #0x5A5A
+    str  r2, [r1]
+    movw r4, #2000
+wait:
+    sub  r4, r4, #1
+    cmp  r4, #0
+    bgt  wait
+    movw r0, #7
+    svc  #2
+    movw r0, #0
+    svc  #0
+    .pool
+    .data
+scratch: .word 0
+"""
+
+
+def test_memory_digest_sees_dirty_lines():
+    program = assemble(LATENT_SRC, name="latent")
+    sim = MicroArchSim(program, CONFIG)
+    sim.run(stop_cycle=400)
+    before = memory_digest(sim.ram, (sim.dcache,))
+    # Overwrite the cached scratch value: digest must change even though
+    # RAM itself is stale (write-back cache).
+    scratch = program.symbols["scratch"]
+    ram_before = sim.ram.read32(scratch)
+    sim.dcache.write(scratch, 4, 0xDEAD)
+    assert sim.ram.read32(scratch) == ram_before
+    assert memory_digest(sim.ram, (sim.dcache,)) != before
+
+
+def test_arch_digest_tracks_registers():
+    program = assemble(LATENT_SRC, name="latent")
+    sim = MicroArchSim(program, CONFIG)
+    sim.run()
+    regs, flags = arch_digest(sim)
+    assert len(regs) == 15
+    assert isinstance(flags, int)
+
+
+def test_latent_fault_classified():
+    """A flip in the never-re-read scratch word is LATENT under HVF."""
+    program = assemble(LATENT_SRC, name="latent")
+    golden = MicroArchSim(program, CONFIG)
+    golden.run()
+    golden_state = hardware_state_digest(golden)
+
+    sim = MicroArchSim(program, CONFIG)
+    sim.run(stop_cycle=600)  # after the store, mid wait-loop
+    scratch = program.symbols["scratch"]
+    index, way = sim.dcache.probe(scratch)
+    assert way is not None  # still cached
+    cfg = sim.dcache.config
+    flat_byte = ((index * cfg.ways + way) * cfg.line_size
+                 + (scratch & (cfg.line_size - 1)))
+    sim.inject("l1d.data", flat_byte * 8 + 1)
+    status = sim.run()
+    assert status is RunStatus.EXITED
+    assert sim.output == golden.output               # AVF-invisible
+    assert hardware_state_digest(sim) != golden_state  # HVF-visible
+
+
+def test_hvf_campaign_superset_of_avf():
+    """HVF unsafeness >= AVF unsafeness for identical fault samples."""
+    front = GeFIN("stringsearch")
+    avf = front.campaign("l1d.data", mode="avf", samples=30, seed=7)
+    hvf = front.campaign("l1d.data", mode="hvf", samples=30, seed=7)
+    assert hvf.unsafeness >= avf.unsafeness - 1e-9
+    assert hvf.summary()["latent"] >= 0
+
+
+def test_arch_observation_requires_run_to_end():
+    with pytest.raises(ValueError):
+        CampaignConfig(observation="arch", window=1000)
+
+
+def test_hvf_mode_via_gefin():
+    result = GeFIN("stringsearch").campaign("regfile", mode="hvf",
+                                            samples=10)
+    assert result.n == 10
+    assert "latent" in result.summary()
+
+
+def test_hvf_never_reports_pinout_mismatch():
+    program = assemble(LATENT_SRC, name="latent")
+    campaign = Campaign(
+        lambda: MicroArchSim(program, CONFIG), "l1d.data",
+        CampaignConfig(samples=12, window=None, observation="arch",
+                       seed=3),
+        workload="latent", level="uarch",
+    )
+    result = campaign.run()
+    assert result.count(FaultClass.MISMATCH) == 0

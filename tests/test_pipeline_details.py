@@ -1,0 +1,258 @@
+"""Microbenchmark-style tests of pipeline mechanics at both levels.
+
+These pin down the timing semantics the reliability study relies on:
+structural stalls, latency chains, dual-issue pairing, store/load
+ordering, and the cost model of misses and mispredictions.
+"""
+
+from repro.isa import assemble
+from repro.rtl import RTLConfig, RTLSim
+from repro.uarch import CortexA9Config, MicroArchSim, RunStatus
+
+EXIT = "    movw r0, #0\n    svc #0\n"
+
+
+def _uarch(body, **cfg):
+    cfg.setdefault("dcache_size", 1024)
+    cfg.setdefault("icache_size", 1024)
+    sim = MicroArchSim(assemble(".text\n_start:\n" + body),
+                       CortexA9Config(**cfg))
+    status = sim.run(max_cycles=500_000)
+    assert status is RunStatus.EXITED, sim.fault
+    return sim
+
+
+def _rtl(body, **cfg):
+    cfg.setdefault("dcache_size", 1024)
+    cfg.setdefault("icache_size", 1024)
+    cfg.setdefault("trace_signals", False)
+    sim = RTLSim(assemble(".text\n_start:\n" + body), RTLConfig(**cfg))
+    status = sim.run(max_cycles=500_000)
+    assert status is RunStatus.EXITED, sim.fault
+    return sim
+
+
+def _chain(n, op="add  r1, r1, #1"):
+    return "    movw r1, #0\n" + f"    {op}\n" * n
+
+
+# ----------------------------------------------------------------------
+# dependency chains vs independent streams
+# ----------------------------------------------------------------------
+
+def _looped(body, iters=64):
+    """Wrap a small block in a warm loop so I-cache misses amortise."""
+    return (
+        "    movw r8, #%d\n"
+        "outer:\n" % iters
+        + body
+        + "    sub r8, r8, #1\n"
+          "    cmp r8, #0\n"
+          "    bgt outer\n"
+    )
+
+
+def test_uarch_exploits_ilp():
+    """Independent ops run faster than a dependency chain (OoO win)."""
+    chain = _uarch(
+        "    movw r1, #0\n"
+        + _looped("    add r1, r1, #1\n" * 6) + EXIT
+    ).cycle
+    indep = _uarch(
+        "    movw r1, #0\n    movw r2, #0\n    movw r3, #0\n"
+        + _looped(
+            "    add r1, r1, #1\n    add r2, r2, #1\n"
+            "    add r3, r3, #1\n" * 2
+        ) + EXIT
+    ).cycle
+    assert indep < chain
+
+
+def test_rtl_dual_issue_beats_serial_chain():
+    """Independent pairs issue together; a dependency chain cannot."""
+    paired = _rtl(
+        "    movw r1, #0\n    movw r2, #0\n"
+        + _looped("    add r1, r1, #1\n    add r2, r2, #1\n" * 4)
+        + EXIT
+    )
+    serial = _rtl(
+        "    movw r1, #0\n"
+        + _looped("    add r1, r1, #1\n" * 8) + EXIT
+    )
+    # Same dynamic instruction count per iteration; pairing must win.
+    assert paired.cycle < serial.cycle
+    assert serial.stats()["ipc"] <= 1.1
+
+
+# ----------------------------------------------------------------------
+# multiplier
+# ----------------------------------------------------------------------
+
+def test_mul_chain_costs_latency_both_levels():
+    body = (
+        "    movw r1, #3\n"
+        + "    mul r1, r1, r1\n" * 10
+        + "    mov r0, r1\n    svc #3\n" + EXIT
+    )
+    add_body = _chain(10) + EXIT
+    for runner in (_uarch, _rtl):
+        mul_cycles = runner(body).cycle
+        add_cycles = runner(add_body).cycle
+        assert mul_cycles > add_cycles  # 4-cycle mul vs 1-cycle add
+
+
+def test_independent_muls_dont_serialise_uarch():
+    """The OoO core has one pipelined multiplier; independent muls
+    overlap with ALU work."""
+    sim = _uarch(
+        "    movw r1, #3\n    movw r2, #5\n"
+        "    mul r3, r1, r2\n"
+        "    add r4, r1, r2\n"
+        "    add r5, r1, r2\n"
+        "    mov r0, r3\n    svc #2\n" + EXIT
+    )
+    assert sim.output == b"15"
+
+
+# ----------------------------------------------------------------------
+# memory system timing
+# ----------------------------------------------------------------------
+
+def test_cold_misses_cost_cycles_both_levels():
+    touch = (
+        "    ldr r1, =data\n"
+        + "".join(f"    ldr r2, [r1, #{i * 32}]\n" for i in range(8))
+        + EXIT + "\n.data\ndata: .space 256\n"
+    )
+    for runner in (_uarch, _rtl):
+        sim = runner(touch)
+        assert sim.stats()["l1d_misses"] >= 8
+
+
+def test_rtl_writeback_burst_beats_on_pinout():
+    """Dirty evictions stream out as line_size/4 word beats."""
+    body = (
+        "    ldr r1, =data\n"
+        "    movw r3, #0\n"
+        "    movw r2, #64\n"          # touch 64 lines of 32B = 2KB > 1KB
+        "fill:\n"
+        "    str  r2, [r1]\n"
+        "    add  r1, r1, #32\n"
+        "    sub  r2, r2, #1\n"
+        "    cmp  r2, #0\n"
+        "    bgt  fill\n" + EXIT + "\n.data\ndata: .space 2048\n"
+    )
+    sim = _rtl(body)
+    wb_beats = [t for t in sim.pinout if t.kind == "wb"]
+    assert wb_beats
+    assert len(wb_beats) % 8 == 0  # whole lines, 8 beats each
+
+
+def test_store_then_load_other_addr_no_false_forward():
+    for runner in (_uarch, _rtl):
+        sim = runner(
+            "    ldr r1, =data\n"
+            "    movw r2, #7\n"
+            "    str r2, [r1]\n"
+            "    ldr r3, [r1, #4]\n"   # different word
+            "    mov r0, r3\n    svc #2\n" + EXIT
+            + "\n.data\ndata: .word 0, 99\n"
+        )
+        assert sim.output == b"99"
+
+
+def test_post_index_stream_both_levels():
+    body = (
+        "    ldr r1, =data\n"
+        "    movw r2, #0\n"
+        "    movw r4, #4\n"
+        "sum:\n"
+        "    ldr r3, [r1], #4\n"
+        "    add r2, r2, r3\n"
+        "    sub r4, r4, #1\n"
+        "    cmp r4, #0\n"
+        "    bgt sum\n"
+        "    mov r0, r2\n    svc #2\n" + EXIT
+        + "\n.data\ndata: .word 1, 2, 3, 4\n"
+    )
+    for runner in (_uarch, _rtl):
+        assert runner(body).output == b"10"
+
+
+def test_ldm_stm_roundtrip_both_levels():
+    body = (
+        "    movw r4, #11\n    movw r5, #22\n    movw r6, #33\n"
+        "    push {r4-r6}\n"
+        "    movw r4, #0\n    movw r5, #0\n    movw r6, #0\n"
+        "    pop {r4-r6}\n"
+        "    add r0, r4, r5\n"
+        "    add r0, r0, r6\n"
+        "    svc #2\n" + EXIT
+    )
+    for runner in (_uarch, _rtl):
+        assert runner(body).output == b"66"
+
+
+# ----------------------------------------------------------------------
+# control flow cost
+# ----------------------------------------------------------------------
+
+def test_predictable_loop_cheaper_than_alternating():
+    """Bimodal predictor: a monotone loop beats an alternating branch
+    pattern per iteration, at both levels."""
+    steady = (
+        "    movw r4, #0\n"
+        "steady:\n"
+        "    add r4, r4, #1\n"
+        "    cmp r4, #64\n"
+        "    blt steady\n" + EXIT
+    )
+    alternating = (
+        "    movw r4, #0\n"
+        "alt:\n"
+        "    and r1, r4, #1\n"
+        "    cmp r1, #0\n"
+        "    beq skip\n"
+        "    nop\n"
+        "skip:\n"
+        "    add r4, r4, #1\n"
+        "    cmp r4, #64\n"
+        "    blt alt\n" + EXIT
+    )
+    for runner in (_uarch, _rtl):
+        fast = runner(steady)
+        slow = runner(alternating)
+        assert slow.core.mispredicts > fast.core.mispredicts
+
+
+def test_mispredict_penalty_configurable_rtl():
+    body = (
+        "    movw r4, #0\n"
+        "alt:\n"
+        "    and r1, r4, #1\n"
+        "    cmp r1, #0\n"
+        "    beq skip\n"
+        "    nop\n"
+        "skip:\n"
+        "    add r4, r4, #1\n"
+        "    cmp r4, #48\n"
+        "    blt alt\n" + EXIT
+    )
+    cheap = _rtl(body, mispredict_penalty=1).cycle
+    costly = _rtl(body, mispredict_penalty=9).cycle
+    assert costly > cheap
+
+
+def test_flag_rename_chain_uarch():
+    """Interleaved flag writers/readers retire correctly under rename."""
+    sim = _uarch(
+        "    movw r1, #5\n"
+        "    movw r2, #5\n"
+        "    cmp  r1, r2\n"
+        "    moveq r3, #1\n"
+        "    adds r4, r1, r2\n"
+        "    movne r5, #1\n"     # NE now false? 10 != 0 -> Z clear -> NE
+        "    mov r0, r3\n    svc #2\n"
+        "    mov r0, r5\n    svc #2\n" + EXIT
+    )
+    assert sim.output == b"11"

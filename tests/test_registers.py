@@ -1,0 +1,178 @@
+"""Register model, toolchain variants, program images, syscalls."""
+
+import pytest
+
+from repro.errors import SimFault, SimTimeout
+from repro.isa import assemble
+from repro.isa.program import MemoryLayout, Program
+from repro.isa.registers import (
+    RegisterFile,
+    parse_reg,
+    reg_name,
+)
+from repro.isa.syscalls import SyscallEmulator, SyscallError
+from repro.isa.toolchain import Toolchain
+from repro.memory.ram import RAM
+
+
+# ----------------------------------------------------------------------
+# registers
+# ----------------------------------------------------------------------
+
+def test_parse_reg_names_and_aliases():
+    assert parse_reg("r0") == 0
+    assert parse_reg("R15") == 15
+    assert parse_reg("sp") == 13
+    assert parse_reg("LR") == 14
+    assert parse_reg("pc") == 15
+    assert parse_reg("fp") == 11
+    assert parse_reg("ip") == 12
+
+
+def test_parse_reg_rejects_junk():
+    for bad in ("r16", "x3", "", "r-1", "#4"):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+
+def test_reg_name_specials():
+    assert reg_name(13) == "sp"
+    assert reg_name(14) == "lr"
+    assert reg_name(15) == "pc"
+    assert reg_name(3) == "r3"
+
+
+def test_register_file_masks_to_32_bits():
+    rf = RegisterFile()
+    rf.write(1, 0x1_2345_6789)
+    assert rf.read(1) == 0x2345_6789
+
+
+def test_register_file_snapshot_restore():
+    rf = RegisterFile()
+    rf.write(2, 99)
+    snap = rf.snapshot()
+    rf.write(2, 1)
+    rf.restore(snap)
+    assert rf.read(2) == 99
+
+
+# ----------------------------------------------------------------------
+# toolchain
+# ----------------------------------------------------------------------
+
+def test_toolchain_properties():
+    gnu = Toolchain("gnu")
+    armcc = Toolchain("armcc")
+    assert not gnu.uses_literal_pool and armcc.uses_literal_pool
+    assert gnu.label_alignment == 1 and armcc.label_alignment == 8
+    assert gnu == Toolchain("gnu") and gnu != armcc
+    assert hash(gnu) == hash(Toolchain("gnu"))
+
+
+def test_toolchain_rejects_unknown():
+    with pytest.raises(ValueError):
+        Toolchain("msvc")
+
+
+# ----------------------------------------------------------------------
+# layout / program
+# ----------------------------------------------------------------------
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        MemoryLayout(stack_top=0x100000, ram_size=0x1000)
+    with pytest.raises(ValueError):
+        MemoryLayout(text_base=0x20000, data_base=0x10000)
+
+
+def test_program_load_into_ram():
+    program = assemble(".text\n_start: nop\n svc #0\n"
+                       ".data\nv: .word 0xAABBCCDD\n")
+    ram = RAM(program.layout.ram_size)
+    program.load_into(ram)
+    assert ram.read32(program.layout.data_base) == 0xAABBCCDD
+    assert ram.read32(program.layout.text_base) == program.words[0]
+
+
+def test_program_text_bytes_little_endian():
+    program = assemble(".text\n nop\n")
+    blob = program.text_bytes()
+    assert len(blob) == 4
+    assert int.from_bytes(blob, "little") == program.words[0]
+
+
+def test_program_repr_mentions_toolchain():
+    program = assemble(".text\n nop\n", toolchain=Toolchain("armcc"))
+    assert "armcc" in repr(program)
+
+
+# ----------------------------------------------------------------------
+# syscalls
+# ----------------------------------------------------------------------
+
+def _emulator():
+    return SyscallEmulator()
+
+
+def test_syscall_exit_records_code():
+    emu = _emulator()
+    emu.handle(0, lambda i: 42 if i == 0 else 0, lambda a: 0)
+    assert emu.exited and emu.exit_code == 42
+
+
+def test_syscall_putc_and_prints():
+    emu = _emulator()
+    emu.handle(1, lambda i: 0x41, lambda a: 0)
+    emu.handle(2, lambda i: 123, lambda a: 0)
+    emu.handle(3, lambda i: 0xAB, lambda a: 0)
+    assert bytes(emu.output) == b"A123000000ab"
+
+
+def test_syscall_print_int_sign():
+    emu = _emulator()
+    emu.handle(5, lambda i: 0xFFFFFFFF, lambda a: 0)
+    assert bytes(emu.output) == b"-1"
+
+
+def test_syscall_write_reads_memory():
+    emu = _emulator()
+    data = b"xyz"
+    regs = {0: 100, 1: 3}
+    emu.handle(4, lambda i: regs[i], lambda a: data[a - 100])
+    assert bytes(emu.output) == b"xyz"
+
+
+def test_syscall_write_length_capped():
+    emu = _emulator()
+    with pytest.raises(SyscallError):
+        emu.handle(4, lambda i: {0: 0, 1: 1 << 20}[i], lambda a: 0)
+
+
+def test_syscall_unknown_number():
+    with pytest.raises(SyscallError):
+        _emulator().handle(77, lambda i: 0, lambda a: 0)
+
+
+def test_syscall_snapshot_restore():
+    emu = _emulator()
+    emu.handle(1, lambda i: 0x42, lambda a: 0)
+    snap = emu.snapshot()
+    emu.handle(1, lambda i: 0x43, lambda a: 0)
+    emu.restore(snap)
+    assert bytes(emu.output) == b"B"
+
+
+# ----------------------------------------------------------------------
+# errors
+# ----------------------------------------------------------------------
+
+def test_simfault_message_includes_addr():
+    fault = SimFault("mem-fault", "oops", addr=0x40)
+    assert "0x00000040" in str(fault)
+    assert fault.kind == "mem-fault"
+
+
+def test_simtimeout_message():
+    timeout = SimTimeout(500, "cycles")
+    assert "500" in str(timeout)

@@ -1,0 +1,278 @@
+"""RT-level model: correctness, pipeline mechanics, signal tracing."""
+
+import pytest
+
+from repro.isa import Interpreter, Toolchain, assemble
+from repro.rtl import RTLConfig, RTLSim
+from repro.uarch import RunStatus
+from repro.workloads import build, expected_output
+
+FAST = RTLConfig(trace_signals=False, dcache_size=2048, icache_size=2048)
+
+
+def run_rtl(body, config=None):
+    program = assemble(".text\n_start:\n" + body)
+    sim = RTLSim(program, config or FAST)
+    status = sim.run()
+    return sim, status
+
+
+EXIT = "    movw r0, #0\n    svc #0\n"
+
+
+def test_simple_program():
+    sim, status = run_rtl("""
+    movw r1, #3
+    movw r2, #4
+    add  r3, r1, r2
+    mov  r0, r3
+    svc  #2
+""" + EXIT)
+    assert status is RunStatus.EXITED
+    assert sim.output == b"7"
+
+
+def test_back_to_back_dependency():
+    sim, _ = run_rtl("""
+    movw r1, #1
+    add  r2, r1, r1
+    add  r3, r2, r2
+    add  r4, r3, r3
+    mov  r0, r4
+    svc  #2
+""" + EXIT)
+    assert sim.output == b"8"
+
+
+def test_load_use_and_forwarding():
+    sim, _ = run_rtl("""
+    ldr  r1, =buffer
+    movw r2, #5
+    str  r2, [r1]
+    ldr  r3, [r1]
+    add  r4, r3, #1     ; load-use dependency
+    mov  r0, r4
+    svc  #2
+""" + EXIT + "\n.data\nbuffer: .space 4\n")
+    assert sim.output == b"6"
+
+
+def test_multiply_latency_respected():
+    sim, _ = run_rtl("""
+    movw r1, #6
+    movw r2, #7
+    mul  r3, r1, r2
+    add  r4, r3, #1     ; must wait for the multiplier
+    mov  r0, r4
+    svc  #2
+""" + EXIT)
+    assert sim.output == b"43"
+
+
+def test_conditional_and_flags_in_order():
+    sim, _ = run_rtl("""
+    movw r1, #9
+    cmp  r1, #9
+    moveq r2, #4
+    addne r2, r2, #1
+    mov  r0, r2
+    svc  #2
+""" + EXIT)
+    assert sim.output == b"4"
+
+
+def test_branch_mispredict_recovery():
+    sim, status = run_rtl("""
+    movw r4, #0
+    movw r5, #0
+loop:
+    and  r1, r4, #1
+    cmp  r1, #0
+    beq  even
+    add  r5, r5, #3
+    b    next
+even:
+    add  r5, r5, #1
+next:
+    add  r4, r4, #1
+    cmp  r4, #30
+    blt  loop
+    mov  r0, r5
+    svc  #2
+""" + EXIT)
+    assert status is RunStatus.EXITED
+    assert sim.output == b"60"
+    assert sim.core.mispredicts > 0
+
+
+def test_wrong_path_bad_fetch_is_harmless():
+    sim, status = run_rtl("""
+    movw r0, #0
+    svc  #0
+""")
+    assert status is RunStatus.EXITED
+
+
+def test_exception_reported():
+    sim, status = run_rtl("""
+    mvn  r1, #0
+    ldr  r2, [r1]
+""" + EXIT)
+    assert status is RunStatus.FAULT
+    assert sim.fault.kind in ("mem-fault", "align-fault")
+
+
+@pytest.mark.parametrize("name", ("fft", "qsort", "caes", "sha"))
+def test_cosim_output_and_icount(name):
+    program = build(name, Toolchain("armcc"))
+    ref = Interpreter(program).run(max_insts=2_000_000)
+    sim = RTLSim(program, FAST)
+    status = sim.run()
+    assert status is RunStatus.EXITED
+    assert sim.output == ref.output == expected_output(name)
+    assert sim.icount == ref.inst_count
+
+
+def test_in_order_ipc_below_uarch():
+    """The in-order RT pipeline must not out-run the OoO model in IPC."""
+    from repro.uarch import MicroArchSim
+
+    program = build("qsort", Toolchain("gnu"))
+    rtl = RTLSim(program, FAST)
+    rtl.run()
+    uarch = MicroArchSim(program)
+    uarch.run()
+    assert rtl.stats()["ipc"] <= uarch.stats()["ipc"] + 0.05
+
+
+def test_checkpoint_restore_determinism():
+    program = build("sha", Toolchain("armcc"))
+    sim = RTLSim(program, FAST)
+    sim.run(stop_cycle=2500)
+    cp = sim.checkpoint()
+    sim.run()
+    reference = (sim.output, [t.key() for t in sim.pinout], sim.icount)
+    other = RTLSim(program, FAST)
+    other.restore(cp)
+    other.run()
+    assert (other.output, [t.key() for t in other.pinout],
+            other.icount) == reference
+
+
+def test_restored_matches_continuous_golden_content():
+    program = build("stringsearch", Toolchain("armcc"))
+    golden = RTLSim(program, FAST)
+    golden.run()
+    sim = RTLSim(program, FAST)
+    sim.run(stop_cycle=3000)
+    cp = sim.checkpoint()
+    sim.restore(cp)
+    sim.run()
+    assert sim.output == golden.output
+    assert [t.key() for t in sim.pinout] == \
+        [t.key() for t in golden.pinout]
+
+
+def test_pinout_word_beats():
+    """RTL write-backs appear as word-granular bus beats."""
+    program = build("stringsearch", Toolchain("armcc"))
+    sim = RTLSim(program, RTLConfig(trace_signals=False, dcache_size=512,
+                                    icache_size=512))
+    sim.run()
+    wbs = [t for t in sim.pinout if t.kind == "wb"]
+    assert wbs and all(len(t.data) == 4 for t in wbs)
+
+
+def test_blocking_miss_freezes_cycles():
+    """A D-cache miss costs at least the burst length in cycles."""
+    cfg = RTLConfig(trace_signals=False, dcache_size=512, icache_size=512)
+    program = build("qsort", Toolchain("armcc"))
+    sim = RTLSim(program, cfg)
+    sim.run()
+    baseline = RTLSim(build("qsort", Toolchain("armcc")), FAST)
+    baseline.run()
+    assert sim.cycle > baseline.cycle  # smaller cache -> more stalls
+
+
+def test_fault_targets_equivalent_to_uarch():
+    """The paper's premise: equivalent structure populations."""
+    from repro.uarch import MicroArchSim
+
+    program = build("sha", Toolchain("gnu"))
+    rtl_targets = RTLSim(program, FAST).fault_targets()
+    uarch_targets = MicroArchSim(program).fault_targets()
+    assert rtl_targets["regfile"] == uarch_targets["regfile"]
+
+
+def test_rf_injection_in_spare_entries_masked():
+    program = build("stringsearch", Toolchain("armcc"))
+    golden = RTLSim(program, FAST)
+    golden.run()
+    sim = RTLSim(program, FAST)
+    sim.run(stop_cycle=1000)
+    sim.inject("regfile", 40 * 32 + 7)  # banked/spare entry
+    sim.run()
+    assert sim.output == golden.output
+
+
+def test_cpsr_injection_supported():
+    program = build("sha", Toolchain("armcc"))
+    sim = RTLSim(program, FAST)
+    sim.run(stop_cycle=500)
+    before = sim.rf.cpsr
+    sim.inject("cpsr", 2)
+    assert sim.rf.cpsr == before ^ 0b100
+
+
+# ----------------------------------------------------------------------
+# signal tracing
+# ----------------------------------------------------------------------
+
+def test_signal_trace_deterministic():
+    program = build("sha", Toolchain("armcc"))
+    a = RTLSim(program, RTLConfig(dcache_size=2048, icache_size=2048))
+    a.run()
+    b = RTLSim(program, RTLConfig(dcache_size=2048, icache_size=2048))
+    b.run()
+    assert a.signal_crc == b.signal_crc
+    assert a.signal_crc is not None
+
+
+def test_signal_trace_detects_fault_activity():
+    program = build("sha", Toolchain("armcc"))
+    golden = RTLSim(program, RTLConfig(dcache_size=2048, icache_size=2048))
+    golden.run()
+    faulty = RTLSim(program, RTLConfig(dcache_size=2048, icache_size=2048))
+    faulty.run(stop_cycle=2000)
+    faulty.inject("regfile", 4 * 32 + 0)  # live register
+    faulty.run()
+    assert faulty.signal_crc != golden.signal_crc
+
+
+def test_vcd_export_structure():
+    program = build("stringsearch", Toolchain("armcc"))
+    sim = RTLSim(program, RTLConfig(dcache_size=2048, icache_size=2048))
+    sim.run(stop_cycle=200)
+    vcd = sim.export_vcd()
+    assert "$enddefinitions" in vcd
+    assert "$var wire" in vcd
+    assert "#1" in vcd
+
+
+def test_vcd_requires_tracing():
+    program = build("sha", Toolchain("armcc"))
+    sim = RTLSim(program, FAST)
+    with pytest.raises(RuntimeError):
+        sim.export_vcd()
+
+
+def test_toggle_counts_accumulate():
+    program = build("sha", Toolchain("armcc"))
+    sim = RTLSim(program, RTLConfig(dcache_size=2048, icache_size=2048))
+    sim.run(stop_cycle=1000)
+    assert sim.trace.toggles.get("rf", 0) > 0
+
+
+def test_rtl_config_rejects_unknown():
+    with pytest.raises(TypeError):
+        RTLConfig(bogus=True)

@@ -1,0 +1,98 @@
+"""Leveugle sample sizing and Wilson intervals."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.injection.sampling import (
+    achieved_error_margin,
+    fault_population,
+    leveugle_sample_size,
+    wilson_interval,
+    z_score,
+)
+
+
+def test_paper_sample_size_is_about_4000():
+    """e=2%, 99% confidence, huge population -> ~4000 (the paper's n)."""
+    n = leveugle_sample_size(10**9, error_margin=0.02, confidence=0.99)
+    assert 4000 <= n <= 4200
+
+
+def test_small_population_caps_sample():
+    assert leveugle_sample_size(100) <= 100
+
+
+@given(st.integers(min_value=10, max_value=10**12))
+def test_sample_never_exceeds_population(population):
+    assert leveugle_sample_size(population) <= population
+
+
+@given(st.integers(min_value=1000, max_value=10**9))
+def test_tighter_margin_needs_more_samples(population):
+    loose = leveugle_sample_size(population, error_margin=0.05)
+    tight = leveugle_sample_size(population, error_margin=0.01)
+    assert tight >= loose
+
+
+def test_higher_confidence_needs_more_samples():
+    low = leveugle_sample_size(10**8, confidence=0.90)
+    high = leveugle_sample_size(10**8, confidence=0.99)
+    assert high > low
+
+
+def test_z_scores_match_tables():
+    assert math.isclose(z_score(0.95), 1.95996, abs_tol=1e-4)
+    assert math.isclose(z_score(0.99), 2.57583, abs_tol=1e-4)
+
+
+def test_z_score_interpolated_value():
+    # 97% two-sided -> ~2.1701
+    assert math.isclose(z_score(0.97), 2.1701, abs_tol=5e-3)
+
+
+def test_z_score_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        z_score(1.5)
+
+
+def test_population_multiplies():
+    assert fault_population(100, 50) == 5000
+    assert fault_population(100, 0) == 100
+
+
+def test_leveugle_rejects_bad_population():
+    with pytest.raises(ValueError):
+        leveugle_sample_size(0)
+
+
+@given(st.integers(min_value=0, max_value=200),
+       st.integers(min_value=1, max_value=200))
+def test_wilson_bounds(successes, trials):
+    successes = min(successes, trials)
+    low, high = wilson_interval(successes, trials)
+    assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+
+def test_wilson_zero_trials_degenerate():
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+def test_wilson_narrows_with_samples():
+    low_small, high_small = wilson_interval(5, 10)
+    low_big, high_big = wilson_interval(500, 1000)
+    assert (high_big - low_big) < (high_small - low_small)
+
+
+def test_achieved_margin_inverts_sizing():
+    population = 10**8
+    n = leveugle_sample_size(population, error_margin=0.02,
+                             confidence=0.99)
+    margin = achieved_error_margin(population, n, confidence=0.99)
+    assert math.isclose(margin, 0.02, rel_tol=0.02)
+
+
+def test_achieved_margin_degenerate_cases():
+    assert achieved_error_margin(1000, 0) == 1.0
+    assert achieved_error_margin(1000, 1000) == 0.0

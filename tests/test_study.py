@@ -1,0 +1,143 @@
+"""Cross-level study orchestration, front-ends, tables and CLI."""
+
+import pytest
+
+from repro.core.figures import figure_series, render_figure
+from repro.core.study import CrossLevelStudy, FIG3_WORKLOADS, StudyConfig
+from repro.core.tables import (
+    render_table1,
+    render_table2,
+    table1_rows,
+    table2_rows,
+)
+from repro.injection import GeFIN, SafetyVerifier
+
+
+def test_table1_matches_paper_exactly():
+    rows = dict(table1_rows())
+    assert rows == {
+        "ISA / Core": "ARMv7 / Out-of-order",
+        "Data cache": "32KB 4-way",
+        "Instruction cache": "32KB 4-way",
+        "Physical Register File": "56 registers",
+        "Instruction queue": "32",
+        "Reorder buffer": "40",
+        "Fetch/Execute/Writeback width": "2/4/4",
+    }
+
+
+def test_render_table1_text():
+    text = render_table1()
+    assert "TABLE I" in text and "56 registers" in text
+
+
+def test_table2_single_workload():
+    rows, average = table2_rows(("stringsearch",), rtl_traced=False)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["rtl_s_per_run"] > 0 and row["gefin_s_per_run"] > 0
+    assert row["rtl_kcycles"] > row["gefin_kcycles"]  # in-order slower
+    text = render_table2(rows, average)
+    assert "TABLE II" in text and "stringsearch" in text
+
+
+def test_gefin_front_end_defaults():
+    front = GeFIN("sha")
+    assert front.toolchain.name == "gnu"
+    assert front.core_config.dcache_size == GeFIN.SCALED_CACHE_BYTES
+    sim = front.sim_factory()
+    assert sim.LEVEL == "uarch"
+
+
+def test_safety_verifier_front_end_defaults():
+    front = SafetyVerifier("sha")
+    assert front.toolchain.name == "armcc"
+    assert front.rtl_config.trace_signals is False
+    sim = front.sim_factory()
+    assert sim.LEVEL == "rtl"
+
+
+def test_front_ends_unscaled_option():
+    front = GeFIN("sha", scaled_caches=False)
+    assert front.core_config.dcache_size == 32 * 1024
+
+
+def test_gefin_mode_validation():
+    front = GeFIN("sha")
+    with pytest.raises(ValueError):
+        front.make_config("bogus", 10)
+    with pytest.raises(ValueError):
+        SafetyVerifier("sha").campaign("regfile", mode="bogus", samples=1)
+
+
+def test_gefin_golden_run():
+    sim = GeFIN("stringsearch").golden_run()
+    assert sim.exited and sim.exit_code == 0
+
+
+def test_small_cross_level_study_fig1_subset():
+    config = StudyConfig(workloads=("stringsearch",), samples=6, seed=9)
+    study = CrossLevelStudy(config)
+    fig1 = study.figure1()
+    assert set(fig1) == {"GeFIN", "RTL", "GeFIN-no timer"}
+    for series in fig1.values():
+        assert set(series) == {"stringsearch"}
+        result = series["stringsearch"]
+        assert result.n == 6
+    # results are cached: second call does not recompute
+    assert study.figure1() is not fig1  # new dict...
+    assert study.figure1()["GeFIN"]["stringsearch"] is \
+        fig1["GeFIN"]["stringsearch"]  # ...same cached results
+
+
+def test_figure_series_conversion():
+    class _Stub:
+        def __init__(self, v):
+            self.unsafeness = v
+
+    results = {"GeFIN": {"a": _Stub(0.1), "b": _Stub(0.2)},
+               "RTL": {"a": _Stub(0.3), "b": _Stub(0.4)}}
+    series, labels = figure_series(results)
+    assert labels == ["a", "b"]
+    assert series["RTL"] == [0.3, 0.4]
+    chart = render_figure(results, "Fig. X")
+    assert "Fig. X" in chart
+
+
+def test_fig3_workloads_match_paper():
+    assert FIG3_WORKLOADS == ("caes", "stringsearch", "susan_corners",
+                              "susan_edges", "susan_smooth")
+
+
+def test_study_same_binaries_option():
+    config = StudyConfig(workloads=("sha",), samples=1,
+                         same_binaries=True)
+    verifier = config.safety_verifier("sha")
+    assert verifier.toolchain.name == "gnu"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_table1(capsys):
+    from repro.cli import main
+
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE I" in out
+
+
+def test_cli_golden(capsys):
+    from repro.cli import main
+
+    assert main(["golden", "stringsearch", "--level", "uarch"]) == 0
+    out = capsys.readouterr().out
+    assert "exited=True" in out
+
+
+def test_cli_rejects_unknown_workload():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["fig1", "--workloads", "bogus"])

@@ -1,0 +1,136 @@
+"""Workload kernels: every benchmark validates against its independent
+Python reference, on both toolchains, at the architectural level."""
+
+import pytest
+
+from repro.isa import Interpreter, Toolchain
+from repro.workloads import WORKLOAD_NAMES, build, expected_output
+from repro.workloads import datagen
+from repro.workloads.registry import get
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("toolchain", ("gnu", "armcc"))
+def test_workload_matches_reference(name, toolchain):
+    program = build(name, Toolchain(toolchain))
+    result = Interpreter(program).run(max_insts=2_000_000)
+    assert result.exit_code == 0
+    assert result.output == expected_output(name)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_toolchains_produce_different_binaries(name):
+    gnu = build(name, Toolchain("gnu"))
+    armcc = build(name, Toolchain("armcc"))
+    assert gnu.text_bytes() != armcc.text_bytes()
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_has_nonempty_output(name):
+    assert expected_output(name)
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(KeyError):
+        get("bogus")
+
+
+def test_registry_names_match_paper_table2_order():
+    assert WORKLOAD_NAMES == (
+        "fft", "qsort", "caes", "sha", "stringsearch",
+        "susan_corners", "susan_edges", "susan_smooth",
+    )
+
+
+# ----------------------------------------------------------------------
+# reference cross-checks (the references themselves must be right)
+# ----------------------------------------------------------------------
+
+def test_aes_reference_against_fips197():
+    key = bytes(range(16))
+    plain = bytes.fromhex("00112233445566778899aabbccddeeff")
+    out = datagen.aes_encrypt_block(plain, datagen.aes_expand_key(key))
+    assert out.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_sha_padding_is_valid():
+    padded = datagen.sha_padded_message()
+    assert len(padded) % 64 == 0
+    assert padded[datagen.SHA_MSG_LEN] == 0x80
+    bit_len = int.from_bytes(padded[-8:], "big")
+    assert bit_len == 8 * datagen.SHA_MSG_LEN
+
+
+def test_sha_reference_is_hashlib():
+    import hashlib
+
+    assert datagen.sha_reference() == hashlib.sha1(
+        datagen.sha_message()).digest()
+
+
+def test_bmh_matches_python_find():
+    text = datagen.SEARCH_TEXT
+    for pattern in datagen.SEARCH_PATTERNS:
+        assert datagen.bmh_search(text, pattern) == text.find(pattern)
+
+
+def test_qsort_reference_sorted():
+    ref = datagen.qsort_reference()
+    assert ref == sorted(ref)
+    assert sorted(datagen.qsort_inputs()) == ref
+
+
+def test_fft_reference_linearity_checksum_stable():
+    re1, im1 = datagen.fft_reference(seed=2017)
+    re2, im2 = datagen.fft_reference(seed=2017)
+    assert re1 == re2 and im1 == im2
+
+
+def test_fft_inverse_energy_sane():
+    """Parseval-ish sanity: the FFT of a non-zero signal is non-zero."""
+    re, im = datagen.fft_reference()
+    assert any(v != 0 for v in re) or any(v != 0 for v in im)
+
+
+def test_susan_lut_shape():
+    lut = datagen.susan_lut()
+    assert lut[0] == 100
+    assert lut[255] == 0
+    assert all(lut[i] >= lut[i + 1] for i in range(255))
+
+
+def test_susan_corners_subset_of_low_usan():
+    corners = datagen.susan_corners_reference()
+    assert set(corners) <= {0, 1}
+    assert sum(corners) > 0  # the synthetic image has corners
+
+
+def test_susan_edges_nonnegative():
+    edges = datagen.susan_edges_reference()
+    assert all(v >= 0 for v in edges)
+    assert any(v > 0 for v in edges)
+
+
+def test_susan_smooth_range():
+    img = datagen.susan_image()
+    smooth = datagen.susan_smooth_reference()
+    assert all(0 <= v <= 255 for v in smooth)
+    assert len(smooth) == (datagen.SUSAN_W - 2) * (datagen.SUSAN_H - 2)
+    del img
+
+
+def test_lcg_determinism():
+    a = datagen.LCG(42)
+    b = datagen.LCG(42)
+    assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+
+def test_fold_checksum_order_sensitive():
+    assert datagen.fold_checksum([1, 2]) != datagen.fold_checksum([2, 1])
+
+
+def test_directive_renderers():
+    words = datagen.words_directive([1, 2, 3])
+    assert ".word" in words and "0x00000001" in words
+    raw = datagen.bytes_directive(b"\x01\xff")
+    assert ".byte" in raw and "0xff" in raw
