@@ -1,0 +1,21 @@
+# Repo tooling. `make help` lists targets.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: help test bench docs-check
+
+help:
+	@echo "targets:"
+	@echo "  test        tier-1 suite (tests/ + benchmarks/, what CI gates on)"
+	@echo "  bench       artifact-regenerating benches only (-> benchmarks/results/)"
+	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
+
+docs-check:
+	$(PYTHON) tools/docs_check.py README.md DESIGN.md

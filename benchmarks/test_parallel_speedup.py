@@ -1,0 +1,86 @@
+"""Micro-benchmark: serial vs parallel campaign executor wall clock.
+
+Runs the same small campaign (one workload, register file, pinout OP)
+with ``jobs=1`` and ``jobs=N`` and records both wall clocks plus the
+records-identical check into ``benchmarks/results/parallel_speedup.txt``.
+
+The speedup is hardware-dependent: on an unloaded multi-core host
+``jobs=N`` approaches Nx, but in CPU-quota-limited containers (cgroup
+``cpu.max``) even an affinity-aware CPU count overcounts the cores
+actually schedulable, and on loaded shared runners the measurement is
+noisy.  So this bench asserts *equivalence* unconditionally, always
+records the measured speedup, and only asserts speedup > 1 when
+``REPRO_BENCH_ASSERT_SPEEDUP=1`` opts in (set it on dedicated
+multi-core hardware).
+
+Knobs: ``REPRO_SFI_SAMPLES`` (faults, default 24), ``REPRO_BENCH_JOBS``
+(parallel worker count, default min(4, available CPUs)),
+``REPRO_BENCH_ASSERT_SPEEDUP`` (fail unless parallel beats serial).
+"""
+
+import os
+import time
+
+from conftest import bench_samples, save_artifact
+
+from repro.analysis.report import speedup_table
+from repro.injection.executor import default_jobs
+from repro.injection.gefin import GeFIN
+
+WORKLOAD = "caes"
+
+
+def bench_jobs():
+    default = min(4, default_jobs())
+    return int(os.environ.get("REPRO_BENCH_JOBS", str(default)))
+
+
+def run_campaign(front, jobs):
+    started = time.perf_counter()
+    result = front.campaign("regfile", mode="pinout",
+                            samples=bench_samples(default=24),
+                            seed=2017, jobs=jobs)
+    return result, time.perf_counter() - started
+
+
+def record_keys(result):
+    return [(r.fault.bit, r.fault.cycle, r.fclass, r.detail,
+             r.sim_cycles) for r in result.records]
+
+
+def test_parallel_speedup(benchmark):
+    front = GeFIN(WORKLOAD)
+    jobs = max(bench_jobs(), 2)
+    serial, serial_s = run_campaign(front, jobs=1)
+
+    def measure():
+        return run_campaign(front, jobs=jobs)
+
+    parallel, parallel_s = benchmark.pedantic(measure, rounds=1,
+                                              iterations=1)
+    # Correctness first: the executor must be a pure wall-clock
+    # optimisation, never a result change.
+    assert record_keys(parallel) == record_keys(serial)
+    assert parallel.jobs == jobs
+
+    cpus = default_jobs()
+    speedup = serial_s / parallel_s if parallel_s > 0 else 1.0
+    if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1":
+        assert speedup > 1.0, (
+            f"jobs={jobs} not faster than serial on {cpus} CPUs:"
+            f" {serial_s:.2f}s vs {parallel_s:.2f}s"
+        )
+    lines = [
+        f"workload={WORKLOAD} structure=regfile mode=pinout"
+        f" samples={serial.n} cpus={cpus}",
+        f"serial   (jobs=1): {serial_s:7.2f}s wall",
+        f"parallel (jobs={jobs}): {parallel_s:7.2f}s wall"
+        f"  -> {speedup:.2f}x measured",
+        "records identical: True",
+        "",
+        speedup_table([serial, parallel], title="per-campaign accounting"),
+    ]
+    text = "\n".join(lines)
+    save_artifact("parallel_speedup.txt", text)
+    print()
+    print(text)

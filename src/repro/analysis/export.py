@@ -7,7 +7,7 @@ _FIELDS = (
     "workload", "level", "structure", "n", "unsafeness", "ci95_low",
     "ci95_high", "masked", "sdc", "due", "hang", "mismatch", "latent",
     "golden_cycles", "s_per_run", "population", "recommended_samples",
-    "achieved_margin",
+    "achieved_margin", "jobs", "total_s", "speedup",
 )
 
 
@@ -24,6 +24,8 @@ def results_to_csv(results):
         summary["unsafeness"] = f"{summary['unsafeness']:.6f}"
         summary["achieved_margin"] = f"{summary['achieved_margin']:.6f}"
         summary["s_per_run"] = f"{summary['s_per_run']:.6f}"
+        summary["total_s"] = f"{summary['total_s']:.6f}"
+        summary["speedup"] = f"{summary['speedup']:.3f}"
         writer.writerow(summary)
     return buffer.getvalue()
 

@@ -63,6 +63,28 @@ def bar_chart(series, labels, max_width=50, title=None, value_format=None):
     return "\n".join(lines)
 
 
+def speedup_table(results, title=None):
+    """Wall-clock accounting of the parallel executor, per campaign.
+
+    ``wall_s`` is the measured end-to-end time (golden phase + faulty
+    runs); ``serial_est_s`` is the time a one-process run would have
+    spent (golden + per-run wall seconds back to back); ``speedup`` is
+    their ratio -- ~1.0 for ``jobs=1``, approaching the worker count on
+    an unloaded multi-core host.
+    """
+    headers = ("workload", "level", "structure", "n", "jobs", "wall_s",
+               "serial_est_s", "speedup")
+    rows = []
+    for r in results:
+        rows.append((
+            r.workload, r.level, r.structure, r.n, r.jobs,
+            f"{r.total_seconds:.2f}",
+            f"{r.estimated_serial_seconds:.2f}",
+            f"{r.speedup:.2f}x",
+        ))
+    return render_table(headers, rows, title=title)
+
+
 def campaign_table(results, title=None):
     """Standard per-campaign summary table."""
     headers = ("workload", "level", "structure", "n", "unsafe", "ci95",

@@ -4,13 +4,77 @@ Subcommands regenerate the paper's artifacts from a terminal::
 
     repro-study table1
     repro-study table2 [--workloads sha,fft] [--no-trace]
-    repro-study fig1|fig2|fig3 [--samples N] [--workloads ...]
-    repro-study headline [--samples N]
+    repro-study fig1|fig2|fig3 [--samples N] [--workloads ...] [--jobs N]
+    repro-study headline [--samples N] [--jobs N]
     repro-study golden <workload> [--level rtl|uarch]
+
+Campaign-running subcommands (``fig1``..``fig3``, ``headline``) accept
+``--jobs`` to fan the faulty runs of each campaign out over a process
+pool (default: one worker per CPU; ``--jobs 1`` forces the serial
+path).  Results are independent of the worker count -- see DESIGN.md.
 """
 
 import argparse
 import sys
+
+#: Shared text for the --jobs flag (also referenced from README.md).
+JOBS_HELP = (
+    "worker processes per campaign's faulty-run phase "
+    "(default: one per CPU; 1 = serial, deterministic baseline; "
+    "results are identical for any value)"
+)
+
+_EPILOGS = {
+    "table1": """\
+Renders Table I: the Cortex-A9 configuration used at both abstraction
+levels (pipeline geometry, cache organisation, predictor).  Static --
+runs no simulation.""",
+    "table2": """\
+Renders Table II: simulation throughput per framework (RT level with
+signal tracing vs microarchitecture level), the paper's 198.6x-style
+comparison.  Runs one golden simulation per workload and level.
+
+examples:
+  repro-study table2 --workloads sha,fft
+  repro-study table2 --no-trace     # untraced RTL throughput""",
+    "fig1": """\
+Regenerates Figure 1: register-file unsafeness at the core-pinout
+observation point, 20 kcycle (scaled) window -- GeFIN vs RTL vs
+GeFIN-no-timer.
+
+examples:
+  repro-study fig1 --samples 100 --jobs 4
+  REPRO_SFI_SAMPLES=200 repro-study fig1 --workloads sha""",
+    "fig2": """\
+Regenerates Figure 2: L1 data-cache unsafeness at the core pinout,
+windowed; the RTL series uses the paper's inject-near-consumption
+acceleration (SS IV-B).""",
+    "fig3": """\
+Regenerates Figure 3: L1D AVF with the software observation point
+(program-output comparison, run to completion) on the short workloads
+the paper's RTL flow can afford.""",
+    "headline": """\
+Reproduces the abstract's headline numbers: the cross-level unsafeness
+deltas for the register file (from Fig. 1) and the L1D (from Fig. 3),
+plus a wall-clock accounting of the campaign executor (speedup vs the
+estimated serial time when --jobs > 1).""",
+    "golden": """\
+One fault-free run of a workload; prints cycles, instructions, cache
+and predictor statistics and the program output.  Useful to sanity-check
+a workload/toolchain/simulator combination before a campaign.
+
+examples:
+  repro-study golden sha --level rtl""",
+}
+
+
+def _positive_jobs(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive worker count, got {value}"
+        )
+    return value
 
 
 def _parse_workloads(text):
@@ -47,6 +111,7 @@ def _make_study(args):
         workloads=_parse_workloads(args.workloads),
         samples=args.samples,
         seed=args.seed,
+        jobs=args.jobs,
     )
     return CrossLevelStudy(config)
 
@@ -71,10 +136,12 @@ def _cmd_fig(args, which):
 
 
 def _cmd_headline(args):
-    from repro.analysis.report import render_table
+    from repro.analysis.report import render_table, speedup_table
 
     study = _make_study(args)
-    headline = study.headline()
+    fig1 = study.figure1(progress=_progress)
+    fig3 = study.figure3(progress=_progress)
+    headline = study.headline(fig1=fig1, fig3=fig3)
     for name, comparison in headline.items():
         print(render_table(
             ("workload", "GeFIN", "RTL", "delta (pp)", "delta (rel)"),
@@ -82,6 +149,16 @@ def _cmd_headline(args):
             title=f"Cross-level delta: {name}",
         ))
         print()
+    campaigns = [
+        result
+        for series in (fig1, fig3)
+        for by_workload in series.values()
+        for result in by_workload.values()
+    ]
+    print(speedup_table(
+        campaigns,
+        title=f"Campaign wall clock (jobs={args.jobs or 'auto'})",
+    ))
 
 
 def _cmd_golden(args):
@@ -105,6 +182,16 @@ def _cmd_golden(args):
     print(f"output        : {sim.output!r}")
 
 
+def _add_parser(sub, name, help_text):
+    return sub.add_parser(
+        name,
+        help=help_text,
+        description=help_text,
+        epilog=_EPILOGS[name],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -112,19 +199,42 @@ def main(argv=None):
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("table1")
-    p_table2 = sub.add_parser("table2")
-    p_table2.add_argument("--workloads", default="")
-    p_table2.add_argument("--no-trace", action="store_true")
+    _add_parser(sub, "table1", "Table I: simulated CPU configuration")
+    p_table2 = _add_parser(
+        sub, "table2", "Table II: per-framework simulation throughput")
+    p_table2.add_argument("--workloads", default="",
+                          help="comma-separated workload subset "
+                               "(default: all)")
+    p_table2.add_argument("--no-trace", action="store_true",
+                          help="disable RTL signal tracing (faster, "
+                               "less NCSIM-like)")
+    fig_help = {
+        "fig1": "Figure 1: register-file unsafeness, pinout OP",
+        "fig2": "Figure 2: L1D unsafeness, pinout OP",
+        "fig3": "Figure 3: L1D AVF, software OP",
+        "headline": "the abstract's cross-level deltas + wall clock",
+    }
+    from repro.injection.executor import default_jobs
+
     for name in ("fig1", "fig2", "fig3", "headline"):
-        p = sub.add_parser(name)
-        p.add_argument("--workloads", default="")
-        p.add_argument("--samples", type=int, default=None)
-        p.add_argument("--seed", type=int, default=2017)
-    p_golden = sub.add_parser("golden")
-    p_golden.add_argument("workload")
+        p = _add_parser(sub, name, fig_help[name])
+        p.add_argument("--workloads", default="",
+                       help="comma-separated workload subset "
+                            "(default: all)")
+        p.add_argument("--samples", type=int, default=None,
+                       help="faults per (workload, structure, mode) "
+                            "series (default: REPRO_SFI_SAMPLES or 40)")
+        p.add_argument("--seed", type=int, default=2017,
+                       help="campaign RNG seed (default: 2017)")
+        p.add_argument("--jobs", type=_positive_jobs,
+                       default=default_jobs(), help=JOBS_HELP)
+    p_golden = _add_parser(sub, "golden",
+                           "one fault-free run of a workload")
+    p_golden.add_argument("workload", help="workload name (see README.md)")
     p_golden.add_argument("--level", choices=("rtl", "uarch"),
-                          default="uarch")
+                          default="uarch",
+                          help="abstraction level to simulate at "
+                               "(default: uarch)")
     args = parser.parse_args(argv)
     if args.command == "table1":
         _cmd_table1(args)

@@ -29,7 +29,7 @@ class StudyConfig:
 
     def __init__(self, workloads=WORKLOAD_NAMES, samples=None, seed=2017,
                  window=SCALED_WINDOW, distribution="normal",
-                 same_binaries=False):
+                 same_binaries=False, jobs=1, batch_size=None):
         self.workloads = tuple(workloads)
         self.samples = samples if samples is not None else default_samples()
         self.seed = seed
@@ -37,6 +37,10 @@ class StudyConfig:
         self.distribution = distribution
         #: Ablation A3: force both levels onto one toolchain's binary.
         self.same_binaries = same_binaries
+        #: Worker processes per campaign's faulty-run phase (``1`` =
+        #: serial, ``None`` = one per CPU); see repro.injection.executor.
+        self.jobs = jobs
+        self.batch_size = batch_size
 
     def gefin(self, workload):
         return GeFIN(workload)
@@ -67,6 +71,7 @@ class CrossLevelStudy:
         result = front.campaign(
             structure, mode=mode, samples=cfg.samples, seed=cfg.seed,
             window=cfg.window, distribution=cfg.distribution,
+            jobs=cfg.jobs, batch_size=cfg.batch_size,
         )
         self._cache[key] = result
         return result

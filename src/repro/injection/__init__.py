@@ -10,7 +10,12 @@ termination rules at both abstraction levels, which is exactly the
 experimental design of the paper (SS III).
 """
 
-from repro.injection.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.injection.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    FaultRunner,
+)
 from repro.injection.classify import FaultClass
 from repro.injection.faults import FaultSpec
 from repro.injection.gefin import GeFIN
@@ -22,6 +27,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "FaultClass",
+    "FaultRunner",
     "FaultSpec",
     "GeFIN",
     "SafetyVerifier",

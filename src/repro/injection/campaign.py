@@ -13,6 +13,14 @@ A campaign follows the paper's two-step industrial flow (SS III-A):
 
 Classification follows SS IV-A: any deviation at the configured
 observation point makes a run Unsafe.
+
+Step 2 is embarrassingly parallel: every faulty run starts from a
+shared, read-only golden payload.  The per-fault execution therefore
+lives in the picklable :class:`FaultRunner`, which the serial loop and
+the process-pool backend (:mod:`repro.injection.executor`) both drive;
+``CampaignConfig(jobs=N)`` selects the backend.  The parallel path
+merges records in fault-sample order, so for a fixed seed its
+``CampaignResult`` is identical to the serial one (see DESIGN.md).
 """
 
 import bisect
@@ -44,7 +52,8 @@ class CampaignConfig:
                  observation="pinout", distribution="normal", seed=2017,
                  checkpoint_interval=None, accelerate=False,
                  accelerate_lead=32, hang_factor=3.0, error_margin=0.02,
-                 confidence=0.99):
+                 confidence=0.99, jobs=1, batch_size=None,
+                 start_method=None):
         if observation not in ("pinout", "software", "arch"):
             raise ValueError(f"unknown observation point {observation!r}")
         if observation == "arch" and window is not None:
@@ -52,6 +61,10 @@ class CampaignConfig:
                 "the arch (HVF) observation point compares end-of-run "
                 "state; use window=None"
             )
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1 or None (auto), got {jobs}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.samples = samples
         self.window = window
         self.observation = observation
@@ -63,12 +76,33 @@ class CampaignConfig:
         self.hang_factor = hang_factor
         self.error_margin = error_margin
         self.confidence = confidence
+        #: Worker processes for the faulty-run phase.  ``1`` keeps the
+        #: exact serial path; ``None`` means one per CPU.
+        self.jobs = jobs
+        #: Faults per work item handed to a worker (``None`` = auto).
+        self.batch_size = batch_size
+        #: ``multiprocessing`` start method (``None`` = best available).
+        self.start_method = start_method
+
+    def resolved_jobs(self, samples=None):
+        """The effective worker count: ``None`` becomes the CPU count,
+        and a campaign never uses more workers than faults."""
+        if self.jobs is None:
+            from repro.injection import executor
+
+            jobs = executor.default_jobs()
+        else:
+            jobs = self.jobs
+        if samples is not None:
+            jobs = max(min(jobs, samples), 1)
+        return jobs
 
     def describe(self):
         window = "to-end" if self.window is None else f"{self.window}cyc"
+        jobs = "" if self.jobs == 1 else f", jobs={self.jobs or 'auto'}"
         return (
             f"{self.samples} faults, window={window},"
-            f" op={self.observation}, dist={self.distribution}"
+            f" op={self.observation}, dist={self.distribution}{jobs}"
         )
 
 
@@ -86,6 +120,8 @@ class CampaignResult:
         self.golden_seconds = 0.0
         self.total_seconds = 0.0
         self.population = 0
+        #: Worker processes the faulty-run phase actually used.
+        self.jobs = 1
 
     def add(self, record):
         self.records.append(record)
@@ -115,6 +151,20 @@ class CampaignResult:
             return 0.0
         return sum(r.wall_seconds for r in self.records) / self.n
 
+    @property
+    def estimated_serial_seconds(self):
+        """Wall clock a one-process run would have spent: the golden run
+        plus every faulty run back to back."""
+        return self.golden_seconds + sum(r.wall_seconds
+                                         for r in self.records)
+
+    @property
+    def speedup(self):
+        """Wall-clock speedup over the estimated serial execution."""
+        if self.total_seconds <= 0.0:
+            return 1.0
+        return self.estimated_serial_seconds / self.total_seconds
+
     def recommended_samples(self):
         """Leveugle-exact sample size for the configured margins."""
         return leveugle_sample_size(
@@ -143,6 +193,9 @@ class CampaignResult:
             "latent": self.count(FaultClass.LATENT),
             "golden_cycles": self.golden_cycles,
             "s_per_run": self.seconds_per_run,
+            "jobs": self.jobs,
+            "total_s": self.total_seconds,
+            "speedup": self.speedup,
             "population": self.population,
             "recommended_samples": self.recommended_samples(),
             "achieved_margin": self.achieved_margin(),
@@ -154,6 +207,110 @@ class CampaignResult:
             f" {self.unsafe_count}/{self.n} unsafe"
             f" = {100 * self.unsafeness:.1f}%)"
         )
+
+
+class FaultRunner:
+    """Executes and classifies single faulty runs against a golden payload.
+
+    One instance holds everything step 2 of the flow needs -- the
+    campaign config, the golden run's trace/checkpoints and the hang
+    deadline -- and nothing else, so it pickles once per worker process
+    of the parallel executor.  The serial path drives the very same
+    object, which is what makes ``jobs=N`` bit-identical to ``jobs=1``
+    for a fixed seed.
+    """
+
+    def __init__(self, config, golden, hang_deadline):
+        self.config = config
+        self.golden = golden
+        self.hang_deadline = hang_deadline
+
+    def run_one(self, sim, fault):
+        """Restore, advance, inject, finish, classify: one FaultRecord."""
+        cfg = self.config
+        golden = self.golden
+        run_start = time.perf_counter()
+        cp_cycles = golden["cp_cycles"]
+        cp_index = max(bisect.bisect_right(cp_cycles, fault.cycle) - 1, 0)
+        checkpoint = golden["checkpoints"][cp_index]
+        sim.restore(checkpoint)
+        trace_base = len(checkpoint["pinout"])
+        status = sim.run(stop_cycle=fault.cycle,
+                         max_cycles=self.hang_deadline)
+        if status is not RunStatus.STOPPED:
+            # The restored run ended before the injection instant (drain
+            # jitter near program end): the fault lands in dead time and
+            # cannot corrupt anything.
+            return FaultRecord(
+                fault, FaultClass.MASKED, "after program end",
+                sim_cycles=0,
+                wall_seconds=time.perf_counter() - run_start,
+            )
+        sim.inject(fault.structure, fault.bit)
+        if cfg.window is not None:
+            status = sim.run(stop_cycle=fault.cycle + cfg.window,
+                             max_cycles=self.hang_deadline)
+        else:
+            status = sim.run(max_cycles=self.hang_deadline)
+        fclass, detail = self._classify(sim, status, trace_base)
+        return FaultRecord(
+            fault, fclass, detail,
+            sim_cycles=sim.cycle - fault.cycle,
+            wall_seconds=time.perf_counter() - run_start,
+        )
+
+    def _classify(self, sim, status, trace_base):
+        cfg = self.config
+        golden = self.golden
+        if status is RunStatus.FAULT:
+            return FaultClass.DUE, str(sim.fault)
+        if status is RunStatus.TIMEOUT:
+            return FaultClass.HANG, "watchdog expired"
+        if cfg.observation == "software":
+            if status is RunStatus.EXITED:
+                if sim.output == golden["output"]:
+                    return FaultClass.MASKED, ""
+                return FaultClass.SDC, "program output differs"
+            # Window expired before program end: compare the prefix.
+            if golden["output"].startswith(sim.output):
+                return FaultClass.MASKED, "window expired, prefix clean"
+            return FaultClass.SDC, "output prefix differs"
+        if cfg.observation == "arch":
+            # HVF-style layer boundary: output first, then latent state.
+            if sim.output != golden["output"]:
+                return FaultClass.SDC, "program output differs"
+            if hardware_state_digest(sim) != golden["hw_state"]:
+                return FaultClass.LATENT, "hardware state differs"
+            return FaultClass.MASKED, ""
+        # Pinout observation: strictly the write-back/refill traffic at
+        # the core pins, as in the paper.  Silent corruption that never
+        # reaches the pins is invisible here -- that blindness is the
+        # paper's Fig. 2 finding, so the observation stays pure.
+        golden_suffix = golden["pinout_keys"][trace_base:]
+        faulty_suffix = [t.key() for t in sim.pinout[trace_base:]]
+        if status is RunStatus.EXITED:
+            match = faulty_suffix == golden_suffix
+        else:
+            match = compare_traces(golden_suffix, faulty_suffix)
+        if match:
+            return FaultClass.MASKED, ""
+        return FaultClass.MISMATCH, "pinout trace deviates"
+
+
+def run_serial(sim, runner, specs, progress=None):
+    """The one serial faulty-run loop.
+
+    Used by the ``jobs=1`` path and by the executor when a shard
+    degenerates to a single batch, so there is exactly one copy of the
+    restore/inject/classify iteration order.
+    """
+    records = []
+    for i, fault in enumerate(specs):
+        record = runner.run_one(sim, fault)
+        records.append(record)
+        if progress is not None:
+            progress(i + 1, len(specs), record)
+    return records
 
 
 class Campaign:
@@ -244,44 +401,14 @@ class Campaign:
         return fault_mod.FaultSpec(fault.structure, fault.bit, new_cycle,
                                    original_cycle=fault.cycle)
 
-    def _classify(self, sim, status, golden, trace_base):
-        cfg = self.config
-        if status is RunStatus.FAULT:
-            return FaultClass.DUE, str(sim.fault)
-        if status is RunStatus.TIMEOUT:
-            return FaultClass.HANG, "watchdog expired"
-        if cfg.observation == "software":
-            if status is RunStatus.EXITED:
-                if sim.output == golden["output"]:
-                    return FaultClass.MASKED, ""
-                return FaultClass.SDC, "program output differs"
-            # Window expired before program end: compare the prefix.
-            if golden["output"].startswith(sim.output):
-                return FaultClass.MASKED, "window expired, prefix clean"
-            return FaultClass.SDC, "output prefix differs"
-        if cfg.observation == "arch":
-            # HVF-style layer boundary: output first, then latent state.
-            if sim.output != golden["output"]:
-                return FaultClass.SDC, "program output differs"
-            if hardware_state_digest(sim) != golden["hw_state"]:
-                return FaultClass.LATENT, "hardware state differs"
-            return FaultClass.MASKED, ""
-        # Pinout observation: strictly the write-back/refill traffic at
-        # the core pins, as in the paper.  Silent corruption that never
-        # reaches the pins is invisible here -- that blindness is the
-        # paper's Fig. 2 finding, so the observation stays pure.
-        golden_suffix = golden["pinout_keys"][trace_base:]
-        faulty_suffix = [t.key() for t in sim.pinout[trace_base:]]
-        if status is RunStatus.EXITED:
-            match = faulty_suffix == golden_suffix
-        else:
-            match = compare_traces(golden_suffix, faulty_suffix)
-        if match:
-            return FaultClass.MASKED, ""
-        return FaultClass.MISMATCH, "pinout trace deviates"
-
     def run(self, progress=None):
-        """Execute the campaign.  Returns a :class:`CampaignResult`."""
+        """Execute the campaign.  Returns a :class:`CampaignResult`.
+
+        The golden phase and fault sampling always run in this process;
+        the faulty runs execute serially (``jobs=1``, the default) or on
+        a process pool (:mod:`repro.injection.executor`).  Both backends
+        produce records in fault-sample order.
+        """
         cfg = self.config
         result = CampaignResult(self.workload, self.level, self.structure,
                                 cfg)
@@ -293,41 +420,29 @@ class Campaign:
             golden["end_cycle"] * cfg.hang_factor
             + (cfg.window or 0) + 20_000
         )
-        cp_cycles = golden["cp_cycles"]
-        for i, fault in enumerate(specs):
-            run_start = time.perf_counter()
-            cp_index = max(bisect.bisect_right(cp_cycles, fault.cycle) - 1,
-                           0)
-            checkpoint = golden["checkpoints"][cp_index]
-            sim.restore(checkpoint)
-            trace_base = len(checkpoint["pinout"])
-            status = sim.run(stop_cycle=fault.cycle,
-                             max_cycles=hang_deadline)
-            if status is not RunStatus.STOPPED:
-                # The restored run ended before the injection instant
-                # (drain jitter near program end): the fault lands in dead
-                # time and cannot corrupt anything.
-                record = FaultRecord(
-                    fault, FaultClass.MASKED, "after program end",
-                    sim_cycles=0,
-                    wall_seconds=time.perf_counter() - run_start,
-                )
-                result.add(record)
-                continue
-            sim.inject(fault.structure, fault.bit)
-            if cfg.window is not None:
-                status = sim.run(stop_cycle=fault.cycle + cfg.window,
-                                 max_cycles=hang_deadline)
-            else:
-                status = sim.run(max_cycles=hang_deadline)
-            fclass, detail = self._classify(sim, status, golden, trace_base)
-            record = FaultRecord(
-                fault, fclass, detail,
-                sim_cycles=sim.cycle - fault.cycle,
-                wall_seconds=time.perf_counter() - run_start,
+        # Only what the faulty phase reads travels to workers -- the
+        # access log (and hw_state outside arch mode) stays local.
+        runner_golden = {
+            key: golden[key]
+            for key in ("checkpoints", "cp_cycles", "pinout_keys",
+                        "output")
+        }
+        if cfg.observation == "arch":
+            runner_golden["hw_state"] = golden["hw_state"]
+        runner = FaultRunner(cfg, runner_golden, hang_deadline)
+        jobs = cfg.resolved_jobs(len(specs))
+        if jobs > 1:
+            from repro.injection import executor
+
+            records, jobs = executor.run_parallel(
+                self.sim_factory, runner, specs, jobs=jobs,
+                batch_size=cfg.batch_size, start_method=cfg.start_method,
+                progress=progress, fallback_sim=sim,
             )
+        else:
+            records = run_serial(sim, runner, specs, progress)
+        result.jobs = jobs
+        for record in records:
             result.add(record)
-            if progress is not None:
-                progress(i + 1, len(specs), record)
         result.total_seconds = time.perf_counter() - total_start
         return result

@@ -1,0 +1,139 @@
+"""Parallel faulty-run execution: the campaign engine's process pool.
+
+A campaign's step 2 (the faulty simulations) is embarrassingly
+parallel: every run restores a golden checkpoint, injects one bit and
+compares against read-only golden data.  This module shards the sampled
+faults into contiguous batches and fans them out over a
+``multiprocessing`` pool:
+
+* the golden payload (trace keys, output, checkpoints) and the
+  simulator factory are **serialized once** and shipped to each worker
+  through the pool initializer -- workers never recompute the golden
+  run;
+* each worker builds one simulator and reuses it across all its
+  batches, exactly like the serial loop reuses one simulator across
+  faults (``restore`` rebuilds the machine, so no state leaks between
+  runs);
+* batches complete in any order, but records are merged back by fault
+  index, so the resulting sequence -- classes, details, cycle counts --
+  is identical to what ``jobs=1`` produces for the same seed.  Only the
+  ``wall_seconds`` timings differ.
+
+The pool start method defaults to ``fork`` on Linux (cheapest: the
+~100s-of-kB payload still transfers explicitly, but the interpreter
+and imports come for free) and to ``spawn`` elsewhere.  Both are
+supported; ``REPRO_MP_START`` or ``CampaignConfig(start_method=...)``
+override the choice.
+"""
+
+import math
+import multiprocessing
+import os
+import pickle
+import sys
+
+#: Per-process worker state: ``(simulator, FaultRunner)``.  Set by
+#: :func:`_init_worker` in each pool process, never in the parent.
+_WORKER = None
+
+
+def default_jobs():
+    """The ``jobs=None`` resolution: one worker per *available* CPU.
+
+    CPU affinity masks (taskset, container cpusets) make
+    ``os.cpu_count()`` an overcount; honouring them avoids spawning
+    dozens of workers pinned to one core.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
+
+
+def resolve_start_method(name=None):
+    """Pick the ``multiprocessing`` start method.
+
+    Priority: explicit ``name`` argument, then the ``REPRO_MP_START``
+    environment variable, then ``fork`` where available (Linux/macOS
+    CPython builds that offer it), else ``spawn``.
+    """
+    name = name or os.environ.get("REPRO_MP_START")
+    available = multiprocessing.get_all_start_methods()
+    if name:
+        if name not in available:
+            raise ValueError(
+                f"start method {name!r} not available (have {available})"
+            )
+        return name
+    # fork is the cheap path but is only reliably safe on Linux --
+    # macOS offers it yet made spawn its default for a reason
+    # (post-initialization forks can abort in system frameworks).
+    if sys.platform.startswith("linux") and "fork" in available:
+        return "fork"
+    return "spawn"
+
+
+def shard(specs, jobs, batch_size=None):
+    """Split ``specs`` into contiguous ``(start_index, faults)`` batches.
+
+    The default batch size aims at ~4 batches per worker so a slow batch
+    (hangs cost ``hang_factor`` times a normal run) cannot straggle the
+    whole pool, without paying per-fault IPC overhead.
+    """
+    if batch_size is None:
+        batch_size = max(1, math.ceil(len(specs) / (jobs * 4)))
+    return [
+        (start, specs[start:start + batch_size])
+        for start in range(0, len(specs), batch_size)
+    ]
+
+
+def _init_worker(payload):
+    """Pool initializer: unpack the campaign context, build one sim."""
+    global _WORKER
+    sim_factory, runner = pickle.loads(payload)
+    _WORKER = (sim_factory(), runner)
+
+
+def _run_batch(batch):
+    """Execute one batch of faults on this worker's simulator."""
+    start, faults = batch
+    sim, runner = _WORKER
+    return start, [runner.run_one(sim, fault) for fault in faults]
+
+
+def run_parallel(sim_factory, runner, specs, jobs, batch_size=None,
+                 start_method=None, progress=None, fallback_sim=None):
+    """Execute ``specs`` on a pool of up to ``jobs`` workers.
+
+    Returns ``(records, jobs_used)``: the
+    :class:`~repro.injection.classify.FaultRecord` list in fault-sample
+    order (deterministic merge) plus the worker count actually used,
+    which may be lower than requested when there are fewer batches than
+    workers (``1`` means no pool was built).  ``progress``, if given,
+    is called as ``progress(done, total, record)`` after each batch
+    with the batch's last record.  ``fallback_sim``, if given, serves
+    the degenerate single-batch case instead of building a fresh
+    simulator.
+    """
+    from repro.injection.campaign import run_serial
+
+    batches = shard(specs, jobs, batch_size)
+    jobs = min(jobs, len(batches))
+    if jobs <= 1:
+        # Degenerate shard (e.g. one batch): stay in-process.
+        sim = fallback_sim if fallback_sim is not None else sim_factory()
+        return run_serial(sim, runner, specs, progress), 1
+    payload = pickle.dumps((sim_factory, runner),
+                           protocol=pickle.HIGHEST_PROTOCOL)
+    ctx = multiprocessing.get_context(resolve_start_method(start_method))
+    records = [None] * len(specs)
+    done = 0
+    with ctx.Pool(jobs, initializer=_init_worker,
+                  initargs=(payload,)) as pool:
+        for start, batch_records in pool.imap_unordered(_run_batch,
+                                                        batches):
+            records[start:start + len(batch_records)] = batch_records
+            done += len(batch_records)
+            if progress is not None:
+                progress(done, len(specs), batch_records[-1])
+    return records, jobs

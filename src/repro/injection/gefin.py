@@ -84,7 +84,13 @@ class GeFIN:
                  window=SCALED_WINDOW, distribution="normal",
                  progress=None, **extra):
         """Run one campaign.  ``structure`` is e.g. ``regfile`` or
-        ``l1d.data``."""
+        ``l1d.data``.
+
+        Extra keyword arguments reach :class:`CampaignConfig` -- most
+        notably ``jobs=N``/``batch_size=M`` to fan the faulty runs out
+        over a process pool (:mod:`repro.injection.executor`); results
+        are identical for any worker count.
+        """
         config = self.make_config(mode, samples, seed=seed, window=window,
                                   distribution=distribution, **extra)
         runner = Campaign(

@@ -59,6 +59,9 @@ class SafetyVerifier:
     def campaign(self, structure, mode="pinout", samples=100, seed=2017,
                  window=SCALED_WINDOW, distribution="normal",
                  accelerate=None, progress=None, **extra):
+        """Run one campaign.  As with :meth:`GeFIN.campaign`, extra
+        keyword arguments reach :class:`CampaignConfig` (e.g. ``jobs=N``
+        for the parallel executor)."""
         if accelerate is None:
             accelerate = structure == "l1d.data" and mode == "pinout"
         if mode == "pinout":

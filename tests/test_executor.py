@@ -1,0 +1,231 @@
+"""Parallel campaign executor: determinism, sharding, serial fallback."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.injection import executor
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.isa import assemble
+from repro.isa.toolchain import Toolchain
+from repro.uarch import CortexA9Config, MicroArchSim
+
+#: Same tiny workload as test_campaign.py: fast enough that a campaign
+#: can run several times (serial + parallel) inside one test.
+TINY_SRC = """
+    .text
+_start:
+    ldr  r1, =buffer
+    movw r2, #0
+    movw r3, #64
+fill:
+    mul  r4, r2, r2
+    str  r4, [r1, r2, lsl #2]
+    add  r2, r2, #1
+    cmp  r2, r3
+    blt  fill
+    movw r0, #0
+    movw r2, #0
+fold:
+    ldr  r4, [r1, r2, lsl #2]
+    movw r5, #31
+    mul  r0, r0, r5
+    add  r0, r0, r4
+    add  r2, r2, #1
+    cmp  r2, r3
+    blt  fold
+    svc  #3
+    movw r0, #10
+    svc  #1
+    movw r0, #0
+    svc  #0
+    .pool
+    .data
+buffer: .space 256
+"""
+
+
+@pytest.fixture(scope="module")
+def tiny_program():
+    return assemble(TINY_SRC, name="tiny", toolchain=Toolchain("gnu"))
+
+
+class TinyFactory:
+    """Picklable simulator factory (a lambda would break spawn)."""
+
+    def __init__(self, program):
+        self.program = program
+
+    def __call__(self):
+        config = CortexA9Config(dcache_size=1024, icache_size=1024)
+        return MicroArchSim(self.program, config)
+
+
+def run_campaign(program, **config_kwargs):
+    config = CampaignConfig(samples=16, window=800, seed=9,
+                            **config_kwargs)
+    campaign = Campaign(TinyFactory(program), "regfile", config,
+                        workload="tiny", level="uarch")
+    return campaign.run()
+
+
+def record_keys(result):
+    """Everything that must be backend-independent (not wall_seconds)."""
+    return [
+        (r.fault.bit, r.fault.cycle, r.fclass, r.detail, r.sim_cycles)
+        for r in result.records
+    ]
+
+
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+
+def test_shard_covers_all_specs_in_order():
+    specs = list(range(10))
+    batches = executor.shard(specs, jobs=3)
+    merged = []
+    for start, faults in batches:
+        assert specs[start:start + len(faults)] == faults
+        merged.extend(faults)
+    assert merged == specs
+
+
+def test_shard_explicit_batch_size():
+    batches = executor.shard(list(range(7)), jobs=2, batch_size=3)
+    assert [(s, len(f)) for s, f in batches] == [(0, 3), (3, 3), (6, 1)]
+
+
+def test_shard_empty():
+    assert executor.shard([], jobs=4) == []
+
+
+def test_default_jobs_positive():
+    assert executor.default_jobs() >= 1
+
+
+def test_resolve_start_method():
+    available = multiprocessing.get_all_start_methods()
+    assert executor.resolve_start_method() in available
+    assert executor.resolve_start_method("spawn") == "spawn"
+    with pytest.raises(ValueError):
+        executor.resolve_start_method("telepathy")
+
+
+# ----------------------------------------------------------------------
+# config knobs
+# ----------------------------------------------------------------------
+
+def test_config_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        CampaignConfig(jobs=0)
+    with pytest.raises(ValueError):
+        CampaignConfig(batch_size=0)
+
+
+def test_config_resolves_auto_jobs():
+    config = CampaignConfig(jobs=None)
+    assert config.resolved_jobs() == executor.default_jobs()
+    # Never more workers than faults.
+    assert config.resolved_jobs(samples=1) == 1
+    assert CampaignConfig(jobs=8).resolved_jobs(samples=3) == 3
+
+
+def test_config_describe_mentions_jobs():
+    assert "jobs=4" in CampaignConfig(jobs=4).describe()
+    assert "jobs" not in CampaignConfig().describe()
+
+
+# ----------------------------------------------------------------------
+# serial fallback: jobs=1 must never touch a process pool
+# ----------------------------------------------------------------------
+
+def test_jobs1_never_spawns_pool(tiny_program, monkeypatch):
+    def boom(*args, **kwargs):
+        raise AssertionError("jobs=1 must not use the parallel executor")
+
+    monkeypatch.setattr(executor, "run_parallel", boom)
+    monkeypatch.setattr(multiprocessing, "Pool", boom)
+    result = run_campaign(tiny_program, jobs=1)
+    assert result.n == 16
+    assert result.jobs == 1
+
+
+# ----------------------------------------------------------------------
+# equivalence: same seed => identical records, any worker count
+# ----------------------------------------------------------------------
+
+def test_parallel_matches_serial(tiny_program):
+    serial = run_campaign(tiny_program, jobs=1)
+    parallel = run_campaign(tiny_program, jobs=2)
+    assert parallel.jobs == 2
+    # Requesting more workers than batches reports the clamped count.
+    clamped = run_campaign(tiny_program, jobs=16, batch_size=8)
+    assert clamped.jobs == 2
+    assert record_keys(clamped) == record_keys(serial)
+    assert record_keys(parallel) == record_keys(serial)
+    assert parallel.summary()["unsafeness"] == serial.summary()["unsafeness"]
+
+
+def test_parallel_spawn_matches_serial(tiny_program):
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("spawn not available")
+    serial = run_campaign(tiny_program, jobs=1)
+    spawned = run_campaign(tiny_program, jobs=2, start_method="spawn")
+    assert record_keys(spawned) == record_keys(serial)
+
+
+def test_single_batch_degenerates_in_process(tiny_program, monkeypatch):
+    # batch_size >= samples leaves one batch; the executor must fall
+    # back to in-process execution rather than paying for a 1-task pool.
+    monkeypatch.setattr(multiprocessing, "Pool", None)
+
+    def no_pool(method=None):
+        raise AssertionError("degenerate shard must not build a context")
+
+    monkeypatch.setattr(multiprocessing, "get_context", no_pool)
+    serial = run_campaign(tiny_program, jobs=1)
+    degenerate = run_campaign(tiny_program, jobs=4, batch_size=100)
+    assert record_keys(degenerate) == record_keys(serial)
+    # The result reports the *effective* worker count, not the request.
+    assert degenerate.jobs == 1
+
+
+def test_parallel_progress_reaches_total(tiny_program):
+    seen = []
+    config = CampaignConfig(samples=12, window=800, seed=9, jobs=2)
+    campaign = Campaign(TinyFactory(tiny_program), "regfile", config,
+                        workload="tiny", level="uarch")
+    campaign.run(progress=lambda done, total, rec: seen.append((done,
+                                                                total)))
+    assert seen[-1] == (12, 12)
+    assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+
+# ----------------------------------------------------------------------
+# payload picklability (what the pool initializer ships)
+# ----------------------------------------------------------------------
+
+def test_runner_payload_pickles(tiny_program):
+    from repro.injection.campaign import FaultRunner
+
+    factory = TinyFactory(tiny_program)
+    sim = factory()
+    sim.run(stop_cycle=500)
+    golden = {"checkpoints": [sim.checkpoint()], "cp_cycles": [0],
+              "pinout_keys": [], "output": b"", "end_cycle": 1000}
+    runner = FaultRunner(CampaignConfig(samples=1), golden, 10_000)
+    clone_factory, clone_runner = pickle.loads(
+        pickle.dumps((factory, runner)))
+    assert clone_runner.hang_deadline == 10_000
+    assert clone_factory().cycle == 0
+
+
+def test_speedup_properties(tiny_program):
+    result = run_campaign(tiny_program, jobs=2)
+    assert result.estimated_serial_seconds > 0.0
+    assert result.speedup > 0.0
+    summary = result.summary()
+    assert summary["jobs"] == 2
+    assert summary["total_s"] == result.total_seconds

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fail when documentation references files that do not exist.
+
+Usage: python tools/docs_check.py README.md DESIGN.md [...]
+
+Two kinds of references are checked, both resolved relative to the repo
+root (the parent of this script's directory):
+
+* markdown links whose target is a relative path: ``[text](DESIGN.md)``
+  (URLs and pure ``#anchor`` links are ignored; a ``path#anchor``
+  target is checked for the path part);
+* backticked path-looking tokens: ``src/repro/cli.py``,
+  ``benchmarks/results/`` -- tokens containing a ``/`` or ending in
+  ``.md`` whose first segment exists as a repo directory or that look
+  like plain repo files.  Tokens with glob/placeholder characters or
+  spaces are skipped.
+
+Exit status 1 lists every dangling reference with file and line.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+#: Anything with these characters is code or a placeholder, not a path.
+NOT_A_PATH = re.compile(r"[*?<>|{}$=\\ ]|\.\.\.")
+
+
+def is_url(target):
+    return re.match(r"^[a-z][a-z0-9+.-]*:", target) is not None
+
+
+def candidate_paths(text, line):
+    """Yield (reference, line) pairs worth checking in one line."""
+    for match in MD_LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if target and not is_url(target):
+            yield target, line
+    for match in BACKTICK.finditer(text):
+        token = match.group(1).strip()
+        if NOT_A_PATH.search(token) or is_url(token):
+            continue
+        looks_like_path = "/" in token or token.endswith(".md")
+        if not looks_like_path:
+            continue
+        # Only treat it as a repo path when the first segment is a real
+        # top-level entry -- `repro.injection.executor` or an example
+        # shell line should not trip the check.
+        first = token.split("/", 1)[0]
+        if not (REPO_ROOT / first).exists() and "/" in token:
+            continue
+        yield token, line
+
+
+def check_file(doc_path):
+    missing = []
+    for lineno, text in enumerate(
+            doc_path.read_text().splitlines(), start=1):
+        for ref, _ in candidate_paths(text, lineno):
+            target = (REPO_ROOT / ref).resolve()
+            if not target.exists():
+                missing.append((doc_path.name, lineno, ref))
+    return missing
+
+
+def main(argv):
+    if not argv:
+        print(__doc__)
+        return 2
+    missing = []
+    for name in argv:
+        doc = REPO_ROOT / name
+        if not doc.exists():
+            missing.append((name, 0, "(document itself is missing)"))
+            continue
+        missing.extend(check_file(doc))
+    if missing:
+        print("docs-check: dangling references:")
+        for doc, lineno, ref in missing:
+            print(f"  {doc}:{lineno}: {ref}")
+        return 1
+    print(f"docs-check: OK ({', '.join(argv)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
