@@ -10,7 +10,12 @@ differences, not the absolute ratio (see EXPERIMENTS.md).
 
 from conftest import bench_workloads, save_artifact
 
-from repro.core.tables import render_table2, table2_rows
+from repro.core.tables import (
+    arch_tier_rows,
+    render_arch_tier,
+    render_table2,
+    table2_rows,
+)
 
 
 def test_table2(benchmark):
@@ -28,5 +33,26 @@ def test_table2(benchmark):
     assert average > 1.5
     text = render_table2(rows, average)
     save_artifact("table2.txt", text)
+    print()
+    print(text)
+
+
+def test_table2_arch_tier(benchmark):
+    """The emulator row the paper's taxonomy implies (SS I): throughput
+    of the ``arch`` backend vs the microarchitectural flow it would
+    pre-screen for."""
+    workloads = bench_workloads()
+
+    def measure():
+        return arch_tier_rows(workloads)
+
+    rows, average = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # The ISS must beat the cycle-level model on every benchmark.
+    for row in rows:
+        assert row["ratio"] > 1.0, row
+        assert row["kinsts"] > 0.0, row
+    assert average > 1.0
+    text = render_arch_tier(rows, average)
+    save_artifact("table2_arch_tier.txt", text)
     print()
     print(text)

@@ -13,9 +13,10 @@ Run:  python examples/early_design_exploration.py
 """
 
 import os
+import time
 
 from repro.analysis.report import render_table
-from repro.injection import GeFIN
+from repro.injection import ArchEmu, GeFIN
 from repro.uarch.config import CortexA9Config
 from repro.workloads import WORKLOAD_NAMES
 
@@ -71,3 +72,31 @@ print(render_table(
 print("\nNote: per-bit AVF falls as capacity grows, while the *chip* "
       "failure rate (AVF x bit count) changes much less -- the classic "
       "trade-off this methodology quantifies before RTL exists.")
+
+# ----------------------------------------------------------------------
+# 3. One tier further down: the architectural emulator (--level arch)
+#    screens the same register-file question before even the
+#    microarchitectural model exists -- the paper taxonomy's fastest,
+#    least-detailed rung.
+# ----------------------------------------------------------------------
+
+screen = []
+for workload in ("sha", "stringsearch"):
+    started = time.perf_counter()
+    arch = ArchEmu(workload).campaign("regfile", mode="avf",
+                                      samples=SAMPLES)
+    arch_seconds = time.perf_counter() - started
+    screen.append((
+        workload,
+        f"{100 * arch.unsafeness:.1f}%",
+        f"{arch_seconds:.1f}s",
+    ))
+print()
+print(render_table(
+    ("benchmark", "RF AVF (arch tier)", "campaign wall clock"),
+    screen,
+    title="Emulator-tier screen: architectural-state-only AVF",
+))
+print("\nNote: the arch tier only sees faults in *architectural* "
+      "registers -- no PRF, no timing -- so it bounds what software-"
+      "level injection can observe, at a fraction of the cost.")

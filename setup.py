@@ -1,3 +1,16 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dsn-chatzidimitriou17",
+    version="0.1.0",
+    description=(
+        "RT-level vs microarchitecture-level reliability assessment: "
+        "a full-system reproduction (DSN-W 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": ["repro-study=repro.cli:main"],
+    },
+)

@@ -17,9 +17,9 @@ True
 """
 
 from repro.core import CrossLevelStudy, StudyConfig
-from repro.injection import GeFIN, SafetyVerifier
+from repro.injection import ArchEmu, GeFIN, SafetyVerifier
 
 __version__ = "0.1.0"
 
-__all__ = ["CrossLevelStudy", "GeFIN", "SafetyVerifier", "StudyConfig",
-           "__version__"]
+__all__ = ["ArchEmu", "CrossLevelStudy", "GeFIN", "SafetyVerifier",
+           "StudyConfig", "__version__"]

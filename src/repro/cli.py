@@ -6,7 +6,11 @@ Subcommands regenerate the paper's artifacts from a terminal::
     repro-study table2 [--workloads sha,fft] [--no-trace]
     repro-study fig1|fig2|fig3 [--samples N] [--workloads ...] [--jobs N]
     repro-study headline [--samples N] [--jobs N]
-    repro-study golden <workload> [--level rtl|uarch]
+    repro-study golden <workload> [--level arch|uarch|rtl]
+
+``--level`` choices come from the backend registry
+(``repro.sim.registry``): the architectural emulator (``arch``), the
+microarchitectural model (``uarch``) and the RT-level model (``rtl``).
 
 Campaign-running subcommands (``fig1``..``fig3``, ``headline``) accept
 ``--jobs`` to fan the faulty runs of each campaign out over a process
@@ -61,10 +65,13 @@ estimated serial time when --jobs > 1).""",
     "golden": """\
 One fault-free run of a workload; prints cycles, instructions, cache
 and predictor statistics and the program output.  Useful to sanity-check
-a workload/toolchain/simulator combination before a campaign.
+a workload/toolchain/simulator combination before a campaign.  The
+arch level (the emulator tier) is the cheapest pre-run path: no
+pipeline or cache model, cycle counts are an instruction-count proxy.
 
 examples:
-  repro-study golden sha --level rtl""",
+  repro-study golden sha --level rtl
+  repro-study golden sha --level arch""",
 }
 
 
@@ -113,6 +120,9 @@ def _make_study(args):
         seed=args.seed,
         jobs=args.jobs,
     )
+    # The header fully identifies the run's configuration (including
+    # the parallel knobs), so logged outputs are reproducible.
+    print(f"# {config.describe()}", file=sys.stderr)
     return CrossLevelStudy(config)
 
 
@@ -162,14 +172,9 @@ def _cmd_headline(args):
 
 
 def _cmd_golden(args):
-    if args.level == "rtl":
-        from repro.injection.safety_verifier import SafetyVerifier
+    from repro.sim import registry
 
-        front = SafetyVerifier(args.workload)
-    else:
-        from repro.injection.gefin import GeFIN
-
-        front = GeFIN(args.workload)
+    front = registry.create_frontend(args.level, args.workload)
     sim = front.golden_run()
     stats = sim.stats()
     print(f"workload      : {args.workload} ({args.level})")
@@ -228,10 +233,12 @@ def main(argv=None):
                        help="campaign RNG seed (default: 2017)")
         p.add_argument("--jobs", type=_positive_jobs,
                        default=default_jobs(), help=JOBS_HELP)
+    from repro.sim.registry import level_names
+
     p_golden = _add_parser(sub, "golden",
                            "one fault-free run of a workload")
     p_golden.add_argument("workload", help="workload name (see README.md)")
-    p_golden.add_argument("--level", choices=("rtl", "uarch"),
+    p_golden.add_argument("--level", choices=level_names(),
                           default="uarch",
                           help="abstraction level to simulate at "
                                "(default: uarch)")

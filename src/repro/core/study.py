@@ -1,11 +1,15 @@
-"""Cross-level study orchestration."""
+"""Cross-level study orchestration.
+
+The study dispatches on abstraction levels exclusively through
+:mod:`repro.sim.registry`, so every registered backend -- including the
+``arch`` emulator tier -- is a valid campaign target.
+"""
 
 import os
 
 from repro.analysis.compare import CrossLevelComparison
-from repro.injection.campaign import SCALED_WINDOW
-from repro.injection.gefin import GeFIN
-from repro.injection.safety_verifier import SafetyVerifier
+from repro.injection.campaign import SCALED_WINDOW, parallel_suffix
+from repro.sim import registry as sim_registry
 from repro.workloads.registry import WORKLOAD_NAMES
 
 #: The paper analyses only the shorter benchmarks with the RTL SOP flow
@@ -42,12 +46,33 @@ class StudyConfig:
         self.jobs = jobs
         self.batch_size = batch_size
 
+    def describe(self):
+        """One line identifying the run (printed by ``repro-study``)."""
+        window = "to-end" if self.window is None else f"{self.window}cyc"
+        parallel = parallel_suffix(self.jobs, self.batch_size)
+        return (
+            f"{len(self.workloads)} workloads x {self.samples} faults,"
+            f" window={window}, dist={self.distribution},"
+            f" seed={self.seed}{parallel}"
+        )
+
+    def frontend(self, level, workload):
+        """The campaign front-end for any registered level.
+
+        With ``same_binaries`` (ablation A3) every level is forced onto
+        the microarchitectural flow's toolchain.
+        """
+        toolchain = None
+        if self.same_binaries:
+            toolchain = sim_registry.get("uarch").default_toolchain
+        return sim_registry.create_frontend(level, workload,
+                                            toolchain=toolchain)
+
     def gefin(self, workload):
-        return GeFIN(workload)
+        return self.frontend("uarch", workload)
 
     def safety_verifier(self, workload):
-        toolchain = GeFIN.DEFAULT_TOOLCHAIN if self.same_binaries else None
-        return SafetyVerifier(workload, toolchain=toolchain)
+        return self.frontend("rtl", workload)
 
 
 class CrossLevelStudy:
@@ -64,10 +89,7 @@ class CrossLevelStudy:
         if key in self._cache:
             return self._cache[key]
         cfg = self.config
-        if level == "uarch":
-            front = cfg.gefin(workload)
-        else:
-            front = cfg.safety_verifier(workload)
+        front = cfg.frontend(level, workload)
         result = front.campaign(
             structure, mode=mode, samples=cfg.samples, seed=cfg.seed,
             window=cfg.window, distribution=cfg.distribution,

@@ -1,15 +1,17 @@
 """Statistical fault injection (SFI) -- the paper's methodology.
 
-The campaign engine (:mod:`repro.injection.campaign`) is generic over the
-simulator protocol shared by :class:`repro.uarch.MicroArchSim` and
-:class:`repro.rtl.RTLSim`; the two front-ends --
+The campaign engine (:mod:`repro.injection.campaign`) is generic over
+the simulator protocol of :class:`repro.sim.base.SimulatorBase`, shared
+by every backend in :mod:`repro.sim.registry`.  The front-ends --
+:class:`repro.injection.arch_emu.ArchEmu` (architectural emulation),
 :class:`repro.injection.gefin.GeFIN` (microarchitecture level) and
 :class:`repro.injection.safety_verifier.SafetyVerifier` (RT level) --
 apply the same faults, the same observation points and the same
-termination rules at both abstraction levels, which is exactly the
+termination rules at every abstraction level, which is exactly the
 experimental design of the paper (SS III).
 """
 
+from repro.injection.arch_emu import ArchEmu
 from repro.injection.campaign import (
     Campaign,
     CampaignConfig,
@@ -23,6 +25,7 @@ from repro.injection.safety_verifier import SafetyVerifier
 from repro.injection.sampling import leveugle_sample_size, wilson_interval
 
 __all__ = [
+    "ArchEmu",
     "Campaign",
     "CampaignConfig",
     "CampaignResult",

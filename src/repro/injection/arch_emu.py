@@ -1,0 +1,56 @@
+"""ArchEmu: the architectural-emulation injection front-end.
+
+The third tier of the paper's taxonomy (SS I): fast software-level /
+architectural emulation without hardware details.  The paper's study
+runs at the two hardware levels; this front-end drives the same campaign
+engine over the :class:`repro.sim.archsim.ArchSim` backend, giving
+campaigns a cheap golden pre-run path and extending the throughput
+comparison (Table II) with the emulator row the taxonomy implies.
+
+Faults at this tier land in *architectural* state only (register file,
+CPSR); the tier is structurally blind to the PRF, caches and pipeline --
+quantifying what that blindness costs is precisely the kind of
+cross-level delta the paper measures one level up.
+"""
+
+from repro.sim.archsim import ArchConfig
+from repro.sim.frontend import Frontend
+
+
+class ArchEmu(Frontend):
+    """Campaign front-end over :class:`repro.sim.archsim.ArchSim`.
+
+    Modes (the same vocabulary as :class:`~repro.injection.gefin.GeFIN`,
+    so arch-tier series drop into the existing figure matrix):
+
+    * ``pinout``         -- store-stream OP, scaled window;
+    * ``pinout-notimer`` -- store-stream OP, run to program end;
+    * ``avf``            -- software OP (program output), run to end;
+    * ``hvf``            -- layer boundary OP: registers + memory image.
+    """
+
+    LEVEL = "arch"
+    #: Same binaries as the microarchitectural flow by default.
+    DEFAULT_TOOLCHAIN = "gnu"
+
+    MODES = {
+        "pinout": ("pinout", True),
+        "pinout-notimer": ("pinout", False),
+        "avf": ("software", False),
+        "hvf": ("arch", False),
+    }
+
+    def __init__(self, workload, toolchain=None, arch_config=None,
+                 scaled_caches=True):
+        # ``scaled_caches`` is accepted for interface uniformity with the
+        # other front-ends; the emulator has no caches to scale.
+        super().__init__(workload, toolchain=toolchain,
+                         sim_config=arch_config,
+                         scaled_caches=scaled_caches)
+
+    def _default_sim_config(self, scaled_caches):
+        return ArchConfig()
+
+    @property
+    def arch_config(self):
+        return self.sim_config

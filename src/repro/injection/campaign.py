@@ -36,13 +36,32 @@ from repro.injection.sampling import (
     leveugle_sample_size,
     wilson_interval,
 )
-from repro.uarch.simulator import RunStatus
+# RunStatus lives in the level-generic backend layer; campaign.py keeps
+# this re-export for callers that historically imported it from here.
+from repro.sim.base import RunStatus
 
 #: The paper terminates each faulty run 20 kcycles after injection.  Our
 #: workloads are scaled down ~500x relative to MiBench-on-A9 (DESIGN.md),
 #: so the equivalent window keeping the window/run-length ratio in the
 #: paper's range is ~2 kcycles.
 SCALED_WINDOW = 2000
+
+
+def parallel_suffix(jobs, batch_size=None, start_method=None):
+    """The ``, jobs=...`` fragment of a run header (empty when serial).
+
+    Shared by :meth:`CampaignConfig.describe` and
+    :meth:`repro.core.study.StudyConfig.describe`, so every header
+    identifies a parallel run's configuration the same way.
+    """
+    if jobs == 1:
+        return ""
+    suffix = f", jobs={jobs or 'auto'}"
+    if batch_size is not None:
+        suffix += f", batch={batch_size}"
+    if start_method is not None:
+        suffix += f", start={start_method}"
+    return suffix
 
 
 class CampaignConfig:
@@ -99,10 +118,11 @@ class CampaignConfig:
 
     def describe(self):
         window = "to-end" if self.window is None else f"{self.window}cyc"
-        jobs = "" if self.jobs == 1 else f", jobs={self.jobs or 'auto'}"
+        parallel = parallel_suffix(self.jobs, self.batch_size,
+                                   self.start_method)
         return (
             f"{self.samples} faults, window={window},"
-            f" op={self.observation}, dist={self.distribution}{jobs}"
+            f" op={self.observation}, dist={self.distribution}{parallel}"
         )
 
 

@@ -7,15 +7,12 @@ after the paper's modification -- the same core-pinout observation point
 as the RTL flow.
 """
 
-from repro.injection.campaign import Campaign, CampaignConfig, SCALED_WINDOW
-from repro.isa.toolchain import Toolchain
+from repro.sim.frontend import Frontend
 from repro.uarch.config import CortexA9Config
-from repro.uarch.simulator import MicroArchSim
-from repro.workloads import registry
 
 
-class GeFIN:
-    """Campaign front-end over :class:`MicroArchSim`.
+class GeFIN(Frontend):
+    """Campaign front-end over :class:`repro.uarch.MicroArchSim`.
 
     Modes (matching the paper's figure series):
 
@@ -33,77 +30,29 @@ class GeFIN:
     #: microarchitectural flow uses the GNU-style variant.
     DEFAULT_TOOLCHAIN = "gnu"
 
-    #: Campaign cache size: the workloads are scaled ~500x relative to
-    #: full MiBench, so campaigns shrink both L1s (same 4-way geometry)
-    #: to keep the live fraction of the array -- and hence the per-bit
-    #: vulnerability -- in the paper's range.  Table I reporting uses the
-    #: unscaled configuration.  Applied identically at both levels.
-    SCALED_CACHE_BYTES = 1024
+    MODES = {
+        "pinout": ("pinout", True),
+        "pinout-notimer": ("pinout", False),
+        "avf": ("software", False),
+        # GeFIN's native layer-boundary observation point (SS III-C):
+        # any corruption of the committed hardware state counts.
+        "hvf": ("arch", False),
+    }
 
     def __init__(self, workload, toolchain=None, core_config=None,
                  scaled_caches=True):
-        self.workload = workload
-        self.toolchain = Toolchain(toolchain or self.DEFAULT_TOOLCHAIN)
-        if core_config is None:
-            if scaled_caches:
-                core_config = CortexA9Config(
-                    dcache_size=self.SCALED_CACHE_BYTES,
-                    icache_size=self.SCALED_CACHE_BYTES,
-                )
-            else:
-                core_config = CortexA9Config()
-        self.core_config = core_config
-        self.program = registry.build(workload, self.toolchain)
+        super().__init__(workload, toolchain=toolchain,
+                         sim_config=core_config,
+                         scaled_caches=scaled_caches)
 
-    def sim_factory(self):
-        return MicroArchSim(self.program, self.core_config)
+    def _default_sim_config(self, scaled_caches):
+        if scaled_caches:
+            return CortexA9Config(
+                dcache_size=self.SCALED_CACHE_BYTES,
+                icache_size=self.SCALED_CACHE_BYTES,
+            )
+        return CortexA9Config()
 
-    def make_config(self, mode, samples, seed=2017, window=SCALED_WINDOW,
-                    distribution="normal", **extra):
-        if mode == "pinout":
-            return CampaignConfig(samples=samples, window=window,
-                                  observation="pinout", seed=seed,
-                                  distribution=distribution, **extra)
-        if mode == "pinout-notimer":
-            return CampaignConfig(samples=samples, window=None,
-                                  observation="pinout", seed=seed,
-                                  distribution=distribution, **extra)
-        if mode == "avf":
-            return CampaignConfig(samples=samples, window=None,
-                                  observation="software", seed=seed,
-                                  distribution=distribution, **extra)
-        if mode == "hvf":
-            # GeFIN's native layer-boundary observation point (SS III-C):
-            # any corruption of the committed hardware state counts.
-            return CampaignConfig(samples=samples, window=None,
-                                  observation="arch", seed=seed,
-                                  distribution=distribution, **extra)
-        raise ValueError(f"unknown mode {mode!r}")
-
-    def campaign(self, structure, mode="pinout", samples=100, seed=2017,
-                 window=SCALED_WINDOW, distribution="normal",
-                 progress=None, **extra):
-        """Run one campaign.  ``structure`` is e.g. ``regfile`` or
-        ``l1d.data``.
-
-        Extra keyword arguments reach :class:`CampaignConfig` -- most
-        notably ``jobs=N``/``batch_size=M`` to fan the faulty runs out
-        over a process pool (:mod:`repro.injection.executor`); results
-        are identical for any worker count.
-        """
-        config = self.make_config(mode, samples, seed=seed, window=window,
-                                  distribution=distribution, **extra)
-        runner = Campaign(
-            self.sim_factory, structure, config,
-            workload=self.workload, level=self.LEVEL,
-        )
-        return runner.run(progress=progress)
-
-    def golden_run(self):
-        """One fault-free run; returns the simulator for inspection."""
-        sim = self.sim_factory()
-        sim.run()
-        return sim
-
-    def __repr__(self):
-        return f"GeFIN({self.workload!r}, toolchain={self.toolchain.name})"
+    @property
+    def core_config(self):
+        return self.sim_config

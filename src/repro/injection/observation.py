@@ -46,5 +46,13 @@ def arch_digest(sim):
 
 
 def hardware_state_digest(sim):
-    """The full hardware-visible state: registers + coherent memory."""
-    return (arch_digest(sim), memory_digest(sim.ram, (sim.dcache,)))
+    """The full hardware-visible state: registers + coherent memory.
+
+    Level-generic: backends without a cache model (the ``arch`` tier)
+    contribute their RAM image directly.
+    """
+    caches = tuple(
+        cache for cache in (getattr(sim, "dcache", None),)
+        if cache is not None
+    )
+    return (arch_digest(sim), memory_digest(sim.ram, caches))

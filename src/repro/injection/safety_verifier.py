@@ -12,15 +12,12 @@ the two study-specific extensions the paper describes --
 * a software observation point (SOP) enabling AVF computation (SS IV-C).
 """
 
-from repro.injection.campaign import Campaign, CampaignConfig, SCALED_WINDOW
-from repro.isa.toolchain import Toolchain
 from repro.rtl.config import RTLConfig
-from repro.rtl.simulator import RTLSim
-from repro.workloads import registry
+from repro.sim.frontend import Frontend
 
 
-class SafetyVerifier:
-    """Campaign front-end over :class:`RTLSim`.
+class SafetyVerifier(Frontend):
+    """Campaign front-end over :class:`repro.rtl.RTLSim`.
 
     Modes:
 
@@ -35,62 +32,30 @@ class SafetyVerifier:
     #: Different toolchain from the microarchitectural flow (SS III-C).
     DEFAULT_TOOLCHAIN = "armcc"
 
-    #: Same campaign cache scaling as GeFIN (equivalent setup, SS III-C).
-    SCALED_CACHE_BYTES = 1024
+    MODES = {
+        "pinout": ("pinout", True),
+        "sop": ("software", False),
+    }
 
     def __init__(self, workload, toolchain=None, rtl_config=None,
                  trace_signals=False, scaled_caches=True):
-        self.workload = workload
-        self.toolchain = Toolchain(toolchain or self.DEFAULT_TOOLCHAIN)
         # Campaigns default to tracing off for wall-clock tractability;
         # Table II measures the traced (NCSIM-like) throughput explicitly.
-        if rtl_config is None:
-            kwargs = {"trace_signals": trace_signals}
-            if scaled_caches:
-                kwargs["dcache_size"] = self.SCALED_CACHE_BYTES
-                kwargs["icache_size"] = self.SCALED_CACHE_BYTES
-            rtl_config = RTLConfig(**kwargs)
-        self.rtl_config = rtl_config
-        self.program = registry.build(workload, self.toolchain)
+        self._trace_signals = trace_signals
+        super().__init__(workload, toolchain=toolchain,
+                         sim_config=rtl_config,
+                         scaled_caches=scaled_caches)
 
-    def sim_factory(self):
-        return RTLSim(self.program, self.rtl_config)
+    def _default_sim_config(self, scaled_caches):
+        kwargs = {"trace_signals": self._trace_signals}
+        if scaled_caches:
+            kwargs["dcache_size"] = self.SCALED_CACHE_BYTES
+            kwargs["icache_size"] = self.SCALED_CACHE_BYTES
+        return RTLConfig(**kwargs)
 
-    def campaign(self, structure, mode="pinout", samples=100, seed=2017,
-                 window=SCALED_WINDOW, distribution="normal",
-                 accelerate=None, progress=None, **extra):
-        """Run one campaign.  As with :meth:`GeFIN.campaign`, extra
-        keyword arguments reach :class:`CampaignConfig` (e.g. ``jobs=N``
-        for the parallel executor)."""
-        if accelerate is None:
-            accelerate = structure == "l1d.data" and mode == "pinout"
-        if mode == "pinout":
-            config = CampaignConfig(
-                samples=samples, window=window, observation="pinout",
-                seed=seed, distribution=distribution,
-                accelerate=accelerate, **extra,
-            )
-        elif mode == "sop":
-            config = CampaignConfig(
-                samples=samples, window=None, observation="software",
-                seed=seed, distribution=distribution,
-                accelerate=accelerate, **extra,
-            )
-        else:
-            raise ValueError(f"unknown mode {mode!r}")
-        runner = Campaign(
-            self.sim_factory, structure, config,
-            workload=self.workload, level=self.LEVEL,
-        )
-        return runner.run(progress=progress)
+    @property
+    def rtl_config(self):
+        return self.sim_config
 
-    def golden_run(self):
-        sim = self.sim_factory()
-        sim.run()
-        return sim
-
-    def __repr__(self):
-        return (
-            f"SafetyVerifier({self.workload!r},"
-            f" toolchain={self.toolchain.name})"
-        )
+    def _default_accelerate(self, structure, mode):
+        return structure == "l1d.data" and mode == "pinout"

@@ -55,6 +55,9 @@ class Interpreter:
         self.syscalls = SyscallEmulator()
         self.inst_count = 0
         self.halted = False
+        #: Optional hook called as ``(addr, size, value)`` after every
+        #: store; the ``arch`` backend publishes these as its pinout.
+        self.store_listener = None
 
     # -- operand helpers ---------------------------------------------------
 
@@ -102,6 +105,8 @@ class Interpreter:
             self.ram.write16(addr, value)
         else:
             self.ram.write8(addr, value)
+        if self.store_listener is not None:
+            self.store_listener(addr, size, value)
 
     # -- main loop ----------------------------------------------------------
 

@@ -75,6 +75,18 @@ class RegisterFile:
     def restore(self, values):
         self._regs = list(values)
 
+    # -- fault-injection interface (the ``arch`` backend's regfile) ----
+    # Only r0-r14 are injectable: the r15 slot is never read or written
+    # (the interpreter keeps the PC outside the file), so a flip there
+    # could never propagate and would only deflate the tier's estimate.
+
+    def bit_count(self):
+        return (NUM_REGS - 1) * 32
+
+    def flip_bit(self, bit_index):
+        reg, bit = divmod(bit_index, 32)
+        self._regs[reg] ^= 1 << bit
+
     def __repr__(self):
         cells = ", ".join(
             f"{reg_name(i)}={value:#010x}" for i, value in enumerate(self._regs)

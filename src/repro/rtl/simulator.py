@@ -1,44 +1,52 @@
 """Public RT-level simulator API (the "NCSIM + Safety Verifier" tier).
 
-Mirrors :class:`repro.uarch.simulator.MicroArchSim` exactly -- same run
-control, checkpointing, pinout and fault-injection protocol -- so the
-campaign engine in :mod:`repro.injection` is generic over the abstraction
-level, which is the paper's whole experimental design.
+Implements the same :class:`repro.sim.base.SimulatorBase` protocol as
+the other levels -- same run control, checkpointing, pinout and
+fault-injection interface -- so the campaign engine in
+:mod:`repro.injection` is generic over the abstraction level, which is
+the paper's whole experimental design.  This shell adds only the RTL
+machine construction, the flip-flop state hooks and signal tracing.
 """
 
-from repro.errors import SimFault
-from repro.memory.bus import Transaction
-from repro.memory.cache import Cache, CacheConfig
-from repro.memory.ram import RAM
+from repro.memory.cache import CacheConfig
 from repro.rtl.arrays import RTLRegisterFile
 from repro.rtl.cache_rtl import RTLCache
 from repro.rtl.config import RTLConfig
 from repro.rtl.core import RTLCore
 from repro.rtl.trace import SignalTrace
+from repro.sim.base import RunStatus, SimulatorBase
 from repro.uarch.branch import BranchPredictor
-from repro.uarch.simulator import RunStatus
+
+__all__ = ["RTLSim", "RunStatus"]
 
 
-class RTLSim:
+class RTLSim(SimulatorBase):
     """Cycle-by-cycle RT-level Cortex-A9-class simulator."""
 
     LEVEL = "rtl"
 
-    def __init__(self, program, config=None):
-        self.config = config or RTLConfig()
-        self.program = program
-        self.pinout = []
-        self._build()
+    INJECTABLE = {
+        "regfile": "register-file macro (56 x 32 flops: user + banked/spare)",
+        "cpsr": "NZCV status flops",
+        "l1d.data": "L1D data array",
+        "l1d.tag": "L1D tag array",
+        "l1d.valid": "L1D valid bits",
+        "l1d.dirty": "L1D dirty bits",
+        "l1d.age": "L1D replacement state",
+        "l1i.data": "L1I data array",
+        "l1i.tag": "L1I tag array",
+        "l1i.valid": "L1I valid bits",
+    }
+
+    @classmethod
+    def default_config(cls):
+        return RTLConfig()
 
     def _build(self):
         cfg = self.config
         layout = self.program.layout
-        self.ram = RAM(layout.ram_size)
-        self.program.load_into(self.ram)
-
-        def bus_event(kind, addr, data, cycle):
-            self.pinout.append(Transaction(kind, addr, data, cycle))
-
+        self.ram = self._make_ram()
+        bus_event = self._bus_listener()
         self.dcache = RTLCache(
             "l1d",
             CacheConfig(cfg.dcache_size, cfg.dcache_ways, cfg.line_size),
@@ -64,32 +72,8 @@ class RTLSim:
         self.rf.write(13, layout.stack_top)
 
     # ------------------------------------------------------------------
-    # run control (identical protocol to MicroArchSim)
+    # signal tracing (this level only)
     # ------------------------------------------------------------------
-
-    @property
-    def cycle(self):
-        return self.core.cycle
-
-    @property
-    def icount(self):
-        return self.core.icount
-
-    @property
-    def exited(self):
-        return self.core.exited
-
-    @property
-    def exit_code(self):
-        return self.core.syscalls.exit_code
-
-    @property
-    def fault(self):
-        return self.core.fault
-
-    @property
-    def output(self):
-        return bytes(self.core.syscalls.output)
 
     @property
     def signal_crc(self):
@@ -103,21 +87,9 @@ class RTLSim:
             raise RuntimeError("signal tracing is disabled")
         return self.trace.to_vcd(title or self.program.name)
 
-    def run(self, stop_cycle=None, max_cycles=5_000_000):
-        core = self.core
-        while True:
-            if core.exited:
-                return RunStatus.EXITED
-            if core.fault is not None:
-                return RunStatus.FAULT
-            if stop_cycle is not None and core.cycle >= stop_cycle:
-                return RunStatus.STOPPED
-            if core.cycle >= max_cycles:
-                return RunStatus.TIMEOUT
-            core.tick()
-
-    def run_to_completion(self, max_cycles=5_000_000):
-        return self.run(max_cycles=max_cycles)
+    # ------------------------------------------------------------------
+    # architectural visibility
+    # ------------------------------------------------------------------
 
     def arch_state(self):
         regs = [self.rf.read(i) for i in range(15)]
@@ -125,126 +97,51 @@ class RTLSim:
                 "pc": self.core.retired_next_pc}
 
     # ------------------------------------------------------------------
-    # checkpoints (drain + full state capture)
+    # checkpoint hooks
     # ------------------------------------------------------------------
 
-    def drain(self, guard_cycles=300_000):
-        core = self.core
-        core.draining = True
-        deadline = core.cycle + guard_cycles
-        try:
-            while (not core.quiesced() and not core.exited
-                   and core.fault is None):
-                if core.cycle >= deadline:
-                    raise SimFault("halt-trap", "drain did not converge")
-                core.tick()
-        finally:
-            core.draining = False
+    def _restart_pc(self):
+        return self.core.retired_next_pc
 
-    def checkpoint(self):
-        self.drain()
-        core = self.core
+    def _capture_state(self):
         return {
-            "cycle": core.cycle,
-            "icount": core.icount,
-            "pc": core.retired_next_pc,
             "rf": self.rf.snapshot(),
-            "ram": self.ram.snapshot(),
             "dcache": self.dcache.snapshot(),
             "icache": self.icache.snapshot(),
             "predictor": self.predictor.snapshot(),
-            "syscalls": core.syscalls.snapshot(),
-            "pinout": list(self.pinout),
-            "mispredicts": core.mispredicts,
-            "exited": core.exited,
             "trace": self.trace.snapshot() if self.trace else None,
         }
 
-    def restore(self, cp):
-        self._build()
-        core = self.core
+    def _restore_state(self, cp):
         if self.trace is not None and cp.get("trace") is not None:
             self.trace.restore(cp["trace"])
         self.rf.restore(cp["rf"])
-        self.ram.restore(cp["ram"])
         self.dcache.restore(cp["dcache"])
         self.icache.restore(cp["icache"])
         self.predictor.restore(cp["predictor"])
-        core.syscalls.restore(cp["syscalls"])
-        self.pinout[:] = list(cp["pinout"])
-        core.cycle = cp["cycle"]
-        core.icount = cp["icount"]
-        core.pc = cp["pc"]
-        core.retired_next_pc = cp["pc"]
-        core.last_retire_cycle = cp["cycle"]
-        core.exited = cp["exited"]
-        core.mispredicts = cp["mispredicts"]
+
+    def _set_restart_point(self, pc, cycle):
+        self.core.retired_next_pc = pc
+        self.core.last_retire_cycle = cycle
 
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
 
-    INJECTABLE = {
-        "regfile": "register-file macro (56 x 32 flops: user + banked/spare)",
-        "cpsr": "NZCV status flops",
-        "l1d.data": "L1D data array",
-        "l1d.tag": "L1D tag array",
-        "l1d.valid": "L1D valid bits",
-        "l1d.dirty": "L1D dirty bits",
-        "l1d.age": "L1D replacement state",
-        "l1i.data": "L1I data array",
-        "l1i.tag": "L1I tag array",
-        "l1i.valid": "L1I valid bits",
-    }
-
-    def _resolve_target(self, structure):
+    def _resolve_special(self, structure):
         if structure == "regfile":
             return self.rf, None
         if structure == "cpsr":
             return self.rf, "cpsr"
-        prefix, _, array = structure.partition(".")
-        cache = {"l1d": self.dcache, "l1i": self.icache}.get(prefix)
-        if cache is None or array not in Cache.ARRAYS:
-            raise ValueError(f"unknown fault target {structure!r}")
-        return cache, array
+        return None
 
-    def fault_targets(self):
-        out = {}
-        for structure in self.INJECTABLE:
-            holder, array = self._resolve_target(structure)
-            if array is None:
-                out[structure] = holder.bit_count()
-            elif array == "cpsr":
-                out[structure] = 4
-            else:
-                out[structure] = holder.bit_count(array)
-        return out
+    def _target_bits(self, holder, array):
+        if array == "cpsr":
+            return 4
+        return super()._target_bits(holder, array)
 
-    def inject(self, structure, bit_index):
-        holder, array = self._resolve_target(structure)
-        if array is None:
-            holder.flip_bit(bit_index)
-        elif array == "cpsr":
+    def _flip(self, holder, array, bit_index):
+        if array == "cpsr":
             holder.cpsr ^= 1 << bit_index
-        else:
-            holder.flip_bit(array, bit_index)
-
-    # ------------------------------------------------------------------
-
-    def stats(self):
-        return {
-            "cycles": self.cycle,
-            "instructions": self.icount,
-            "ipc": self.icount / self.cycle if self.cycle else 0.0,
-            "l1d_hits": self.dcache.hits,
-            "l1d_misses": self.dcache.misses,
-            "l1d_writebacks": self.dcache.writebacks,
-            "l1i_misses": self.icache.misses,
-            "mispredicts": self.core.mispredicts,
-        }
-
-    def __repr__(self):
-        return (
-            f"RTLSim({self.program.name!r}, cycle={self.cycle},"
-            f" icount={self.icount})"
-        )
+            return
+        super()._flip(holder, array, bit_index)

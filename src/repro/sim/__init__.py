@@ -1,0 +1,24 @@
+"""Unified simulation-backend layer.
+
+This package owns everything the abstraction levels share:
+
+* :mod:`repro.sim.base` -- :class:`RunStatus` and
+  :class:`SimulatorBase`, the run-control / checkpoint / injection
+  protocol every backend implements;
+* :mod:`repro.sim.registry` -- the pluggable backend registry keyed by
+  level name (``arch``, ``uarch``, ``rtl``);
+* :mod:`repro.sim.archsim` -- the architectural-emulator backend (the
+  paper taxonomy's fastest tier);
+* :mod:`repro.sim.frontend` -- the shared campaign front-end base that
+  ``GeFIN``/``SafetyVerifier``/``ArchEmu`` specialise.
+
+The campaign engine, the cross-level study and both CLI entry points
+dispatch on levels exclusively through this package, so adding a backend
+is one ``registry.register(...)`` call away.
+"""
+
+from repro.sim import registry
+from repro.sim.base import RunStatus, SimulatorBase
+from repro.sim.frontend import Frontend
+
+__all__ = ["Frontend", "RunStatus", "SimulatorBase", "registry"]

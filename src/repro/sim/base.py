@@ -1,0 +1,275 @@
+"""The shared simulator protocol: run control, checkpoints, injection.
+
+Every abstraction level the study can target -- the architectural
+emulator (:mod:`repro.sim.archsim`), the microarchitectural model
+(:mod:`repro.uarch.simulator`) and the RT-level model
+(:mod:`repro.rtl.simulator`) -- implements one protocol, and this module
+owns it:
+
+* :class:`RunStatus` -- the outcome vocabulary of a (partial) run;
+* :class:`SimulatorBase` -- run control (stop cycles, watchdogs),
+  drain-based ``checkpoint()``/``restore()``, pinout publication, the
+  ``fault_targets()``/``inject()`` resolution over each backend's
+  ``INJECTABLE`` map, and ``stats()``.
+
+Backends only supply ``_build()`` (construct the machine), the state
+capture/restore hooks and their ``INJECTABLE`` maps; the campaign engine
+in :mod:`repro.injection` is generic over this protocol, which is the
+paper's "equivalent setup" requirement made executable.  Backends are
+looked up by level name through :mod:`repro.sim.registry`.
+"""
+
+import enum
+
+from repro.errors import SimFault
+from repro.memory.bus import Transaction
+from repro.memory.cache import Cache
+from repro.memory.ram import RAM
+
+
+class RunStatus(enum.Enum):
+    RUNNING = "running"
+    EXITED = "exited"
+    FAULT = "fault"
+    STOPPED = "stopped"   # reached the requested stop cycle
+    TIMEOUT = "timeout"   # watchdog expired
+
+
+class SimulatorBase:
+    """Common machinery of every simulation backend.
+
+    A subclass provides:
+
+    * ``LEVEL`` -- its registry name (``arch``/``uarch``/``rtl``);
+    * ``INJECTABLE`` -- structure name -> human description;
+    * ``default_config()`` -- the config object used when none is given;
+    * ``_build()`` -- construct the machine as ``self.core``: anything
+      with ``fault``/``syscalls``/``tick()``/``quiesced()``/
+      ``draining``, *assignable* ``cycle``/``icount``/``pc``/
+      ``exited``/``mispredicts`` (``restore()`` writes them back), plus
+      ``self.ram`` and, when it models caches,
+      ``self.dcache``/``self.icache``;
+    * ``_capture_state()``/``_restore_state(cp)`` -- the level-specific
+      checkpoint payload (register storage, cache arrays, ...);
+    * ``_set_restart_point(pc, cycle)`` -- re-arm the level's notion of
+      "committed PC" and hang bookkeeping after a restore;
+    * optionally ``_resolve_special(structure)`` for injection targets
+      outside the shared cache-array namespace.
+    """
+
+    LEVEL = None
+    INJECTABLE = {}
+
+    def __init__(self, program, config=None):
+        self.config = config if config is not None else self.default_config()
+        self.program = program
+        self.pinout = []
+        self.dcache = None
+        self.icache = None
+        self._build()
+
+    # -- construction hooks --------------------------------------------
+
+    @classmethod
+    def default_config(cls):
+        raise NotImplementedError
+
+    def _build(self):
+        raise NotImplementedError
+
+    def _make_ram(self):
+        """Fresh RAM with the program image loaded (every level's base)."""
+        ram = RAM(self.program.layout.ram_size)
+        self.program.load_into(ram)
+        return ram
+
+    def _bus_listener(self):
+        """The pinout publication hook handed to the cache hierarchy."""
+        def bus_event(kind, addr, data, cycle):
+            self.pinout.append(Transaction(kind, addr, data, cycle))
+        return bus_event
+
+    # ------------------------------------------------------------------
+    # run control
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self):
+        return self.core.cycle
+
+    @property
+    def icount(self):
+        return self.core.icount
+
+    @property
+    def exited(self):
+        return self.core.exited
+
+    @property
+    def exit_code(self):
+        return self.core.syscalls.exit_code
+
+    @property
+    def fault(self):
+        return self.core.fault
+
+    @property
+    def output(self):
+        return bytes(self.core.syscalls.output)
+
+    def run(self, stop_cycle=None, max_cycles=5_000_000):
+        """Advance until program exit, a fault, ``stop_cycle`` or the
+        watchdog.  Returns a :class:`RunStatus`."""
+        core = self.core
+        while True:
+            if core.exited:
+                return RunStatus.EXITED
+            if core.fault is not None:
+                return RunStatus.FAULT
+            if stop_cycle is not None and core.cycle >= stop_cycle:
+                return RunStatus.STOPPED
+            if core.cycle >= max_cycles:
+                return RunStatus.TIMEOUT
+            core.tick()
+
+    def run_to_completion(self, max_cycles=5_000_000):
+        return self.run(max_cycles=max_cycles)
+
+    # ------------------------------------------------------------------
+    # checkpoints (drain + full state capture)
+    # ------------------------------------------------------------------
+
+    def drain(self, guard_cycles=300_000):
+        """Stop fetching and run until the pipeline is empty."""
+        core = self.core
+        core.draining = True
+        deadline = core.cycle + guard_cycles
+        try:
+            while (not core.quiesced() and not core.exited
+                   and core.fault is None):
+                if core.cycle >= deadline:
+                    raise SimFault("halt-trap", "drain did not converge")
+                core.tick()
+        finally:
+            core.draining = False
+
+    def checkpoint(self):
+        """Drain the pipeline and capture a deterministic restart point."""
+        self.drain()
+        core = self.core
+        cp = {
+            "cycle": core.cycle,
+            "icount": core.icount,
+            "pc": self._restart_pc(),
+            "ram": self.ram.snapshot(),
+            "syscalls": core.syscalls.snapshot(),
+            "pinout": list(self.pinout),
+            "mispredicts": core.mispredicts,
+            "exited": core.exited,
+        }
+        cp.update(self._capture_state())
+        return cp
+
+    def restore(self, cp):
+        """Rebuild the machine from a checkpoint (fresh, empty pipeline)."""
+        self._build()
+        core = self.core
+        self.ram.restore(cp["ram"])
+        core.syscalls.restore(cp["syscalls"])
+        self.pinout[:] = list(cp["pinout"])
+        self._restore_state(cp)
+        core.cycle = cp["cycle"]
+        core.icount = cp["icount"]
+        core.pc = cp["pc"]
+        self._set_restart_point(cp["pc"], cp["cycle"])
+        core.exited = cp["exited"]
+        core.mispredicts = cp["mispredicts"]
+
+    # -- checkpoint hooks ----------------------------------------------
+
+    def _restart_pc(self):
+        """The committed/retired next PC captured into a checkpoint."""
+        raise NotImplementedError
+
+    def _capture_state(self):
+        raise NotImplementedError
+
+    def _restore_state(self, cp):
+        raise NotImplementedError
+
+    def _set_restart_point(self, pc, cycle):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def _resolve_special(self, structure):
+        """Level-specific injection targets (register files, CPSR, ...).
+
+        Returns ``(holder, array)`` or ``None`` to fall through to the
+        shared cache-array namespace.
+        """
+        return None
+
+    def _resolve_target(self, structure):
+        special = self._resolve_special(structure)
+        if special is not None:
+            return special
+        prefix, _, array = structure.partition(".")
+        cache = {"l1d": self.dcache, "l1i": self.icache}.get(prefix)
+        if cache is None or array not in Cache.ARRAYS:
+            raise ValueError(f"unknown fault target {structure!r}")
+        return cache, array
+
+    def _target_bits(self, holder, array):
+        return holder.bit_count() if array is None else holder.bit_count(array)
+
+    def _flip(self, holder, array, bit_index):
+        if array is None:
+            holder.flip_bit(bit_index)
+        else:
+            holder.flip_bit(array, bit_index)
+
+    def fault_targets(self):
+        """Mapping of structure name -> number of injectable bits."""
+        out = {}
+        for structure in self.INJECTABLE:
+            holder, array = self._resolve_target(structure)
+            out[structure] = self._target_bits(holder, array)
+        return out
+
+    def inject(self, structure, bit_index):
+        """Flip one bit in ``structure`` right now."""
+        holder, array = self._resolve_target(structure)
+        self._flip(holder, array, bit_index)
+
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        out = {
+            "cycles": self.cycle,
+            "instructions": self.icount,
+            "ipc": self.icount / self.cycle if self.cycle else 0.0,
+        }
+        out.update(self._memory_stats())
+        return out
+
+    def _memory_stats(self):
+        """Cache/predictor counters; zeros at levels without the model."""
+        if self.dcache is None:
+            return {"l1d_hits": 0, "l1d_misses": 0, "l1d_writebacks": 0,
+                    "l1i_misses": 0, "mispredicts": 0}
+        return {
+            "l1d_hits": self.dcache.hits,
+            "l1d_misses": self.dcache.misses,
+            "l1d_writebacks": self.dcache.writebacks,
+            "l1i_misses": self.icache.misses,
+            "mispredicts": self.core.mispredicts,
+        }
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}({self.program.name!r},"
+            f" cycle={self.cycle}, icount={self.icount})"
+        )

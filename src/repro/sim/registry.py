@@ -1,0 +1,138 @@
+"""The pluggable backend registry, keyed by abstraction-level name.
+
+The paper's taxonomy (SS I) orders reliability-assessment methods by
+hardware detail: fast architectural emulation, microarchitectural
+simulation, RT-level simulation.  Each tier is one registered backend:
+
+========  ==========================================  ==================
+level     simulator                                   campaign front-end
+========  ==========================================  ==================
+``arch``  :class:`repro.sim.archsim.ArchSim`          ``ArchEmu``
+``uarch`` :class:`repro.uarch.simulator.MicroArchSim` ``GeFIN``
+``rtl``   :class:`repro.rtl.simulator.RTLSim`         ``SafetyVerifier``
+========  ==========================================  ==================
+
+Classes are referenced lazily (``"module:attr"`` strings) so importing
+the registry -- which the CLI does just to render ``--level`` choices --
+never pays for the simulators themselves, and so new backends can be
+registered without touching this module::
+
+    from repro.sim import registry
+    registry.register("fpga", rank=3, description="...",
+                      simulator="mylab.fpga:FPGASim",
+                      frontend="mylab.fpga:FPGAFrontend")
+
+Every layer above the simulators (campaign front-ends, the cross-level
+study, both CLI entry points) resolves levels through this registry
+instead of hardcoding the two-level dispatch.
+"""
+
+import importlib
+
+
+class LevelSpec:
+    """One registered abstraction level."""
+
+    def __init__(self, name, rank, description, simulator, frontend):
+        self.name = name
+        #: Position in the detail ordering (arch < uarch < rtl).
+        self.rank = rank
+        self.description = description
+        self._simulator = simulator
+        self._frontend = frontend
+
+    @staticmethod
+    def _resolve(ref):
+        if isinstance(ref, str):
+            module_name, _, attr = ref.partition(":")
+            return getattr(importlib.import_module(module_name), attr)
+        return ref
+
+    def simulator_class(self):
+        return self._resolve(self._simulator)
+
+    def frontend_class(self):
+        return self._resolve(self._frontend)
+
+    @property
+    def default_toolchain(self):
+        """The level's toolchain personality (single source of truth:
+        the front-end class)."""
+        return self.frontend_class().DEFAULT_TOOLCHAIN
+
+    def create_frontend(self, workload, **kwargs):
+        return self.frontend_class()(workload, **kwargs)
+
+    def __repr__(self):
+        return f"LevelSpec({self.name!r}, rank={self.rank})"
+
+
+_REGISTRY = {}
+
+
+def register(name, *, rank, description, simulator, frontend,
+             replace=False):
+    """Register a backend.  ``simulator``/``frontend`` are classes or
+    lazy ``"module:attr"`` references."""
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"level {name!r} is already registered")
+    _REGISTRY[name] = LevelSpec(name, rank, description, simulator,
+                                frontend)
+    return _REGISTRY[name]
+
+
+def get(name):
+    """The :class:`LevelSpec` for ``name`` (raises ``KeyError``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown abstraction level {name!r}; "
+            f"registered: {level_names()}"
+        ) from None
+
+
+def levels():
+    """All registered specs, ordered by increasing hardware detail."""
+    return tuple(sorted(_REGISTRY.values(), key=lambda s: s.rank))
+
+
+def level_names():
+    """Registered level names, ordered by increasing hardware detail."""
+    return tuple(spec.name for spec in levels())
+
+
+def simulator_class(name):
+    return get(name).simulator_class()
+
+
+def create_frontend(name, workload, **kwargs):
+    """Build the campaign front-end for ``name`` over ``workload``."""
+    return get(name).create_frontend(workload, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# built-in tiers (the paper's taxonomy)
+# ----------------------------------------------------------------------
+
+register(
+    "arch", rank=0,
+    description="architectural emulation (ISS): the golden interpreter "
+                "with cycle-proxy accounting; no pipeline or cache model",
+    simulator="repro.sim.archsim:ArchSim",
+    frontend="repro.injection.arch_emu:ArchEmu",
+)
+register(
+    "uarch", rank=1,
+    description="microarchitecture level (GeFIN on gem5): cycle-level "
+                "out-of-order core, live PRF and cache arrays",
+    simulator="repro.uarch.simulator:MicroArchSim",
+    frontend="repro.injection.gefin:GeFIN",
+)
+register(
+    "rtl", rank=2,
+    description="RT level (Safety Verifier on NCSIM): flip-flop/array "
+                "accurate in-order pipeline, optional signal tracing",
+    simulator="repro.rtl.simulator:RTLSim",
+    frontend="repro.injection.safety_verifier:SafetyVerifier",
+)

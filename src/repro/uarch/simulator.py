@@ -1,55 +1,50 @@
 """Public microarchitecture-level simulator API (the "GeFIN on gem5" tier).
 
-Wraps :class:`~repro.uarch.core.OoOCore` with:
-
-* program loading and syscall-emulation mode (SS III-C of the paper);
-* run control (stop cycles, watchdogs);
-* pinout-trace publication (the RTL-equivalent observation point);
-* drain-based checkpoint/restore (how injection campaigns amortise the
-  time to reach each injection instant);
-* the fault-injection interface over the PRF and cache arrays.
+Wraps :class:`~repro.uarch.core.OoOCore` with the shared simulator
+protocol of :class:`repro.sim.base.SimulatorBase`: program loading and
+syscall-emulation mode (SS III-C of the paper), run control, pinout-trace
+publication, drain-based checkpoint/restore, and the fault-injection
+interface over the PRF and cache arrays.  Only the machine construction,
+the state capture hooks and the ``INJECTABLE`` map live here.
 """
 
-import enum
-
-from repro.errors import SimFault
-from repro.memory.bus import Transaction
 from repro.memory.cache import Cache, CacheConfig
-from repro.memory.ram import RAM
+from repro.sim.base import RunStatus, SimulatorBase
 from repro.uarch.branch import BranchPredictor
 from repro.uarch.config import CortexA9Config
 from repro.uarch.core import OoOCore
 from repro.uarch.regfile import NUM_ARCH, PhysRegFile, RenameMap
 
-
-class RunStatus(enum.Enum):
-    RUNNING = "running"
-    EXITED = "exited"
-    FAULT = "fault"
-    STOPPED = "stopped"   # reached the requested stop cycle
-    TIMEOUT = "timeout"   # watchdog expired
+__all__ = ["MicroArchSim", "RunStatus"]
 
 
-class MicroArchSim:
+class MicroArchSim(SimulatorBase):
     """Cycle-level Cortex-A9-class simulator with fault injection."""
 
     LEVEL = "uarch"
 
-    def __init__(self, program, config=None):
-        self.config = config or CortexA9Config()
-        self.program = program
-        self.pinout = []
-        self._build()
+    #: Structures a campaign may target, with human descriptions.
+    INJECTABLE = {
+        "regfile": "physical integer register file (56 x 32 bits)",
+        "l1d.data": "L1D data array",
+        "l1d.tag": "L1D tag array",
+        "l1d.valid": "L1D valid bits",
+        "l1d.dirty": "L1D dirty bits",
+        "l1d.age": "L1D replacement state",
+        "l1i.data": "L1I data array",
+        "l1i.tag": "L1I tag array",
+        "l1i.valid": "L1I valid bits",
+    }
+
+    @classmethod
+    def default_config(cls):
+        return CortexA9Config()
 
     def _build(self):
         cfg = self.config
         layout = self.program.layout
-        self.ram = RAM(layout.ram_size)
-        self.program.load_into(self.ram)
-
-        def bus_event(kind, addr, data, cycle):
-            self.pinout.append(Transaction(kind, addr, data, cycle))
-
+        self.ram = self._make_ram()
+        bus_event = self._bus_listener()
         self.dcache = Cache(
             "l1d",
             CacheConfig(cfg.dcache_size, cfg.dcache_ways, cfg.line_size),
@@ -75,52 +70,6 @@ class MicroArchSim:
         self.prf.write(self.rat.committed[13], layout.stack_top)
 
     # ------------------------------------------------------------------
-    # run control
-    # ------------------------------------------------------------------
-
-    @property
-    def cycle(self):
-        return self.core.cycle
-
-    @property
-    def icount(self):
-        return self.core.icount
-
-    @property
-    def exited(self):
-        return self.core.exited
-
-    @property
-    def exit_code(self):
-        return self.core.syscalls.exit_code
-
-    @property
-    def fault(self):
-        return self.core.fault
-
-    @property
-    def output(self):
-        return bytes(self.core.syscalls.output)
-
-    def run(self, stop_cycle=None, max_cycles=5_000_000):
-        """Advance until program exit, a fault, ``stop_cycle`` or the
-        watchdog.  Returns a :class:`RunStatus`."""
-        core = self.core
-        while True:
-            if core.exited:
-                return RunStatus.EXITED
-            if core.fault is not None:
-                return RunStatus.FAULT
-            if stop_cycle is not None and core.cycle >= stop_cycle:
-                return RunStatus.STOPPED
-            if core.cycle >= max_cycles:
-                return RunStatus.TIMEOUT
-            core.tick()
-
-    def run_to_completion(self, max_cycles=5_000_000):
-        return self.run(max_cycles=max_cycles)
-
-    # ------------------------------------------------------------------
     # architectural visibility (tests, syscall-level comparison)
     # ------------------------------------------------------------------
 
@@ -132,128 +81,41 @@ class MicroArchSim:
                 "pc": self.core.committed_next_pc}
 
     # ------------------------------------------------------------------
-    # checkpoints
+    # checkpoint hooks
     # ------------------------------------------------------------------
 
-    def drain(self, guard_cycles=300_000):
-        """Stop fetching and run until the pipeline is empty."""
-        core = self.core
-        core.draining = True
-        deadline = core.cycle + guard_cycles
-        try:
-            while (not core.quiesced() and not core.exited
-                   and core.fault is None):
-                if core.cycle >= deadline:
-                    raise SimFault("halt-trap", "drain did not converge")
-                core.tick()
-        finally:
-            core.draining = False
+    def _restart_pc(self):
+        return self.core.committed_next_pc
 
-    def checkpoint(self):
-        """Drain the pipeline and capture a deterministic restart point."""
-        self.drain()
-        core = self.core
+    def _capture_state(self):
         state = self.arch_state()
         return {
-            "cycle": core.cycle,
-            "icount": core.icount,
-            "seq": core.seq,
-            "pc": core.committed_next_pc,
+            "seq": self.core.seq,
             "regs": list(state["regs"]),
             "flags": state["flags"],
-            "ram": self.ram.snapshot(),
             "dcache": self.dcache.snapshot(),
             "icache": self.icache.snapshot(),
             "predictor": self.predictor.snapshot(),
-            "syscalls": core.syscalls.snapshot(),
-            "pinout": list(self.pinout),
-            "mispredicts": core.mispredicts,
-            "exited": core.exited,
         }
 
-    def restore(self, cp):
-        """Rebuild the machine from a checkpoint (fresh, empty pipeline)."""
-        self._build()
-        core = self.core
-        self.ram.restore(cp["ram"])
+    def _restore_state(self, cp):
         self.dcache.restore(cp["dcache"])
         self.icache.restore(cp["icache"])
         self.predictor.restore(cp["predictor"])
-        core.syscalls.restore(cp["syscalls"])
-        self.pinout[:] = list(cp["pinout"])
         for i, value in enumerate(cp["regs"]):
             self.rat.set_committed_value(i, value)
         self.flag_file.write(self.flag_rat.committed[0], cp["flags"])
-        core.cycle = cp["cycle"]
-        core.icount = cp["icount"]
-        core.seq = cp["seq"]
-        core.pc = cp["pc"]
-        core.committed_next_pc = cp["pc"]
-        core.last_commit_cycle = cp["cycle"]
-        core.exited = cp["exited"]
-        core.mispredicts = cp["mispredicts"]
+        self.core.seq = cp["seq"]
+
+    def _set_restart_point(self, pc, cycle):
+        self.core.committed_next_pc = pc
+        self.core.last_commit_cycle = cycle
 
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------
 
-    #: Structures a campaign may target, with human descriptions.
-    INJECTABLE = {
-        "regfile": "physical integer register file (56 x 32 bits)",
-        "l1d.data": "L1D data array",
-        "l1d.tag": "L1D tag array",
-        "l1d.valid": "L1D valid bits",
-        "l1d.dirty": "L1D dirty bits",
-        "l1d.age": "L1D replacement state",
-        "l1i.data": "L1I data array",
-        "l1i.tag": "L1I tag array",
-        "l1i.valid": "L1I valid bits",
-    }
-
-    def _resolve_target(self, structure):
+    def _resolve_special(self, structure):
         if structure == "regfile":
             return self.prf, None
-        prefix, _, array = structure.partition(".")
-        cache = {"l1d": self.dcache, "l1i": self.icache}.get(prefix)
-        if cache is None or array not in Cache.ARRAYS:
-            raise ValueError(f"unknown fault target {structure!r}")
-        return cache, array
-
-    def fault_targets(self):
-        """Mapping of structure name -> number of injectable bits."""
-        out = {}
-        for structure in self.INJECTABLE:
-            holder, array = self._resolve_target(structure)
-            out[structure] = (
-                holder.bit_count() if array is None
-                else holder.bit_count(array)
-            )
-        return out
-
-    def inject(self, structure, bit_index):
-        """Flip one bit in ``structure`` right now."""
-        holder, array = self._resolve_target(structure)
-        if array is None:
-            holder.flip_bit(bit_index)
-        else:
-            holder.flip_bit(array, bit_index)
-
-    # ------------------------------------------------------------------
-
-    def stats(self):
-        return {
-            "cycles": self.cycle,
-            "instructions": self.icount,
-            "ipc": self.icount / self.cycle if self.cycle else 0.0,
-            "l1d_hits": self.dcache.hits,
-            "l1d_misses": self.dcache.misses,
-            "l1d_writebacks": self.dcache.writebacks,
-            "l1i_misses": self.icache.misses,
-            "mispredicts": self.core.mispredicts,
-        }
-
-    def __repr__(self):
-        return (
-            f"MicroArchSim({self.program.name!r}, cycle={self.cycle},"
-            f" icount={self.icount})"
-        )
+        return None

@@ -1,0 +1,206 @@
+"""The unified backend layer: registry, protocol, checkpoint round trips.
+
+Parameterized over **all registered backends** via
+:mod:`repro.sim.registry`, so a future fourth level is automatically
+held to the same contract:
+
+* checkpoint/restore round-trip equivalence -- restore-then-run must
+  match straight-run output, architectural state and pinout;
+* the injection interface (``fault_targets``/``inject``) is live state;
+* the campaign engine runs end-to-end at every level.
+"""
+
+import pytest
+
+from repro.injection import ArchEmu
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.classify import FaultClass
+from repro.sim import registry
+from repro.sim.base import RunStatus, SimulatorBase
+
+WORKLOAD = "stringsearch"
+
+ALL_LEVELS = registry.level_names()
+
+
+def make_frontend(level):
+    """Scaled front-end (small caches where the level models caches)."""
+    return registry.create_frontend(level, WORKLOAD)
+
+
+@pytest.fixture(scope="module", params=ALL_LEVELS)
+def level_sim(request):
+    """One simulator per registered level, shared within the module."""
+    return request.param, make_frontend(request.param).sim_factory
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+def test_registry_lists_three_tiers_in_detail_order():
+    # The paper's three tiers must be registered in increasing-detail
+    # order.  Subsequence, not equality: plugins may register more
+    # backends, and this suite picks them up rather than rejecting them.
+    ranked = [n for n in ALL_LEVELS if n in ("arch", "uarch", "rtl")]
+    assert ranked == ["arch", "uarch", "rtl"]
+
+
+def test_registry_unknown_level_raises():
+    with pytest.raises(KeyError, match="registered"):
+        registry.get("netlist")
+
+
+def test_registry_rejects_duplicate_registration():
+    with pytest.raises(ValueError):
+        registry.register("arch", rank=0, description="dupe",
+                          simulator="x:y", frontend="x:z")
+
+
+def test_registry_simulator_classes_subclass_base():
+    for spec in registry.levels():
+        cls = spec.simulator_class()
+        assert issubclass(cls, SimulatorBase)
+        assert cls.LEVEL == spec.name
+
+
+def test_registry_frontends_carry_matching_level():
+    for spec in registry.levels():
+        assert spec.frontend_class().LEVEL == spec.name
+
+
+def test_run_status_reexports_are_one_enum():
+    from repro.injection.campaign import RunStatus as campaign_rs
+    from repro.rtl.simulator import RunStatus as rtl_rs
+    from repro.uarch.simulator import RunStatus as uarch_rs
+
+    assert uarch_rs is RunStatus
+    assert rtl_rs is RunStatus
+    assert campaign_rs is RunStatus
+
+
+# ----------------------------------------------------------------------
+# protocol, per backend
+# ----------------------------------------------------------------------
+
+def test_fault_targets_match_injectable(level_sim):
+    _, factory = level_sim
+    sim = factory()
+    targets = sim.fault_targets()
+    assert set(targets) == set(sim.INJECTABLE)
+    assert all(bits > 0 for bits in targets.values())
+    assert targets["regfile"] % 32 == 0
+
+
+def test_inject_flips_live_state(level_sim):
+    _, factory = level_sim
+    sim = factory()
+    before = list(sim.arch_state()["regs"])
+    # Flip bit 0 of every architectural register slot: at least one of
+    # them must show up in the committed architectural state.
+    for reg in range(15):
+        sim.inject("regfile", reg * 32)
+    after = list(sim.arch_state()["regs"])
+    assert before != after
+
+
+def test_checkpoint_restore_round_trip(level_sim):
+    """Restore-then-run matches straight-run, for every backend."""
+    level, factory = level_sim
+    sim = factory()
+    assert sim.run(stop_cycle=400) is RunStatus.STOPPED
+    cp = sim.checkpoint()
+
+    # Straight run: continue the checkpointed machine to completion.
+    assert sim.run() is RunStatus.EXITED
+    want_output = sim.output
+    want_state = sim.arch_state()
+    want_pinout = [t.key() for t in sim.pinout]
+    want = (sim.cycle, sim.icount)
+
+    # Restore into a *fresh* machine and run to completion.
+    other = factory()
+    other.restore(cp)
+    assert other.cycle == cp["cycle"]
+    assert other.run() is RunStatus.EXITED
+    assert other.output == want_output
+    assert other.arch_state() == want_state
+    assert [t.key() for t in other.pinout] == want_pinout
+    assert (other.cycle, other.icount) == want, level
+
+
+def test_campaign_runs_at_every_level(level_sim):
+    level, factory = level_sim
+    config = CampaignConfig(samples=6, window=1500, seed=13)
+    campaign = Campaign(factory, "regfile", config,
+                        workload=WORKLOAD, level=level)
+    result = campaign.run()
+    assert result.n == 6
+    assert result.level == level
+    assert result.count(FaultClass.MASKED) + result.unsafe_count == 6
+
+
+# ----------------------------------------------------------------------
+# the arch tier specifically
+# ----------------------------------------------------------------------
+
+def test_arch_golden_matches_interpreter_reference():
+    from repro.isa import Interpreter, Toolchain
+    from repro.workloads import build
+
+    front = ArchEmu(WORKLOAD)
+    sim = front.golden_run()
+    ref = Interpreter(build(WORKLOAD, Toolchain("gnu"))).run()
+    assert sim.exited and sim.exit_code == 0
+    assert sim.output == ref.output
+    assert sim.icount == ref.inst_count
+
+
+def test_arch_cycle_proxy_scales_with_cpi():
+    from repro.sim.archsim import ArchConfig
+
+    fast = ArchEmu(WORKLOAD).golden_run()
+    slow = ArchEmu(WORKLOAD, arch_config=ArchConfig(
+        cycles_per_inst=3)).golden_run()
+    assert fast.cycle == fast.icount
+    assert slow.cycle == 3 * slow.icount
+    assert slow.output == fast.output
+
+
+def test_arch_pinout_publishes_store_stream():
+    sim = ArchEmu(WORKLOAD).golden_run()
+    assert sim.pinout, "arch pinout must carry the store stream"
+    assert all(t.kind == "wb" for t in sim.pinout)
+
+
+def test_arch_regfile_campaign_produces_standard_counts():
+    result = ArchEmu(WORKLOAD).campaign("regfile", mode="pinout",
+                                        samples=10, seed=2017)
+    summary = result.summary()
+    assert summary["n"] == 10
+    for key in ("masked", "sdc", "due", "hang", "mismatch", "latent"):
+        assert summary[key] >= 0
+    assert result.count(FaultClass.MASKED) + result.unsafe_count == 10
+
+
+def test_arch_hvf_mode_sees_latent_state():
+    # The layer-boundary observation point works without a cache model.
+    result = ArchEmu(WORKLOAD).campaign("regfile", mode="hvf",
+                                        samples=6, seed=5)
+    assert result.n == 6
+
+
+def test_arch_cpsr_injection():
+    sim = ArchEmu(WORKLOAD).sim_factory()
+    assert sim.fault_targets()["cpsr"] == 4
+    before = sim.arch_state()["flags"]
+    sim.inject("cpsr", 2)
+    assert sim.arch_state()["flags"] == before ^ 0b100
+
+
+def test_cli_golden_arch(capsys):
+    from repro.cli import main
+
+    assert main(["golden", WORKLOAD, "--level", "arch"]) == 0
+    out = capsys.readouterr().out
+    assert "(arch)" in out and "exited=True" in out

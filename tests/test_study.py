@@ -116,6 +116,21 @@ def test_study_same_binaries_option():
     assert verifier.toolchain.name == "gnu"
 
 
+def test_study_frontend_dispatches_via_registry():
+    config = StudyConfig(workloads=("sha",), samples=1)
+    for level in ("arch", "uarch", "rtl"):
+        front = config.frontend(level, "sha")
+        assert front.LEVEL == level
+
+
+def test_study_describe_identifies_parallel_run():
+    config = StudyConfig(workloads=("sha",), samples=5, jobs=4,
+                         batch_size=2)
+    text = config.describe()
+    assert "jobs=4" in text and "batch=2" in text and "seed=2017" in text
+    assert "jobs" not in StudyConfig(workloads=("sha",)).describe()
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
