@@ -3,12 +3,13 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: help test bench docs-check
+.PHONY: help test bench bench-smoke docs-check
 
 help:
 	@echo "targets:"
 	@echo "  test        tier-1 suite (tests/ + benchmarks/, what CI gates on)"
 	@echo "  bench       artifact-regenerating benches only (-> benchmarks/results/)"
+	@echo "  bench-smoke fig1 store+resume round trip + warm-start speedup artifact"
 	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
 
 test:
@@ -16,6 +17,29 @@ test:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
+
+# The resumable-campaign smoke: the same fig1 command twice -- the first
+# populates a fresh store (a --resume of an empty store is a fresh
+# start), the second resumes it and must re-run nothing -- then the
+# store summary.  The warm-start speedup bench publishing
+# benchmarks/results/warmstart_speedup.txt runs only when `make test` /
+# `make bench` has not already written the artifact (CI runs `make
+# test` first, so the expensive cold campaign is not paid twice).
+bench-smoke:
+	rm -rf benchmarks/results/smoke_store
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fig1 \
+	  --workloads stringsearch --faults 20 --jobs 2 \
+	  --store benchmarks/results/smoke_store --resume
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fig1 \
+	  --workloads stringsearch --faults 20 --jobs 2 \
+	  --store benchmarks/results/smoke_store --resume
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli store \
+	  benchmarks/results/smoke_store/*
+	test -f benchmarks/results/warmstart_speedup.txt || \
+	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+	    benchmarks/test_warmstart_speedup.py -q
+	@echo "--- benchmarks/results/warmstart_speedup.txt:"
+	@cat benchmarks/results/warmstart_speedup.txt
 
 docs-check:
 	$(PYTHON) tools/docs_check.py README.md DESIGN.md

@@ -47,3 +47,13 @@ def save_artifact(name, text):
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
     return path
+
+
+def record_keys(result):
+    """A campaign's records projected onto the bit-identity contract
+    (fault, class, detail, simulated tail -- wall clock and replay
+    accounting excluded).  Mirrors tests/support.py."""
+    return [
+        (r.fault.bit, r.fault.cycle, r.fclass, r.detail, r.sim_cycles)
+        for r in result.records
+    ]

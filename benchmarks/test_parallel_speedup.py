@@ -21,7 +21,7 @@ Knobs: ``REPRO_SFI_SAMPLES`` (faults, default 24), ``REPRO_BENCH_JOBS``
 import os
 import time
 
-from conftest import bench_samples, save_artifact
+from conftest import bench_samples, record_keys, save_artifact
 
 from repro.analysis.report import speedup_table
 from repro.injection.executor import default_jobs
@@ -41,11 +41,6 @@ def run_campaign(front, jobs):
                             samples=bench_samples(default=24),
                             seed=2017, jobs=jobs)
     return result, time.perf_counter() - started
-
-
-def record_keys(result):
-    return [(r.fault.bit, r.fault.cycle, r.fclass, r.detail,
-             r.sim_cycles) for r in result.records]
 
 
 def test_parallel_speedup(benchmark):

@@ -85,6 +85,41 @@ def speedup_table(results, title=None):
     return render_table(headers, rows, title=title)
 
 
+def store_table(paths, title=None):
+    """Summary of one or more on-disk campaign stores, merged.
+
+    Reads each store (manifest + intact JSONL records; see
+    :mod:`repro.injection.store`) and renders the standard per-campaign
+    columns plus completion, so an interrupted campaign's partial
+    tallies are inspectable before it is resumed.
+    """
+    from repro.injection.store import load_stores
+
+    headers = ("store", "workload", "level", "structure", "done",
+               "of", "unsafe", "masked", "sdc", "due", "hang", "mism",
+               "latent", "git")
+    rows = []
+    for path, (manifest, records) in zip(paths, load_stores(paths)):
+        identity = manifest.get("identity", {})
+        config = identity.get("config", {})
+        unsafe = sum(1 for r in records.values() if r.fclass.unsafe)
+        by_class = {}
+        for r in records.values():
+            by_class[r.fclass.value] = by_class.get(r.fclass.value, 0) + 1
+        n = len(records)
+        rows.append((
+            str(path), identity.get("workload", "?"),
+            identity.get("level", "?"), identity.get("structure", "?"),
+            n, config.get("samples", "?"),
+            f"{100 * unsafe / n:.1f}%" if n else "-",
+            by_class.get("masked", 0), by_class.get("sdc", 0),
+            by_class.get("due", 0), by_class.get("hang", 0),
+            by_class.get("mismatch", 0), by_class.get("latent", 0),
+            manifest.get("git") or "-",
+        ))
+    return render_table(headers, rows, title=title)
+
+
 def campaign_table(results, title=None):
     """Standard per-campaign summary table."""
     headers = ("workload", "level", "structure", "n", "unsafe", "ci95",

@@ -7,6 +7,7 @@ Subcommands regenerate the paper's artifacts from a terminal::
     repro-study fig1|fig2|fig3 [--samples N] [--workloads ...] [--jobs N]
     repro-study headline [--samples N] [--jobs N]
     repro-study golden <workload> [--level arch|uarch|rtl]
+    repro-study store <dir> [<dir> ...]
 
 ``--level`` choices come from the backend registry
 (``repro.sim.registry``): the architectural emulator (``arch``), the
@@ -15,7 +16,10 @@ microarchitectural model (``uarch``) and the RT-level model (``rtl``).
 Campaign-running subcommands (``fig1``..``fig3``, ``headline``) accept
 ``--jobs`` to fan the faulty runs of each campaign out over a process
 pool (default: one worker per CPU; ``--jobs 1`` forces the serial
-path).  Results are independent of the worker count -- see DESIGN.md.
+path), plus ``--store DIR`` to persist every completed fault to an
+on-disk campaign store and ``--resume`` to continue an interrupted
+run without repeating finished faults.  Results are independent of the
+worker count and of interruption/resume -- see DESIGN.md.
 """
 
 import argparse
@@ -26,6 +30,16 @@ JOBS_HELP = (
     "worker processes per campaign's faulty-run phase "
     "(default: one per CPU; 1 = serial, deterministic baseline; "
     "results are identical for any value)"
+)
+
+STORE_HELP = (
+    "root directory for on-disk campaign stores (one subdirectory per "
+    "series: manifest + append-only JSONL records, flushed per fault)"
+)
+
+RESUME_HELP = (
+    "load faults already completed in --store instead of re-running "
+    "them; the merged result is bit-identical to an uninterrupted run"
 )
 
 _EPILOGS = {
@@ -72,6 +86,15 @@ pipeline or cache model, cycle counts are an instruction-count proxy.
 examples:
   repro-study golden sha --level rtl
   repro-study golden sha --level arch""",
+    "store": """\
+Summarizes one or more on-disk campaign stores (written by the figure
+subcommands with --store): per-store completion, class tallies and the
+recorded provenance.  Reads manifests and intact records only -- a
+store whose campaign was killed mid-fault is still summarized.
+
+examples:
+  repro-study fig1 --samples 100 --store runs/fig1 --jobs 4
+  repro-study store runs/fig1/*""",
 }
 
 
@@ -114,11 +137,15 @@ def _cmd_table2(args):
 def _make_study(args):
     from repro.core.study import CrossLevelStudy, StudyConfig
 
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store")
     config = StudyConfig(
         workloads=_parse_workloads(args.workloads),
         samples=args.samples,
         seed=args.seed,
         jobs=args.jobs,
+        store=args.store,
+        resume=args.resume,
     )
     # The header fully identifies the run's configuration (including
     # the parallel knobs), so logged outputs are reproducible.
@@ -169,6 +196,12 @@ def _cmd_headline(args):
         campaigns,
         title=f"Campaign wall clock (jobs={args.jobs or 'auto'})",
     ))
+
+
+def _cmd_store(args):
+    from repro.analysis.report import store_table
+
+    print(store_table(args.stores, title="Campaign stores"))
 
 
 def _cmd_golden(args):
@@ -226,13 +259,19 @@ def main(argv=None):
         p.add_argument("--workloads", default="",
                        help="comma-separated workload subset "
                             "(default: all)")
-        p.add_argument("--samples", type=int, default=None,
+        p.add_argument("--samples", "--faults", type=int, default=None,
                        help="faults per (workload, structure, mode) "
                             "series (default: REPRO_SFI_SAMPLES or 40)")
         p.add_argument("--seed", type=int, default=2017,
                        help="campaign RNG seed (default: 2017)")
         p.add_argument("--jobs", type=_positive_jobs,
                        default=default_jobs(), help=JOBS_HELP)
+        p.add_argument("--store", default=None, help=STORE_HELP)
+        p.add_argument("--resume", action="store_true", help=RESUME_HELP)
+    p_store = _add_parser(sub, "store",
+                          "summarize on-disk campaign stores")
+    p_store.add_argument("stores", nargs="+",
+                         help="store directories (manifest + JSONL)")
     from repro.sim.registry import level_names
 
     p_golden = _add_parser(sub, "golden",
@@ -243,20 +282,30 @@ def main(argv=None):
                           help="abstraction level to simulate at "
                                "(default: uarch)")
     args = parser.parse_args(argv)
-    if args.command == "table1":
-        _cmd_table1(args)
-    elif args.command == "table2":
-        _cmd_table2(args)
-    elif args.command == "fig1":
-        _cmd_fig(args, 1)
-    elif args.command == "fig2":
-        _cmd_fig(args, 2)
-    elif args.command == "fig3":
-        _cmd_fig(args, 3)
-    elif args.command == "headline":
-        _cmd_headline(args)
-    elif args.command == "golden":
-        _cmd_golden(args)
+    from repro.injection.store import StoreError
+
+    try:
+        if args.command == "table1":
+            _cmd_table1(args)
+        elif args.command == "table2":
+            _cmd_table2(args)
+        elif args.command == "fig1":
+            _cmd_fig(args, 1)
+        elif args.command == "fig2":
+            _cmd_fig(args, 2)
+        elif args.command == "fig3":
+            _cmd_fig(args, 3)
+        elif args.command == "headline":
+            _cmd_headline(args)
+        elif args.command == "golden":
+            _cmd_golden(args)
+        elif args.command == "store":
+            _cmd_store(args)
+    except StoreError as exc:
+        # Store problems (not a store, refusal to overwrite completed
+        # records, identity mismatch) are user-facing conditions, not
+        # tracebacks.
+        raise SystemExit(f"repro-study: {exc}")
     return 0
 
 

@@ -6,6 +6,7 @@ The study dispatches on abstraction levels exclusively through
 """
 
 import os
+import pathlib
 
 from repro.analysis.compare import CrossLevelComparison
 from repro.injection.campaign import SCALED_WINDOW, parallel_suffix
@@ -33,7 +34,8 @@ class StudyConfig:
 
     def __init__(self, workloads=WORKLOAD_NAMES, samples=None, seed=2017,
                  window=SCALED_WINDOW, distribution="normal",
-                 same_binaries=False, jobs=1, batch_size=None):
+                 same_binaries=False, jobs=1, batch_size=None,
+                 store=None, resume=False):
         self.workloads = tuple(workloads)
         self.samples = samples if samples is not None else default_samples()
         self.seed = seed
@@ -45,16 +47,34 @@ class StudyConfig:
         #: serial, ``None`` = one per CPU); see repro.injection.executor.
         self.jobs = jobs
         self.batch_size = batch_size
+        #: Root directory for per-campaign stores (``None`` = volatile).
+        #: Each (level, workload, structure, mode) series gets its own
+        #: subdirectory; see repro.injection.store.
+        self.store = store
+        #: Load already-completed faults from the store instead of
+        #: re-running them.
+        self.resume = resume
 
     def describe(self):
         """One line identifying the run (printed by ``repro-study``)."""
         window = "to-end" if self.window is None else f"{self.window}cyc"
         parallel = parallel_suffix(self.jobs, self.batch_size)
+        persist = ""
+        if self.store is not None:
+            persist = f", store={self.store}" + (", resume"
+                                                 if self.resume else "")
         return (
             f"{len(self.workloads)} workloads x {self.samples} faults,"
             f" window={window}, dist={self.distribution},"
-            f" seed={self.seed}{parallel}"
+            f" seed={self.seed}{parallel}{persist}"
         )
+
+    def campaign_store(self, level, workload, structure, mode):
+        """The per-series store directory, or None when not persisting."""
+        if self.store is None:
+            return None
+        name = f"{level}-{workload}-{structure}-{mode}"
+        return pathlib.Path(self.store) / name
 
     def frontend(self, level, workload):
         """The campaign front-end for any registered level.
@@ -94,6 +114,8 @@ class CrossLevelStudy:
             structure, mode=mode, samples=cfg.samples, seed=cfg.seed,
             window=cfg.window, distribution=cfg.distribution,
             jobs=cfg.jobs, batch_size=cfg.batch_size,
+            store=cfg.campaign_store(level, workload, structure, mode),
+            resume=cfg.resume,
         )
         self._cache[key] = result
         return result

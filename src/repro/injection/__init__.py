@@ -18,22 +18,32 @@ from repro.injection.campaign import (
     CampaignResult,
     FaultRunner,
 )
+from repro.injection.checkpoint_cache import CheckpointCache
 from repro.injection.classify import FaultClass
 from repro.injection.faults import FaultSpec
 from repro.injection.gefin import GeFIN
 from repro.injection.safety_verifier import SafetyVerifier
 from repro.injection.sampling import leveugle_sample_size, wilson_interval
+from repro.injection.store import (
+    CampaignStore,
+    StoreError,
+    StoreMismatchError,
+)
 
 __all__ = [
     "ArchEmu",
     "Campaign",
     "CampaignConfig",
     "CampaignResult",
+    "CampaignStore",
+    "CheckpointCache",
     "FaultClass",
     "FaultRunner",
     "FaultSpec",
     "GeFIN",
     "SafetyVerifier",
+    "StoreError",
+    "StoreMismatchError",
     "leveugle_sample_size",
     "wilson_interval",
 ]

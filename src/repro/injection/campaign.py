@@ -3,13 +3,21 @@
 A campaign follows the paper's two-step industrial flow (SS III-A):
 
 1. **Golden simulation**: one fault-free run, recording the pinout trace,
-   the program output and periodic drained checkpoints (plus, for the
-   RTL acceleration, the golden L1D access log).
-2. **Faulty simulations**: for each sampled fault the nearest checkpoint
-   is restored, execution advances to the injection instant, one bit is
-   flipped, and the run continues until the post-injection window
-   expires (the paper's 20 kcycles, scaled -- see ``SCALED_WINDOW``) or,
-   in "no timer" / software-observation modes, to program end.
+   the program output and periodic drained checkpoints (captured and
+   LRU-bounded by :class:`repro.injection.checkpoint_cache
+   .CheckpointCache`; plus, for the RTL acceleration, the golden L1D
+   access log).
+2. **Faulty simulations**: for each sampled fault the nearest retained
+   checkpoint is restored (warm start; ``warm_start=False`` replays the
+   whole prefix, bit-identically), execution advances to the injection
+   instant, one bit is flipped, and the run continues until the
+   post-injection window expires (the paper's 20 kcycles, scaled -- see
+   ``SCALED_WINDOW``), or, in "no timer" / software-observation modes,
+   to program end -- or until the early-stop comparator proves the
+   machine re-converged with the golden state at a checkpoint boundary.
+
+With a :class:`repro.injection.store.CampaignStore`, completed faults
+persist durably and an interrupted campaign resumes by fault index.
 
 Classification follows SS IV-A: any deviation at the configured
 observation point makes a run Unsafe.
@@ -27,6 +35,7 @@ import bisect
 import time
 
 from repro.injection import faults as fault_mod
+from repro.injection.checkpoint_cache import CheckpointCache
 from repro.injection.classify import FaultClass, FaultRecord, compare_traces
 from repro.injection.distributions import make_distribution, make_rng
 from repro.injection.observation import hardware_state_digest
@@ -69,7 +78,8 @@ class CampaignConfig:
 
     def __init__(self, samples=100, window=SCALED_WINDOW,
                  observation="pinout", distribution="normal", seed=2017,
-                 checkpoint_interval=None, accelerate=False,
+                 checkpoint_interval=None, checkpoint_bound=None,
+                 warm_start=True, early_stop=True, accelerate=False,
                  accelerate_lead=32, hang_factor=3.0, error_margin=0.02,
                  confidence=0.99, jobs=1, batch_size=None,
                  start_method=None):
@@ -84,12 +94,31 @@ class CampaignConfig:
             raise ValueError(f"jobs must be >= 1 or None (auto), got {jobs}")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if checkpoint_bound is not None and checkpoint_bound < 1:
+            raise ValueError(
+                f"checkpoint_bound must be >= 1 or None, got "
+                f"{checkpoint_bound}"
+            )
         self.samples = samples
         self.window = window
         self.observation = observation
         self.distribution = distribution
         self.seed = seed
         self.checkpoint_interval = checkpoint_interval
+        #: Max golden checkpoints resident in memory (``None`` =
+        #: unbounded); see :class:`CheckpointCache`.
+        self.checkpoint_bound = checkpoint_bound
+        #: Warm-start: restore the nearest golden checkpoint at or
+        #: before each injection instant.  ``False`` is the cold-start
+        #: baseline (replay the whole prefix from the base checkpoint);
+        #: both produce bit-identical records for a fixed seed.
+        self.warm_start = warm_start
+        #: Terminate a faulty run as Masked as soon as its full state
+        #: digest re-converges with the golden digest at a checkpoint
+        #: boundary.  Applied only on backends whose ``DRAIN_FREE``
+        #: protocol flag makes the comparison exact, so the
+        #: classification sequence never changes -- only wall clock.
+        self.early_stop = early_stop
         self.accelerate = accelerate
         self.accelerate_lead = accelerate_lead
         self.hang_factor = hang_factor
@@ -102,6 +131,35 @@ class CampaignConfig:
         self.batch_size = batch_size
         #: ``multiprocessing`` start method (``None`` = best available).
         self.start_method = start_method
+
+    def identity(self):
+        """The result-affecting configuration, as a plain dict.
+
+        This is what a campaign store's manifest records and what resume
+        validates against: two campaigns with equal identities (plus
+        equal workload/level/structure) produce identical fault samples
+        and classification sequences (class, detail, sim_cycles), so
+        their stores are interchangeable.  Execution-only knobs (jobs,
+        batch_size, start_method, checkpoint_bound) are excluded --
+        classifications are proven independent of them.  Per-session
+        *accounting* fields of a record (``wall_seconds``,
+        ``replay_cycles``) are outside the identity contract: they
+        describe how a session executed (pool timing, which checkpoint
+        an LRU-bounded cache restored from), not what it concluded.
+        """
+        return {
+            "samples": self.samples,
+            "window": self.window,
+            "observation": self.observation,
+            "distribution": self.distribution,
+            "seed": self.seed,
+            "checkpoint_interval": self.checkpoint_interval,
+            "warm_start": self.warm_start,
+            "early_stop": self.early_stop,
+            "accelerate": self.accelerate,
+            "accelerate_lead": self.accelerate_lead,
+            "hang_factor": self.hang_factor,
+        }
 
     def resolved_jobs(self, samples=None):
         """The effective worker count: ``None`` becomes the CPU count,
@@ -120,9 +178,11 @@ class CampaignConfig:
         window = "to-end" if self.window is None else f"{self.window}cyc"
         parallel = parallel_suffix(self.jobs, self.batch_size,
                                    self.start_method)
+        start = "" if self.warm_start else ", cold-start"
         return (
             f"{self.samples} faults, window={window},"
-            f" op={self.observation}, dist={self.distribution}{parallel}"
+            f" op={self.observation}, dist={self.distribution}"
+            f"{start}{parallel}"
         )
 
 
@@ -142,6 +202,12 @@ class CampaignResult:
         self.population = 0
         #: Worker processes the faulty-run phase actually used.
         self.jobs = 1
+        #: Records loaded from a campaign store instead of simulated.
+        self.resumed = 0
+        #: Wall seconds those resumed records cost *their* session --
+        #: excluded from this run's serial estimate, so a resumed
+        #: campaign's speedup reflects only work actually done here.
+        self.resumed_seconds = 0.0
 
     def add(self, record):
         self.records.append(record)
@@ -172,16 +238,29 @@ class CampaignResult:
         return sum(r.wall_seconds for r in self.records) / self.n
 
     @property
+    def simulated_cycles(self):
+        """Cycles the faulty phase re-simulated: pre-injection replay
+        plus post-injection tail, summed over all runs.  Deterministic
+        for a fixed seed, so warm/cold benches compare this ratio
+        rather than wall-clock noise."""
+        return sum(r.replay_cycles + r.sim_cycles for r in self.records)
+
+    @property
     def estimated_serial_seconds(self):
-        """Wall clock a one-process run would have spent: the golden run
-        plus every faulty run back to back."""
-        return self.golden_seconds + sum(r.wall_seconds
-                                         for r in self.records)
+        """Wall clock a one-process run *of this session's work* would
+        have spent: the golden run plus every faulty run actually
+        simulated here, back to back.  Resumed records' wall seconds
+        belong to the session that produced them and are excluded."""
+        return (self.golden_seconds
+                + sum(r.wall_seconds for r in self.records)
+                - self.resumed_seconds)
 
     @property
     def speedup(self):
-        """Wall-clock speedup over the estimated serial execution."""
-        if self.total_seconds <= 0.0:
+        """Wall-clock speedup over the estimated serial execution of
+        this session's work (``1.0`` when nothing was simulated, e.g.
+        a fully resumed campaign)."""
+        if self.total_seconds <= 0.0 or self.estimated_serial_seconds <= 0.0:
             return 1.0
         return self.estimated_serial_seconds / self.total_seconds
 
@@ -214,6 +293,7 @@ class CampaignResult:
             "golden_cycles": self.golden_cycles,
             "s_per_run": self.seconds_per_run,
             "jobs": self.jobs,
+            "resumed": self.resumed,
             "total_s": self.total_seconds,
             "speedup": self.speedup,
             "population": self.population,
@@ -246,15 +326,21 @@ class FaultRunner:
         self.hang_deadline = hang_deadline
 
     def run_one(self, sim, fault):
-        """Restore, advance, inject, finish, classify: one FaultRecord."""
+        """Seek, advance, inject, finish, classify: one FaultRecord.
+
+        The seek restores the nearest retained golden checkpoint at or
+        before the injection instant (``warm_start``) or the base
+        checkpoint (cold start) and replays the drain-punctuated golden
+        trajectory in between, so the pre-injection state -- and hence
+        the classification -- is identical either way.
+        """
         cfg = self.config
-        golden = self.golden
         run_start = time.perf_counter()
-        cp_cycles = golden["cp_cycles"]
-        cp_index = max(bisect.bisect_right(cp_cycles, fault.cycle) - 1, 0)
-        checkpoint = golden["checkpoints"][cp_index]
-        sim.restore(checkpoint)
-        trace_base = len(checkpoint["pinout"])
+        cache = self.golden["cache"]
+        trace_base, restore_cycle = cache.seek(
+            sim, fault.cycle, warm=cfg.warm_start,
+            max_cycles=self.hang_deadline,
+        )
         status = sim.run(stop_cycle=fault.cycle,
                          max_cycles=self.hang_deadline)
         if status is not RunStatus.STOPPED:
@@ -265,19 +351,55 @@ class FaultRunner:
                 fault, FaultClass.MASKED, "after program end",
                 sim_cycles=0,
                 wall_seconds=time.perf_counter() - run_start,
+                replay_cycles=sim.cycle - restore_cycle,
             )
+        replay_cycles = sim.cycle - restore_cycle
         sim.inject(fault.structure, fault.bit)
-        if cfg.window is not None:
-            status = sim.run(stop_cycle=fault.cycle + cfg.window,
-                             max_cycles=self.hang_deadline)
+        status, converged = self._finish(sim, fault)
+        if converged:
+            fclass, detail = FaultClass.MASKED, "re-converged with golden"
         else:
-            status = sim.run(max_cycles=self.hang_deadline)
-        fclass, detail = self._classify(sim, status, trace_base)
+            fclass, detail = self._classify(sim, status, trace_base)
         return FaultRecord(
             fault, fclass, detail,
             sim_cycles=sim.cycle - fault.cycle,
             wall_seconds=time.perf_counter() - run_start,
+            replay_cycles=replay_cycles,
         )
+
+    def _finish(self, sim, fault):
+        """Run the post-injection tail.  Returns ``(status, converged)``.
+
+        With ``early_stop`` on a ``DRAIN_FREE`` backend the tail pauses
+        at every golden checkpoint boundary and compares full state
+        digests: equality proves the faulty machine is bit-identical to
+        the golden one (state, memory, output and pinout history), so
+        its future is the golden future and the run is Masked -- the
+        classification an exhaustive tail run would also reach.  On
+        pipelined backends golden digests are post-drain states a free
+        run never re-enters, so the comparison is skipped rather than
+        approximated.
+        """
+        cfg = self.config
+        end = None if cfg.window is None else fault.cycle + cfg.window
+        cache = self.golden["cache"]
+        if (cfg.early_stop and type(sim).DRAIN_FREE
+                and cache.collect_digests):
+            first = bisect.bisect_right(cache.cycles, fault.cycle)
+            for k in range(first, cache.count):
+                boundary = cache.cycles[k]
+                if end is not None and boundary >= end:
+                    break
+                status = sim.run(stop_cycle=boundary,
+                                 max_cycles=self.hang_deadline)
+                if status is not RunStatus.STOPPED:
+                    return status, False
+                if sim.state_digest() == cache.digests[k]:
+                    return status, True
+        if end is not None:
+            return sim.run(stop_cycle=end,
+                           max_cycles=self.hang_deadline), False
+        return sim.run(max_cycles=self.hang_deadline), False
 
     def _classify(self, sim, status, trace_base):
         cfg = self.config
@@ -317,17 +439,22 @@ class FaultRunner:
         return FaultClass.MISMATCH, "pinout trace deviates"
 
 
-def run_serial(sim, runner, specs, progress=None):
+def run_serial(sim, runner, specs, progress=None, on_batch=None):
     """The one serial faulty-run loop.
 
     Used by the ``jobs=1`` path and by the executor when a shard
     degenerates to a single batch, so there is exactly one copy of the
-    restore/inject/classify iteration order.
+    restore/inject/classify iteration order.  ``on_batch(start,
+    records)`` -- the campaign-store append hook, sharing the parallel
+    executor's signature -- fires exactly once per fault as it
+    completes, with a one-record batch.
     """
     records = []
     for i, fault in enumerate(specs):
         record = runner.run_one(sim, fault)
         records.append(record)
+        if on_batch is not None:
+            on_batch(i, [record])
         if progress is not None:
             progress(i + 1, len(specs), record)
     return records
@@ -347,7 +474,13 @@ class Campaign:
     # ------------------------------------------------------------------
 
     def _golden_phase(self, sim, result):
-        """Fault-free run with periodic drained checkpoints."""
+        """Fault-free run with periodic drained checkpoints.
+
+        Checkpoint capture and retention live in
+        :class:`CheckpointCache` (configurable stride, LRU-bounded
+        resident set); this phase owns listener setup and the
+        clean-exit contract.
+        """
         cfg = self.config
         started = time.perf_counter()
         access_log = []
@@ -356,16 +489,16 @@ class Campaign:
                 lambda cycle, index, way, write, addr:
                 access_log.append((cycle, index, way, write, addr))
             )
-        checkpoints = [sim.checkpoint()]
-        interval = cfg.checkpoint_interval
-        while True:
-            stop = sim.cycle + (interval or 4000)
-            status = sim.run(stop_cycle=stop)
-            if status is not RunStatus.STOPPED:
-                break
-            checkpoints.append(sim.checkpoint())
-            if sim.exited or sim.fault is not None:
-                break
+        cache = CheckpointCache(
+            stride=cfg.checkpoint_interval,
+            max_resident=cfg.checkpoint_bound,
+            # Digests feed only the early-stop comparator, which fires
+            # only on drain-free backends -- skip the capture cost
+            # elsewhere.
+            collect_digests=(cfg.early_stop
+                             and type(sim).DRAIN_FREE),
+        )
+        status = cache.capture_golden(sim)
         if not sim.exited:
             raise RuntimeError(
                 f"golden run did not exit cleanly: {status}, {sim.fault}"
@@ -377,26 +510,33 @@ class Campaign:
             "output": sim.output,
             "pinout_keys": [t.key() for t in sim.pinout],
             "end_cycle": sim.cycle,
-            "checkpoints": checkpoints,
-            "cp_cycles": [cp["cycle"] for cp in checkpoints],
+            "cache": cache,
             "access_log": access_log,
         }
         if cfg.observation == "arch":
             golden["hw_state"] = hardware_state_digest(sim)
         return golden
 
+    def _draw_specs(self, bit_count, end_cycle):
+        """Redraw the campaign's fault samples -- a pure function of
+        the config identity plus the golden run's (bits, end_cycle),
+        which is what makes store resume deterministic."""
+        cfg = self.config
+        rng = make_rng(cfg.seed)
+        distribution = make_distribution(
+            cfg.distribution, 1, max(end_cycle - 1, 1)
+        )
+        return fault_mod.sample_faults(
+            rng, self.structure, bit_count, distribution, cfg.samples
+        )
+
     def _sample(self, sim, golden, result):
         cfg = self.config
         bit_count = sim.fault_targets()[self.structure]
         result.population = fault_population(bit_count,
                                              golden["end_cycle"])
-        rng = make_rng(cfg.seed)
-        distribution = make_distribution(
-            cfg.distribution, 1, max(golden["end_cycle"] - 1, 1)
-        )
-        specs = fault_mod.sample_faults(
-            rng, self.structure, bit_count, distribution, cfg.samples
-        )
+        golden["bits"] = bit_count
+        specs = self._draw_specs(bit_count, golden["end_cycle"])
         if cfg.accelerate and self.structure == "l1d.data":
             index = {}
             for cycle, set_i, way, _, _ in golden["access_log"]:
@@ -421,48 +561,162 @@ class Campaign:
         return fault_mod.FaultSpec(fault.structure, fault.bit, new_cycle,
                                    original_cycle=fault.cycle)
 
-    def run(self, progress=None):
+    def identity(self):
+        """What a campaign store records and resume validates: the
+        target plus every result-affecting config knob."""
+        return {
+            "workload": self.workload,
+            "level": self.level,
+            "structure": self.structure,
+            "config": self.config.identity(),
+        }
+
+    def run(self, progress=None, store=None, resume=False):
         """Execute the campaign.  Returns a :class:`CampaignResult`.
 
         The golden phase and fault sampling always run in this process;
         the faulty runs execute serially (``jobs=1``, the default) or on
         a process pool (:mod:`repro.injection.executor`).  Both backends
         produce records in fault-sample order.
+
+        With a :class:`~repro.injection.store.CampaignStore` every
+        completed fault is appended durably; with ``resume=True`` faults
+        already on disk are loaded instead of re-run (the merged record
+        sequence is bit-identical to an uninterrupted campaign, because
+        the sample list is a pure function of the stored identity).
+        ``progress`` then counts only the faults actually simulated this
+        session.  A fully completed store resumes without building a
+        simulator at all.
         """
         cfg = self.config
         result = CampaignResult(self.workload, self.level, self.structure,
                                 cfg)
         total_start = time.perf_counter()
-        sim = self.sim_factory()
-        golden = self._golden_phase(sim, result)
-        specs = self._sample(sim, golden, result)
-        hang_deadline = int(
-            golden["end_cycle"] * cfg.hang_factor
-            + (cfg.window or 0) + 20_000
-        )
-        # Only what the faulty phase reads travels to workers -- the
-        # access log (and hw_state outside arch mode) stays local.
-        runner_golden = {
-            key: golden[key]
-            for key in ("checkpoints", "cp_cycles", "pinout_keys",
-                        "output")
-        }
-        if cfg.observation == "arch":
-            runner_golden["hw_state"] = golden["hw_state"]
-        runner = FaultRunner(cfg, runner_golden, hang_deadline)
-        jobs = cfg.resolved_jobs(len(specs))
-        if jobs > 1:
-            from repro.injection import executor
-
-            records, jobs = executor.run_parallel(
-                self.sim_factory, runner, specs, jobs=jobs,
-                batch_size=cfg.batch_size, start_method=cfg.start_method,
-                progress=progress, fallback_sim=sim,
+        stored = {}
+        if store is not None:
+            stored = store.begin(self.identity(), resume=resume)
+        try:
+            if store is not None and self._resume_complete(result, stored,
+                                                           store):
+                result.total_seconds = time.perf_counter() - total_start
+                return result
+            sim = self.sim_factory()
+            golden = self._golden_phase(sim, result)
+            specs = self._sample(sim, golden, result)
+            if store is not None:
+                store.set_golden(result.golden_cycles, result.golden_insts,
+                                 golden["end_cycle"], result.population,
+                                 golden["bits"])
+            self._check_stored_faults(stored, specs)
+            remaining = [(i, spec) for i, spec in enumerate(specs)
+                         if i not in stored]
+            result.resumed = len(specs) - len(remaining)
+            result.resumed_seconds = sum(
+                stored[i].wall_seconds for i in range(len(specs))
+                if i in stored
             )
-        else:
-            records = run_serial(sim, runner, specs, progress)
-        result.jobs = jobs
-        for record in records:
-            result.add(record)
-        result.total_seconds = time.perf_counter() - total_start
-        return result
+            rem_index = [i for i, _ in remaining]
+            rem_specs = [spec for _, spec in remaining]
+            on_batch = None
+            if store is not None:
+                def on_batch(start, batch_records):
+                    for offset, record in enumerate(batch_records):
+                        store.append(rem_index[start + offset], record)
+            hang_deadline = int(
+                golden["end_cycle"] * cfg.hang_factor
+                + (cfg.window or 0) + 20_000
+            )
+            # Only what the faulty phase reads travels to workers -- the
+            # access log (and hw_state outside arch mode) stays local.
+            # The checkpoint cache ships whole, so workers share the
+            # same (bounded) restart points and boundary digests.
+            runner_golden = {
+                key: golden[key]
+                for key in ("cache", "pinout_keys", "output")
+            }
+            if cfg.observation == "arch":
+                runner_golden["hw_state"] = golden["hw_state"]
+            runner = FaultRunner(cfg, runner_golden, hang_deadline)
+            jobs = cfg.resolved_jobs(len(rem_specs))
+            if jobs > 1:
+                from repro.injection import executor
+
+                records, jobs = executor.run_parallel(
+                    self.sim_factory, runner, rem_specs, jobs=jobs,
+                    batch_size=cfg.batch_size,
+                    start_method=cfg.start_method,
+                    progress=progress, fallback_sim=sim,
+                    on_batch=on_batch,
+                )
+            else:
+                records = run_serial(sim, runner, rem_specs, progress,
+                                     on_batch=on_batch)
+            result.jobs = jobs
+            # Merge by fault index: stored records fill the gaps, every
+            # index appears exactly once, in fault-sample order.
+            merged = dict(stored)
+            merged.update(zip(rem_index, records))
+            for i in range(len(specs)):
+                result.add(merged[i])
+            result.total_seconds = time.perf_counter() - total_start
+            return result
+        finally:
+            if store is not None:
+                store.close()
+
+    @staticmethod
+    def _check_stored_faults(stored, specs):
+        """Cross-check stored records against the redrawn sample list.
+
+        The manifest identity covers every config knob, but a code
+        change to the sampling itself would redraw different faults
+        under an identical identity -- and the index merge would then
+        silently mix two incompatible sample lists.  Records carry
+        their fault, so verify it matches the spec at the same index
+        (on ``original_cycle``, which is invariant under the
+        inject-near-consumption acceleration).
+        """
+        from repro.injection.store import StoreMismatchError
+
+        for i, record in stored.items():
+            if i >= len(specs):
+                raise StoreMismatchError(
+                    f"stored record #{i} is beyond the {len(specs)} "
+                    f"redrawn fault samples"
+                )
+            spec, fault = specs[i], record.fault
+            if (fault.structure, fault.bit, fault.original_cycle) != (
+                    spec.structure, spec.bit, spec.original_cycle):
+                raise StoreMismatchError(
+                    f"stored record #{i} was injected as {fault!r} but "
+                    f"the redrawn sample is {spec!r}; the store predates "
+                    f"a sampling change -- delete it and re-run"
+                )
+
+    def _resume_complete(self, result, stored, store):
+        """Fast path: every fault is on disk and the golden summary is
+        recorded -- rebuild the result without simulating anything.
+        The stored faults are still cross-checked against a redraw of
+        the sample list (cheap: the manifest carries the golden run's
+        bit count and end cycle), so a store predating a sampling
+        change fails loudly here too."""
+        samples = self.config.samples
+        if not all(i in stored for i in range(samples)):
+            return False
+        golden_info = store.golden_info()
+        if golden_info is None or "bits" not in golden_info:
+            return False
+        self._check_stored_faults(
+            stored,
+            self._draw_specs(golden_info["bits"],
+                             golden_info["end_cycle"]),
+        )
+        result.golden_cycles = golden_info["cycles"]
+        result.golden_insts = golden_info["insts"]
+        result.population = golden_info["population"]
+        result.resumed = samples
+        for i in range(samples):
+            result.add(stored[i])
+        result.resumed_seconds = sum(r.wall_seconds
+                                     for r in result.records)
+        return True

@@ -1,0 +1,211 @@
+"""Golden-run checkpoint cache: the campaign warm-start subsystem.
+
+A campaign's faulty phase restores a pre-fault machine state once per
+injection.  This module owns everything about those restart points:
+
+* **capture** -- during the golden run the cache takes one drained
+  checkpoint every ``stride`` cycles through the
+  :meth:`~repro.sim.base.SimulatorBase.checkpoint_at` hook, and records
+  per-boundary metadata that stays tiny even when the checkpoint payload
+  itself is evicted: the post-drain cycle, the pre-drain stop cycle, the
+  full :meth:`~repro.sim.base.SimulatorBase.state_digest` and the pinout
+  length;
+* **bounding** -- ``max_resident`` caps how many checkpoint payloads
+  stay in memory (and therefore how much the parallel executor
+  serializes per worker).  Eviction is LRU over restore traffic; the
+  base checkpoint is pinned so every cycle stays reachable;
+* **seek** -- :meth:`seek` positions a simulator at the best retained
+  restart point at or before a target cycle (``warm``) or at the base
+  checkpoint (``cold``), then replays the *drain-punctuated* golden
+  trajectory through any evicted boundaries.
+
+The replay detail is the correctness core: the golden run drains at
+every boundary (that is how checkpoints are captured), so the golden
+trajectory between checkpoints is the post-drain one.  ``seek`` replays
+those same drains at the same stop cycles, which makes the pre-injection
+state bit-identical no matter which checkpoint it started from -- warm
+start, cold start and any eviction pattern all land in exactly the same
+machine state.  That invariance is what the cross-tier equivalence suite
+(tests/test_warmstart_equivalence.py) locks in.
+"""
+
+import bisect
+
+from repro.sim.base import RunStatus
+
+
+class CheckpointCache:
+    """Interval checkpoints of one golden run, LRU-bounded.
+
+    Picklable: the whole cache travels to pool workers inside the
+    serialized :class:`~repro.injection.campaign.FaultRunner` payload,
+    so every worker shares the same restart points (and the bound also
+    caps the per-worker transfer).
+    """
+
+    #: Default capture stride (cycles between drained checkpoints) when
+    #: the campaign does not configure one.
+    DEFAULT_STRIDE = 4000
+
+    def __init__(self, stride=None, max_resident=None,
+                 collect_digests=True):
+        if stride is not None and stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        if max_resident is not None and max_resident < 1:
+            raise ValueError(
+                f"max_resident must be >= 1 or None, got {max_resident}"
+            )
+        self.stride = stride or self.DEFAULT_STRIDE
+        self.max_resident = max_resident
+        #: Whether boundary state digests are captured.  They are only
+        #: ever consumed by the early-stop comparator, which fires on
+        #: ``DRAIN_FREE`` backends -- campaigns on pipelined backends
+        #: skip the capture cost (a full-state CRC per boundary).
+        self.collect_digests = collect_digests
+        #: Post-drain cycle of boundary ``k`` (what ``cp["cycle"]`` was).
+        self.cycles = []
+        #: Pre-drain stop cycle of boundary ``k`` (where the golden run
+        #: paused before draining); equals ``cycles[k]`` for the base.
+        self.stops = []
+        #: Full state digest right after the boundary checkpoint.
+        self.digests = []
+        #: Pinout length at the boundary (trace comparison base).
+        self.pinout_lens = []
+        #: Retained checkpoint payloads, index -> checkpoint dict.
+        self._entries = {}
+        #: Resident indices, least-recently-used first (index 0 pinned).
+        self._lru = []
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+
+    def capture(self, sim, stop_cycle=None):
+        """Checkpoint ``sim`` right now and retain it (LRU-bounded)."""
+        cp = sim.checkpoint()
+        self._retain(cp, cp["cycle"] if stop_cycle is None else stop_cycle,
+                     sim)
+        return cp
+
+    def capture_golden(self, sim):
+        """Drive the golden run to completion, capturing every stride.
+
+        Returns the final :class:`RunStatus`.  The caller owns listener
+        setup and exit validation; this method owns the capture cadence.
+        """
+        self.capture(sim)
+        while True:
+            stop = sim.cycle + self.stride
+            status, cp = sim.checkpoint_at(stop)
+            if cp is None:
+                return status
+            self._retain(cp, stop, sim)
+            if sim.exited or sim.fault is not None:
+                return status
+
+    def _retain(self, cp, stop_cycle, sim):
+        index = len(self.cycles)
+        self.cycles.append(cp["cycle"])
+        self.stops.append(stop_cycle)
+        self.digests.append(sim.state_digest() if self.collect_digests
+                            else None)
+        self.pinout_lens.append(len(cp["pinout"]))
+        self._entries[index] = cp
+        self._touch(index)
+        self._evict()
+
+    def _touch(self, index):
+        if index in self._lru:
+            self._lru.remove(index)
+        self._lru.append(index)
+
+    def _evict(self):
+        if self.max_resident is None:
+            return
+        while len(self._entries) > self.max_resident:
+            victim = next(i for i in self._lru if i != 0)
+            self._lru.remove(victim)
+            del self._entries[victim]
+
+    # ------------------------------------------------------------------
+    # lookup / seek
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self):
+        """Boundaries captured (metadata rows, not resident payloads)."""
+        return len(self.cycles)
+
+    @property
+    def resident(self):
+        """Checkpoint payloads currently held in memory."""
+        return len(self._entries)
+
+    def boundary_at_or_before(self, cycle):
+        """Index of the last boundary whose post-drain cycle is <= cycle."""
+        return max(bisect.bisect_right(self.cycles, cycle) - 1, 0)
+
+    def nearest_resident(self, cycle):
+        """Best retained restart point at or before ``cycle`` (touches
+        it for LRU purposes)."""
+        j = self.boundary_at_or_before(cycle)
+        while j > 0 and j not in self._entries:
+            j -= 1
+        self._touch(j)
+        return j
+
+    def entry(self, index):
+        return self._entries[index]
+
+    def seek(self, sim, cycle, warm=True, max_cycles=5_000_000):
+        """Position ``sim`` exactly where the golden run stood when it
+        was about to execute past the last boundary at or before
+        ``cycle``, then leave the final advance (to the injection
+        instant) to the caller.
+
+        Returns ``(trace_base, restore_cycle)``: the pinout length at
+        the target boundary (the classification comparison base) and
+        the cycle of the restored checkpoint, from which the caller
+        computes the replayed-cycle accounting.
+
+        ``warm=False`` restores the base checkpoint and replays the full
+        drain-punctuated prefix -- the cold-start baseline.  Both paths
+        produce bit-identical machine states by construction.
+        """
+        target = self.boundary_at_or_before(cycle)
+        start = self.nearest_resident(cycle) if warm else 0
+        sim.restore(self._entries[start])
+        restore_cycle = sim.cycle
+        for k in range(start + 1, target + 1):
+            status = sim.run(stop_cycle=self.stops[k],
+                             max_cycles=max_cycles)
+            if status is not RunStatus.STOPPED:
+                # Unreachable on a healthy cache (the golden run crossed
+                # this boundary), kept as a hard failure over silence.
+                raise RuntimeError(
+                    f"golden replay ended early at boundary {k}: {status}"
+                )
+            sim.drain()
+        if start != target:
+            # Canonicalize: ``restore()`` rebuilds the machine, so a
+            # restored checkpoint and an in-place-drained replay agree
+            # on *content* but not necessarily on microarchitectural
+            # residue (e.g. which physical register backs an
+            # architectural one).  Injection targets raw structures, so
+            # the seek must end in exactly the state
+            # ``restore(cp[target])`` would produce -- a checkpoint
+            # round-trip of the replayed machine is that state, because
+            # checkpoint content is architectural and the replayed
+            # content equals the golden content at this boundary.
+            sim.restore(sim.checkpoint())
+        return self.pinout_lens[target], restore_cycle
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self):
+        bound = self.max_resident or "unbounded"
+        return (
+            f"CheckpointCache({self.count} boundaries,"
+            f" {self.resident} resident, stride={self.stride},"
+            f" max_resident={bound})"
+        )

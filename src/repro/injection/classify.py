@@ -44,15 +44,23 @@ class FaultClass(enum.Enum):
 class FaultRecord:
     """Outcome of one injection run."""
 
-    __slots__ = ("fault", "fclass", "detail", "sim_cycles", "wall_seconds")
+    __slots__ = ("fault", "fclass", "detail", "sim_cycles", "wall_seconds",
+                 "replay_cycles")
 
     def __init__(self, fault, fclass, detail="", sim_cycles=0,
-                 wall_seconds=0.0):
+                 wall_seconds=0.0, replay_cycles=0):
         self.fault = fault
         self.fclass = fclass
         self.detail = detail
         self.sim_cycles = sim_cycles
         self.wall_seconds = wall_seconds
+        #: Pre-injection cycles this run re-simulated to reach the
+        #: fault instant (restore-to-injection distance).  Warm starts
+        #: keep this below the checkpoint stride; cold starts pay the
+        #: whole prefix.  Hardware-independent, so benches use the
+        #: warm/cold ratio of (replay + post-injection) cycles as the
+        #: deterministic speedup metric.
+        self.replay_cycles = replay_cycles
 
     def __repr__(self):
         return f"FaultRecord({self.fault!r} -> {self.fclass.value})"

@@ -102,7 +102,8 @@ def _run_batch(batch):
 
 
 def run_parallel(sim_factory, runner, specs, jobs, batch_size=None,
-                 start_method=None, progress=None, fallback_sim=None):
+                 start_method=None, progress=None, fallback_sim=None,
+                 on_batch=None):
     """Execute ``specs`` on a pool of up to ``jobs`` workers.
 
     Returns ``(records, jobs_used)``: the
@@ -111,7 +112,11 @@ def run_parallel(sim_factory, runner, specs, jobs, batch_size=None,
     which may be lower than requested when there are fewer batches than
     workers (``1`` means no pool was built).  ``progress``, if given,
     is called as ``progress(done, total, record)`` after each batch
-    with the batch's last record.  ``fallback_sim``, if given, serves
+    with the batch's last record; ``done`` counts each fault exactly
+    once regardless of how the batch boundaries fall.  ``on_batch``, if
+    given, is called as ``on_batch(start_index, batch_records)`` as
+    each batch lands (completion order, not merge order) -- the
+    campaign-store append hook.  ``fallback_sim``, if given, serves
     the degenerate single-batch case instead of building a fresh
     simulator.
     """
@@ -122,7 +127,8 @@ def run_parallel(sim_factory, runner, specs, jobs, batch_size=None,
     if jobs <= 1:
         # Degenerate shard (e.g. one batch): stay in-process.
         sim = fallback_sim if fallback_sim is not None else sim_factory()
-        return run_serial(sim, runner, specs, progress), 1
+        return run_serial(sim, runner, specs, progress,
+                          on_batch=on_batch), 1
     payload = pickle.dumps((sim_factory, runner),
                            protocol=pickle.HIGHEST_PROTOCOL)
     ctx = multiprocessing.get_context(resolve_start_method(start_method))
@@ -134,6 +140,8 @@ def run_parallel(sim_factory, runner, specs, jobs, batch_size=None,
                                                         batches):
             records[start:start + len(batch_records)] = batch_records
             done += len(batch_records)
+            if on_batch is not None:
+                on_batch(start, batch_records)
             if progress is not None:
                 progress(done, len(specs), batch_records[-1])
     return records, jobs

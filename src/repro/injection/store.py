@@ -1,0 +1,298 @@
+"""Resumable on-disk campaign store: append-only JSONL + manifest.
+
+A campaign store makes the faulty phase of a campaign durable and
+resumable.  One store directory holds one campaign:
+
+* ``manifest.json`` -- the campaign's identity (workload, level,
+  structure and every result-affecting
+  :meth:`~repro.injection.campaign.CampaignConfig.identity` knob), the
+  repository's ``git describe`` at creation time, and -- once the
+  golden phase has run -- the golden summary that lets a fully
+  completed campaign resume without simulating anything at all;
+* ``records.jsonl`` -- one JSON object per completed fault, keyed by
+  the fault's sample index.  Append-only and flushed per record, so a
+  killed campaign loses at most the fault that was in flight.
+
+Resume semantics: fault samples are a pure function of the manifest
+identity (same seed, same distribution), so a resumed campaign redraws
+the identical sample list, skips every index already on disk and runs
+only the remainder.  Records from both sessions merge by index into a
+sequence whose classifications (class, detail, sim_cycles) are
+bit-identical to an uninterrupted run; only per-session accounting
+(``wall_seconds``, ``replay_cycles``) reflects how each session
+actually executed.  A half-written trailing
+line (the in-flight fault of a kill) is truncated away on open; any
+earlier corruption or an identity mismatch is an error, never a silent
+partial resume.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import time
+
+from repro.injection.classify import FaultClass, FaultRecord
+from repro.injection.faults import FaultSpec
+
+#: Manifest format; bump on incompatible layout changes.
+FORMAT = 1
+
+MANIFEST_NAME = "manifest.json"
+RECORDS_NAME = "records.jsonl"
+
+
+class StoreError(Exception):
+    """A campaign store is unreadable or corrupt beyond recovery."""
+
+
+class StoreMismatchError(StoreError):
+    """Resume rejected: the store was written by a different campaign."""
+
+
+def git_describe():
+    """``git describe`` of the enclosing repo, or None outside one.
+
+    Purely informational provenance -- a mismatch never blocks resume
+    (the result-affecting identity is recorded explicitly).
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def record_to_json(index, record):
+    """One :class:`FaultRecord` as a JSONL-ready dict."""
+    return {
+        "i": index,
+        "structure": record.fault.structure,
+        "bit": record.fault.bit,
+        "cycle": record.fault.cycle,
+        "original_cycle": record.fault.original_cycle,
+        "fclass": record.fclass.value,
+        "detail": record.detail,
+        "sim_cycles": record.sim_cycles,
+        "wall_seconds": record.wall_seconds,
+        "replay_cycles": record.replay_cycles,
+    }
+
+
+def record_from_json(blob):
+    """Inverse of :func:`record_to_json`; returns ``(index, record)``."""
+    fault = FaultSpec(blob["structure"], blob["bit"], blob["cycle"],
+                      original_cycle=blob["original_cycle"])
+    record = FaultRecord(
+        fault, FaultClass(blob["fclass"]), blob["detail"],
+        sim_cycles=blob["sim_cycles"],
+        wall_seconds=blob["wall_seconds"],
+        replay_cycles=blob.get("replay_cycles", 0),
+    )
+    return blob["i"], record
+
+
+class CampaignStore:
+    """One campaign's on-disk record set.
+
+    Lifecycle: construct with a directory path, then :meth:`begin` with
+    the campaign identity (creates or validates), :meth:`append` per
+    completed fault, :meth:`set_golden` after the golden phase.  A
+    store can also be read standalone (reports, merging) through
+    :meth:`manifest`/:meth:`records` without :meth:`begin`.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._records_file = None
+
+    @property
+    def manifest_path(self):
+        return self.path / MANIFEST_NAME
+
+    @property
+    def records_path(self):
+        return self.path / RECORDS_NAME
+
+    def exists(self):
+        return self.manifest_path.exists()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, identity, resume=False):
+        """Open the store for a campaign with ``identity``.
+
+        Fresh start (``resume=False``): allowed only when the store is
+        absent or still empty -- an existing store with completed
+        records is hours of simulation, so overwriting it without
+        ``resume`` raises :class:`StoreError` instead of silently
+        discarding them (delete the directory to really start over).
+        Resume: the stored identity must match exactly
+        (:class:`StoreMismatchError` otherwise) and a torn trailing
+        record -- the footprint of a kill mid-write -- is truncated
+        away.  Returns the records already on disk,
+        ``{index: FaultRecord}``.
+        """
+        self.path.mkdir(parents=True, exist_ok=True)
+        stored = {}
+        if resume and self.exists():
+            manifest = self.manifest()
+            if manifest.get("identity") != identity:
+                raise StoreMismatchError(
+                    f"store at {self.path} was written by a different "
+                    f"campaign:\n  stored:  {manifest.get('identity')}"
+                    f"\n  current: {identity}"
+                )
+            self._recover_records_tail()
+            stored = self.records()
+        else:
+            existing = self.records() if self.exists() else {}
+            if existing:
+                raise StoreError(
+                    f"store at {self.path} already holds "
+                    f"{len(existing)} completed records; pass resume "
+                    f"(--resume) to continue it, or delete the "
+                    f"directory to start over"
+                )
+            self._write_manifest({
+                "format": FORMAT,
+                "identity": identity,
+                "git": git_describe(),
+                "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            })
+            self.records_path.write_text("")
+        self._records_file = open(self.records_path, "a",
+                                  encoding="utf-8")
+        return stored
+
+    def close(self):
+        if self._records_file is not None:
+            self._records_file.close()
+            self._records_file = None
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+
+    def manifest(self):
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            raise StoreError(f"no campaign store at {self.path}")
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt manifest at {self.manifest_path}: {exc}"
+            )
+        if manifest.get("format") != FORMAT:
+            raise StoreError(
+                f"store at {self.path} has format "
+                f"{manifest.get('format')!r}, this code reads format "
+                f"{FORMAT} -- re-run the campaign to rewrite it"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest):
+        # Atomic rewrite: a crash mid-write must not tear the manifest.
+        tmp = self.manifest_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                       + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def set_golden(self, golden_cycles, golden_insts, end_cycle,
+                   population, bits):
+        """Record the golden summary so a fully completed campaign can
+        later resume into a result -- and redraw its fault samples for
+        cross-checking -- without simulating."""
+        manifest = self.manifest()
+        manifest["golden"] = {
+            "cycles": golden_cycles,
+            "insts": golden_insts,
+            "end_cycle": end_cycle,
+            "population": population,
+            "bits": bits,
+        }
+        self._write_manifest(manifest)
+
+    def golden_info(self):
+        """The recorded golden summary, or None before the golden phase."""
+        return self.manifest().get("golden")
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+
+    def append(self, index, record):
+        """Durably append one completed fault (flushed per record)."""
+        if self._records_file is None:
+            raise StoreError("store not opened with begin()")
+        self._records_file.write(
+            json.dumps(record_to_json(index, record)) + "\n"
+        )
+        self._records_file.flush()
+
+    def records(self):
+        """All intact records on disk, ``{index: FaultRecord}``.
+
+        A torn final line (kill mid-append) is ignored; corruption
+        anywhere earlier raises :class:`StoreError`.
+        """
+        out = {}
+        try:
+            lines = self.records_path.read_text().split("\n")
+        except FileNotFoundError:
+            return out
+        # split() leaves a trailing "" for a newline-terminated file;
+        # anything non-empty after the last newline is a torn record.
+        for lineno, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                index, record = record_from_json(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                if lineno == len(lines) - 1:
+                    continue  # torn tail: the in-flight fault of a kill
+                raise StoreError(
+                    f"corrupt record at {self.records_path}:"
+                    f"{lineno + 1}: {exc}"
+                )
+            out[index] = record
+        return out
+
+    def _recover_records_tail(self):
+        """Truncate a half-written final line in place."""
+        try:
+            blob = self.records_path.read_bytes()
+        except FileNotFoundError:
+            self.records_path.write_text("")
+            return
+        if blob and not blob.endswith(b"\n"):
+            keep = blob.rfind(b"\n") + 1
+            self.records_path.write_bytes(blob[:keep])
+
+    def __repr__(self):
+        return f"CampaignStore({str(self.path)!r})"
+
+
+def load_store(path):
+    """Read one store: ``(manifest, {index: FaultRecord})``."""
+    store = CampaignStore(path)
+    return store.manifest(), store.records()
+
+
+def load_stores(paths):
+    """Read and merge several stores for reporting.
+
+    Returns a list of ``(manifest, records)`` pairs, one per store, in
+    the given order.  Stores are independent campaigns (different
+    workloads/levels/structures), so merging means collecting, not
+    concatenating records.
+    """
+    return [load_store(path) for path in paths]

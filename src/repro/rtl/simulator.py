@@ -124,6 +124,14 @@ class RTLSim(SimulatorBase):
         self.core.retired_next_pc = pc
         self.core.last_retire_cycle = cycle
 
+    def _digest_extra(self):
+        # The RF macro carries banked/spare flops beyond r0-r14 that
+        # arch_state() does not see; they are restorable state, so they
+        # belong in the digest.
+        from repro.sim.base import _crc
+
+        return super()._digest_extra() + (_crc(self.rf.snapshot()),)
+
     # ------------------------------------------------------------------
     # fault injection
     # ------------------------------------------------------------------

@@ -20,11 +20,24 @@ looked up by level name through :mod:`repro.sim.registry`.
 """
 
 import enum
+import pickle
+import zlib
 
 from repro.errors import SimFault
 from repro.memory.bus import Transaction
 from repro.memory.cache import Cache
 from repro.memory.ram import RAM
+
+
+def _crc(obj):
+    """Stable content checksum of a snapshot payload.
+
+    Snapshots are plain containers of bytes/ints/numpy arrays, so their
+    pickling is deterministic within one platform+interpreter -- which is
+    the scope a digest is ever compared across (parent process and its
+    campaign workers).
+    """
+    return zlib.crc32(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 class RunStatus(enum.Enum):
@@ -59,6 +72,13 @@ class SimulatorBase:
 
     LEVEL = None
     INJECTABLE = {}
+
+    #: True when ``drain()`` is a no-op because the machine is always
+    #: architecturally quiescent (no pipeline to empty).  On such
+    #: backends a mid-run :meth:`state_digest` is directly comparable to
+    #: a golden checkpoint digest at the same cycle, which is what makes
+    #: the campaign engine's early-stop convergence check sound there.
+    DRAIN_FREE = False
 
     def __init__(self, program, config=None):
         self.config = config if config is not None else self.default_config()
@@ -169,6 +189,71 @@ class SimulatorBase:
         }
         cp.update(self._capture_state())
         return cp
+
+    def checkpoint_at(self, stop_cycle, max_cycles=5_000_000):
+        """Advance to ``stop_cycle`` and checkpoint there.
+
+        Returns ``(status, checkpoint)``; the checkpoint is ``None``
+        when the run ended (exit/fault/watchdog) before the stop cycle.
+        This is the capture primitive of
+        :class:`repro.injection.checkpoint_cache.CheckpointCache`.
+        """
+        status = self.run(stop_cycle=stop_cycle, max_cycles=max_cycles)
+        if status is not RunStatus.STOPPED:
+            return status, None
+        return status, self.checkpoint()
+
+    def state_digest(self):
+        """Content digest of the complete deterministic machine state.
+
+        Two simulators of the same backend with equal digests at the
+        same cycle are in identical states -- registers, flags, PC,
+        memory, syscall context, published pinout and the level-specific
+        extras of :meth:`_digest_extra` -- so their futures are
+        identical.  The campaign engine compares faulty-run digests
+        against golden boundary digests to prove re-convergence (early
+        masked classification) and the backend test suite uses it for
+        checkpoint/restore round-trip properties.
+        """
+        arch = self.arch_state()
+        core = self.core
+        return (
+            self.cycle,
+            self.icount,
+            self.exited,
+            self.fault is None,
+            tuple(arch["regs"]),
+            arch["flags"],
+            arch["pc"],
+            _crc(self.ram.snapshot()),
+            core.syscalls.snapshot(),
+            _crc([t.key() for t in self.pinout]),
+            self._digest_extra(),
+        )
+
+    def _digest_extra(self):
+        """Level-specific digest components (cache arrays, predictor...).
+
+        The base covers every backend that models L1s; cacheless levels
+        inherit the empty contribution.  Performance counters (cache
+        hit/miss tallies, predictor lookup counts) are deliberately
+        excluded: wrong-path accesses that hit bump them without
+        changing any behavior-determining state, so including them
+        would make digests of interchangeable machines differ.
+        """
+        if self.dcache is None:
+            return ()
+        counters, ras = self.predictor.snapshot()[:2]
+        return (
+            _crc(self._cache_content(self.dcache)),
+            _crc(self._cache_content(self.icache)),
+            _crc((counters, ras)),
+        )
+
+    @staticmethod
+    def _cache_content(cache):
+        snap = cache.snapshot()
+        return {k: v for k, v in snap.items() if k != "stats"}
 
     def restore(self, cp):
         """Rebuild the machine from a checkpoint (fresh, empty pipeline)."""

@@ -88,16 +88,21 @@ class Frontend:
 
     def campaign(self, structure, mode="pinout", samples=100, seed=2017,
                  window=USE_SCALED_WINDOW, distribution="normal", *,
-                 accelerate=None, progress=None, **extra):
+                 accelerate=None, progress=None, store=None, resume=False,
+                 **extra):
         """Run one campaign.  ``structure`` is e.g. ``regfile`` or
         ``l1d.data``.
 
         Extra keyword arguments reach :class:`CampaignConfig` -- most
         notably ``jobs=N``/``batch_size=M`` to fan the faulty runs out
         over a process pool (:mod:`repro.injection.executor`); results
-        are identical for any worker count.
+        are identical for any worker count.  ``store`` (a directory
+        path or :class:`~repro.injection.store.CampaignStore`) makes
+        the campaign durable; ``resume=True`` skips faults already on
+        disk.
         """
         from repro.injection.campaign import Campaign
+        from repro.injection.store import CampaignStore
 
         if accelerate is None:
             accelerate = self._default_accelerate(structure, mode)
@@ -109,7 +114,9 @@ class Frontend:
             self.sim_factory, structure, config,
             workload=self.workload, level=self.LEVEL,
         )
-        return runner.run(progress=progress)
+        if store is not None and not isinstance(store, CampaignStore):
+            store = CampaignStore(store)
+        return runner.run(progress=progress, store=store, resume=resume)
 
     def golden_run(self):
         """One fault-free run; returns the simulator for inspection."""

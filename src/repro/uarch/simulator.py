@@ -23,6 +23,16 @@ class MicroArchSim(SimulatorBase):
 
     LEVEL = "uarch"
 
+    #: Explicitly not drain-free: the OoO pipeline is never quiescent
+    #: mid-run, so golden boundary digests (post-drain states) are
+    #: unreachable by a free-running faulty machine and the campaign
+    #: engine's early-stop comparator must not fire here.  The base
+    #: ``state_digest()`` covers this level through the cache/predictor
+    #: extras; the raw PRF stays out of it deliberately -- physical
+    #: register assignments are canonicalized by ``restore()`` (see
+    #: ``CheckpointCache.seek``), so they are residue, not content.
+    DRAIN_FREE = False
+
     #: Structures a campaign may target, with human descriptions.
     INJECTABLE = {
         "regfile": "physical integer register file (56 x 32 bits)",

@@ -1,0 +1,22 @@
+"""Shared helpers for the test suite.
+
+(Not a ``conftest.py``: the benchmarks suite already has one of those,
+and two same-named modules on ``sys.path`` collide when both suites are
+collected in one run -- so this lives under a unique basename.)
+"""
+
+
+def record_keys(result):
+    """One campaign's records projected onto the bit-identity contract.
+
+    Everything that must be identical across execution strategies --
+    worker count, warm/cold start, cache eviction, store resume -- for
+    a fixed seed: the fault identity, the classification, its detail
+    and the simulated tail.  Per-session accounting (``wall_seconds``,
+    ``replay_cycles``) is deliberately excluded; see
+    ``CampaignConfig.identity``.
+    """
+    return [
+        (r.fault.bit, r.fault.cycle, r.fclass, r.detail, r.sim_cycles)
+        for r in result.records
+    ]

@@ -10,6 +10,7 @@ from repro.injection.campaign import Campaign, CampaignConfig
 from repro.isa import assemble
 from repro.isa.toolchain import Toolchain
 from repro.uarch import CortexA9Config, MicroArchSim
+from support import record_keys
 
 #: Same tiny workload as test_campaign.py: fast enough that a campaign
 #: can run several times (serial + parallel) inside one test.
@@ -68,14 +69,6 @@ def run_campaign(program, **config_kwargs):
     campaign = Campaign(TinyFactory(program), "regfile", config,
                         workload="tiny", level="uarch")
     return campaign.run()
-
-
-def record_keys(result):
-    """Everything that must be backend-independent (not wall_seconds)."""
-    return [
-        (r.fault.bit, r.fault.cycle, r.fclass, r.detail, r.sim_cycles)
-        for r in result.records
-    ]
 
 
 # ----------------------------------------------------------------------
@@ -203,23 +196,101 @@ def test_parallel_progress_reaches_total(tiny_program):
     assert [d for d, _ in seen] == sorted(d for d, _ in seen)
 
 
+@pytest.mark.parametrize("samples,batch_size", [(13, 5), (16, 5),
+                                                (10, 3)])
+def test_progress_counts_each_fault_exactly_once(tiny_program, samples,
+                                                 batch_size):
+    """Regression: uneven batch splits (batch_size not dividing the
+    fault count) must neither double-count nor drop merged batches --
+    the done counter's increments partition the fault set exactly."""
+    seen = []
+    config = CampaignConfig(samples=samples, window=800, seed=9, jobs=2,
+                            batch_size=batch_size)
+    campaign = Campaign(TinyFactory(tiny_program), "regfile", config,
+                        workload="tiny", level="uarch")
+    result = campaign.run(
+        progress=lambda done, total, rec: seen.append((done, total)))
+    assert result.n == samples
+    assert all(total == samples for _, total in seen)
+    dones = [d for d, _ in seen]
+    assert dones == sorted(dones), "done counter must be monotone"
+    assert dones[-1] == samples
+    increments = [b - a for a, b in zip([0] + dones, dones)]
+    assert sum(increments) == samples
+    assert all(inc > 0 for inc in increments), (
+        "a merged batch was double-counted or reported empty"
+    )
+
+
+def test_resumed_progress_counts_only_remaining(tiny_program, tmp_path):
+    """Regression companion: with a partially resumed store the done
+    counter covers exactly the re-run faults, and the merged result
+    still holds every fault exactly once."""
+    from repro.injection.store import CampaignStore
+
+    def campaign(jobs=1, batch_size=None):
+        config = CampaignConfig(samples=13, window=800, seed=9,
+                                jobs=jobs, batch_size=batch_size)
+        return Campaign(TinyFactory(tiny_program), "regfile", config,
+                        workload="tiny", level="uarch")
+
+    reference = campaign().run()
+    store = CampaignStore(tmp_path / "s")
+    campaign().run(store=store)
+    # Drop all but 4 records; the resumed run re-runs the other 9.
+    lines = store.records_path.read_text().splitlines(True)
+    store.records_path.write_text("".join(lines[:4]))
+    seen = []
+    resumed = campaign(jobs=2, batch_size=5).run(
+        store=CampaignStore(tmp_path / "s"), resume=True,
+        progress=lambda done, total, rec: seen.append((done, total)))
+    assert resumed.resumed == 4
+    assert resumed.n == 13
+    assert record_keys(resumed) == record_keys(reference)
+    assert seen[-1] == (9, 9)
+    dones = [d for d, _ in seen]
+    assert dones == sorted(dones) and len(set(dones)) == len(dones)
+
+
 # ----------------------------------------------------------------------
 # payload picklability (what the pool initializer ships)
 # ----------------------------------------------------------------------
 
 def test_runner_payload_pickles(tiny_program):
     from repro.injection.campaign import FaultRunner
+    from repro.injection.checkpoint_cache import CheckpointCache
 
     factory = TinyFactory(tiny_program)
     sim = factory()
-    sim.run(stop_cycle=500)
-    golden = {"checkpoints": [sim.checkpoint()], "cp_cycles": [0],
-              "pinout_keys": [], "output": b"", "end_cycle": 1000}
+    cache = CheckpointCache(stride=500)
+    cache.capture_golden(sim)
+    golden = {"cache": cache, "pinout_keys": [], "output": b""}
     runner = FaultRunner(CampaignConfig(samples=1), golden, 10_000)
     clone_factory, clone_runner = pickle.loads(
         pickle.dumps((factory, runner)))
     assert clone_runner.hang_deadline == 10_000
+    clone_cache = clone_runner.golden["cache"]
+    assert clone_cache.count == cache.count
+    assert clone_cache.digests == cache.digests
     assert clone_factory().cycle == 0
+
+
+def test_bounded_cache_shrinks_worker_payload(tiny_program):
+    """The LRU bound caps what the pool initializer serializes."""
+    from repro.injection.campaign import FaultRunner
+    from repro.injection.checkpoint_cache import CheckpointCache
+
+    factory = TinyFactory(tiny_program)
+    sizes = {}
+    for bound in (None, 2):
+        sim = factory()
+        cache = CheckpointCache(stride=300, max_resident=bound)
+        cache.capture_golden(sim)
+        runner = FaultRunner(CampaignConfig(samples=1),
+                             {"cache": cache, "pinout_keys": [],
+                              "output": b""}, 10_000)
+        sizes[bound] = len(pickle.dumps((factory, runner)))
+    assert sizes[2] < sizes[None]
 
 
 def test_speedup_properties(tiny_program):

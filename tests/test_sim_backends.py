@@ -129,6 +129,63 @@ def test_checkpoint_restore_round_trip(level_sim):
     assert (other.cycle, other.icount) == want, level
 
 
+def test_state_digest_round_trip_property(level_sim):
+    """Property: for random checkpoint cycles, checkpoint() -> run N
+    cycles -> state_digest equals the straight-line run's digest.
+
+    This is the contract the warm-start subsystem leans on: a digest
+    captures *all* behavior-determining state, so equal digests mean
+    interchangeable machines.  Exercised at random cycles for every
+    registered backend.
+    """
+    import random
+
+    level, factory = level_sim
+    rng = random.Random(2017)
+    probe = factory()
+    probe.run()
+    end_cycle = probe.cycle
+    for trial in range(3):
+        cp_cycle = rng.randrange(1, max(end_cycle - 400, 2))
+        tail = rng.randrange(50, 400)
+        sim = factory()
+        assert sim.run(stop_cycle=cp_cycle) is RunStatus.STOPPED
+        cp = sim.checkpoint()
+        # Straight line: the checkpointed machine continues in place.
+        target = sim.cycle + tail
+        sim.run(stop_cycle=target)
+        want = sim.state_digest()
+        # Round trip: a fresh machine restores and runs the same tail.
+        other = factory()
+        other.restore(cp)
+        other.run(stop_cycle=target)
+        assert other.state_digest() == want, (level, trial, cp_cycle)
+
+
+def test_state_digest_sees_injected_faults(level_sim):
+    """A digest must differ once live state is flipped (else early-stop
+    could mask a real corruption)."""
+    _, factory = level_sim
+    sim = factory()
+    sim.run(stop_cycle=300)
+    before = sim.state_digest()
+    for reg in range(15):
+        sim.inject("regfile", reg * 32)
+    assert sim.state_digest() != before
+
+
+def test_checkpoint_at_hook(level_sim):
+    """checkpoint_at advances and captures; past-the-end returns None."""
+    level, factory = level_sim
+    sim = factory()
+    status, cp = sim.checkpoint_at(250)
+    assert status is RunStatus.STOPPED
+    assert cp is not None and cp["cycle"] >= 250
+    status, cp = sim.checkpoint_at(10**9)
+    assert status is RunStatus.EXITED
+    assert cp is None
+
+
 def test_campaign_runs_at_every_level(level_sim):
     level, factory = level_sim
     config = CampaignConfig(samples=6, window=1500, seed=13)

@@ -1,0 +1,248 @@
+"""The on-disk campaign store: round trips, crash recovery, rejection.
+
+Covers the durability contract of :mod:`repro.injection.store`:
+
+* record/manifest round-trip fidelity;
+* resume-after-kill -- a JSONL truncated mid-record recovers cleanly
+  and the resumed campaign is bit-identical to an uninterrupted one;
+* identity mismatches (different seed/samples/structure) are rejected
+  instead of silently merging incompatible results.
+"""
+
+import json
+
+import pytest
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.classify import FaultClass, FaultRecord
+from repro.injection.faults import FaultSpec
+from repro.injection.store import (
+    CampaignStore,
+    StoreError,
+    StoreMismatchError,
+    load_store,
+    record_from_json,
+    record_to_json,
+)
+from repro.sim import registry
+from support import record_keys
+
+WORKLOAD = "stringsearch"
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return registry.create_frontend("uarch", WORKLOAD).sim_factory
+
+
+def make_campaign(factory, samples=8, seed=13, jobs=1):
+    config = CampaignConfig(samples=samples, window=800, seed=seed,
+                            jobs=jobs)
+    return Campaign(factory, "regfile", config,
+                    workload=WORKLOAD, level="uarch")
+
+
+# ----------------------------------------------------------------------
+# serialization round trip
+# ----------------------------------------------------------------------
+
+def test_record_json_round_trip():
+    fault = FaultSpec("regfile", 123, 4567, original_cycle=4000)
+    record = FaultRecord(fault, FaultClass.SDC, "output differs",
+                         sim_cycles=800, wall_seconds=0.25,
+                         replay_cycles=1200)
+    index, clone = record_from_json(
+        json.loads(json.dumps(record_to_json(7, record))))
+    assert index == 7
+    assert clone.fault.structure == "regfile"
+    assert clone.fault.bit == 123
+    assert clone.fault.cycle == 4567
+    assert clone.fault.original_cycle == 4000
+    assert clone.fclass is FaultClass.SDC
+    assert clone.detail == "output differs"
+    assert clone.sim_cycles == 800
+    assert clone.replay_cycles == 1200
+
+
+def test_store_round_trip(tmp_path):
+    store = CampaignStore(tmp_path / "s")
+    identity = {"workload": "w", "config": {"seed": 1}}
+    assert store.begin(identity) == {}
+    fault = FaultSpec("regfile", 5, 100)
+    store.append(0, FaultRecord(fault, FaultClass.MASKED))
+    store.append(2, FaultRecord(fault, FaultClass.HANG, "watchdog"))
+    store.close()
+    manifest, records = load_store(tmp_path / "s")
+    assert manifest["identity"] == identity
+    assert manifest["format"] == 1
+    assert set(records) == {0, 2}
+    assert records[2].fclass is FaultClass.HANG
+
+
+def test_store_golden_info(tmp_path):
+    store = CampaignStore(tmp_path / "s")
+    store.begin({"a": 1})
+    assert store.golden_info() is None
+    store.set_golden(1000, 900, 1002, 32_000, 480)
+    assert store.golden_info() == {
+        "cycles": 1000, "insts": 900, "end_cycle": 1002,
+        "population": 32_000, "bits": 480,
+    }
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# campaign integration: persist, interrupt, resume
+# ----------------------------------------------------------------------
+
+def test_campaign_persists_and_fully_resumes(tmp_path, factory):
+    reference = make_campaign(factory).run()
+    stored = make_campaign(factory).run(
+        store=CampaignStore(tmp_path / "c"))
+    assert record_keys(stored) == record_keys(reference)
+    # Second run resumes everything: no simulation, same records.
+    resumed = make_campaign(factory).run(
+        store=CampaignStore(tmp_path / "c"), resume=True)
+    assert resumed.resumed == reference.n
+    assert record_keys(resumed) == record_keys(reference)
+    # The fast path never built a simulator, yet the statistics hold.
+    assert resumed.population == reference.population
+    assert resumed.golden_cycles == reference.golden_cycles
+
+
+def test_resume_after_kill_truncated_record(tmp_path, factory):
+    """Chop the JSONL mid-record (a kill's footprint) and resume."""
+    reference = make_campaign(factory).run()
+    store = CampaignStore(tmp_path / "c")
+    make_campaign(factory).run(store=store)
+    blob = store.records_path.read_text().splitlines(True)
+    assert len(blob) == reference.n
+    # Keep 3 intact records plus half of the 4th: the in-flight fault.
+    store.records_path.write_text("".join(blob[:3]) + blob[3][:20])
+    resumed = make_campaign(factory, jobs=2).run(
+        store=CampaignStore(tmp_path / "c"), resume=True)
+    assert resumed.resumed == 3
+    assert record_keys(resumed) == record_keys(reference)
+    # The store is whole again after the resumed run.
+    _, records = load_store(tmp_path / "c")
+    assert sorted(records) == list(range(reference.n))
+
+
+def test_mid_file_corruption_is_an_error(tmp_path):
+    store = CampaignStore(tmp_path / "s")
+    store.begin({"a": 1})
+    fault = FaultSpec("regfile", 5, 100)
+    store.append(0, FaultRecord(fault, FaultClass.MASKED))
+    store.append(1, FaultRecord(fault, FaultClass.MASKED))
+    store.close()
+    lines = store.records_path.read_text().splitlines(True)
+    store.records_path.write_text("garbage\n" + lines[1])
+    with pytest.raises(StoreError, match="corrupt record"):
+        store.records()
+
+
+def test_resume_rejects_identity_mismatch(tmp_path, factory):
+    store_path = tmp_path / "c"
+    make_campaign(factory, samples=4).run(
+        store=CampaignStore(store_path))
+    for kwargs in ({"samples": 5}, {"seed": 99}):
+        with pytest.raises(StoreMismatchError):
+            make_campaign(factory, **{"samples": 4, **kwargs}).run(
+                store=CampaignStore(store_path), resume=True)
+
+
+def test_resume_rejects_foreign_fault_records(tmp_path, factory):
+    """Stored faults must match the redrawn samples index-for-index:
+    a record whose fault differs (e.g. the store predates a sampling
+    change the identity cannot see) fails loudly, never merges."""
+    store = CampaignStore(tmp_path / "c")
+    make_campaign(factory).run(store=store)
+    lines = store.records_path.read_text().splitlines(True)
+    tampered = json.loads(lines[2])
+    tampered["original_cycle"] += 1
+    lines[2] = json.dumps(tampered) + "\n"
+    # Drop one record so the resume takes the merge path.
+    store.records_path.write_text("".join(lines[:-1]))
+    with pytest.raises(StoreMismatchError, match="sampling change"):
+        make_campaign(factory).run(store=CampaignStore(tmp_path / "c"),
+                                   resume=True)
+
+
+def test_fully_complete_resume_also_cross_checks_faults(tmp_path,
+                                                        factory):
+    """The golden-skipping fast path must reject foreign faults too,
+    not just the partial-resume merge path."""
+    store = CampaignStore(tmp_path / "c")
+    make_campaign(factory).run(store=store)
+    lines = store.records_path.read_text().splitlines(True)
+    tampered = json.loads(lines[2])
+    tampered["original_cycle"] += 1
+    lines[2] = json.dumps(tampered) + "\n"
+    store.records_path.write_text("".join(lines))
+    with pytest.raises(StoreMismatchError, match="sampling change"):
+        make_campaign(factory).run(store=CampaignStore(tmp_path / "c"),
+                                   resume=True)
+
+
+def test_unknown_format_rejected(tmp_path):
+    store = CampaignStore(tmp_path / "s")
+    store.begin({"a": 1})
+    store.close()
+    manifest = json.loads(store.manifest_path.read_text())
+    manifest["format"] = 99
+    store.manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(StoreError, match="format"):
+        CampaignStore(tmp_path / "s").manifest()
+
+
+def test_fresh_start_refuses_to_destroy_records(tmp_path, factory):
+    """resume=False must never silently discard completed faults."""
+    store_path = tmp_path / "c"
+    make_campaign(factory, samples=4).run(store=CampaignStore(store_path))
+    with pytest.raises(StoreError, match="already holds 4"):
+        make_campaign(factory, samples=4, seed=99).run(
+            store=CampaignStore(store_path))
+    # The store survived the refusal intact.
+    _, records = load_store(store_path)
+    assert sorted(records) == [0, 1, 2, 3]
+    # Deleting the directory is the explicit start-over path.
+    import shutil
+
+    shutil.rmtree(store_path)
+    fresh = make_campaign(factory, samples=4, seed=99).run(
+        store=CampaignStore(store_path))
+    assert fresh.n == 4
+    manifest, _ = load_store(store_path)
+    assert manifest["identity"]["config"]["seed"] == 99
+
+
+def test_missing_store_raises(tmp_path):
+    with pytest.raises(StoreError, match="no campaign store"):
+        load_store(tmp_path / "nope")
+
+
+def test_append_requires_begin(tmp_path):
+    store = CampaignStore(tmp_path / "s")
+    fault = FaultSpec("regfile", 5, 100)
+    with pytest.raises(StoreError, match="begin"):
+        store.append(0, FaultRecord(fault, FaultClass.MASKED))
+
+
+# ----------------------------------------------------------------------
+# reporting over merged stores
+# ----------------------------------------------------------------------
+
+def test_store_table_reads_merged_stores(tmp_path, factory):
+    from repro.analysis.report import store_table
+
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    make_campaign(factory, samples=4).run(store=CampaignStore(a))
+    make_campaign(factory, samples=4, seed=99).run(
+        store=CampaignStore(b))
+    text = store_table([a, b], title="merged")
+    assert "merged" in text
+    assert str(a) in text and str(b) in text
+    assert WORKLOAD in text
+    # Both stores are complete: done == of == 4.
+    assert text.count(" 4 ") >= 4
