@@ -3,13 +3,15 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: help test bench bench-smoke docs-check
+.PHONY: help test bench bench-smoke bench-json docs-check
 
 help:
 	@echo "targets:"
 	@echo "  test        tier-1 suite (tests/ + benchmarks/, what CI gates on)"
 	@echo "  bench       artifact-regenerating benches only (-> benchmarks/results/)"
-	@echo "  bench-smoke fig1 store+resume round trip + warm-start speedup artifact"
+	@echo "  bench-smoke fig1 store+resume round trip, prune off/dead classification"
+	@echo "              diff + warm-start speedup artifact"
+	@echo "  bench-json  distill benchmarks/results/*.txt into BENCH_4.json"
 	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
 
 test:
@@ -26,7 +28,7 @@ bench:
 # `make bench` has not already written the artifact (CI runs `make
 # test` first, so the expensive cold campaign is not paid twice).
 bench-smoke:
-	rm -rf benchmarks/results/smoke_store
+	rm -rf benchmarks/results/smoke_store benchmarks/results/smoke_prune
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fig1 \
 	  --workloads stringsearch --faults 20 --jobs 2 \
 	  --store benchmarks/results/smoke_store --resume
@@ -35,11 +37,23 @@ bench-smoke:
 	  --store benchmarks/results/smoke_store --resume
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli store \
 	  benchmarks/results/smoke_store/*
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fig1 \
+	  --workloads stringsearch --faults 20 --jobs 2 --prune off \
+	  --store benchmarks/results/smoke_prune
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_store/uarch-stringsearch-regfile-pinout \
+	  benchmarks/results/smoke_prune/uarch-stringsearch-regfile-pinout
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_store/rtl-stringsearch-regfile-pinout \
+	  benchmarks/results/smoke_prune/rtl-stringsearch-regfile-pinout
 	test -f benchmarks/results/warmstart_speedup.txt || \
 	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 	    benchmarks/test_warmstart_speedup.py -q
 	@echo "--- benchmarks/results/warmstart_speedup.txt:"
 	@cat benchmarks/results/warmstart_speedup.txt
+
+bench-json:
+	$(PYTHON) tools/bench_summary.py
 
 docs-check:
 	$(PYTHON) tools/docs_check.py README.md DESIGN.md

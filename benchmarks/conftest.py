@@ -4,6 +4,15 @@ Every bench both *measures* (via pytest-benchmark) and *regenerates* the
 corresponding artifact, writing the rendered text to
 ``benchmarks/results/`` so EXPERIMENTS.md can cite actual output.
 
+**Artifact stability contract**: result files are stable, sorted and
+timestamp-free -- deterministic for a fixed seed -- so a rerun with
+unchanged measurements produces an empty diff.  Host-dependent wall
+clocks are *printed* by the benches, never persisted (the sole
+exception is the Table II family, whose measurement *is* throughput).
+Campaign artifacts therefore report deterministic cycle/run counts
+(``campaign_table``'s ``kcyc/sim`` column, the warm-start cycle ratio,
+the prune simulated-run ratio) instead of seconds.
+
 Knobs:
 
 * ``REPRO_SFI_SAMPLES``  -- faults per (workload, structure, mode)

@@ -36,10 +36,12 @@ def bench_jobs():
 
 
 def run_campaign(front, jobs):
+    # prune_mode="off": this bench measures executor scaling, so every
+    # sampled fault must actually reach the pool.
     started = time.perf_counter()
     result = front.campaign("regfile", mode="pinout",
                             samples=bench_samples(default=24),
-                            seed=2017, jobs=jobs)
+                            seed=2017, jobs=jobs, prune_mode="off")
     return result, time.perf_counter() - started
 
 
@@ -65,17 +67,21 @@ def test_parallel_speedup(benchmark):
             f"jobs={jobs} not faster than serial on {cpus} CPUs:"
             f" {serial_s:.2f}s vs {parallel_s:.2f}s"
         )
-    lines = [
+    # The artifact records only deterministic facts (see
+    # benchmarks/conftest.py): the wall-clock measurement is a property
+    # of this host and is printed, not persisted, so an unchanged rerun
+    # leaves the file untouched.
+    artifact = [
         f"workload={WORKLOAD} structure=regfile mode=pinout"
-        f" samples={serial.n} cpus={cpus}",
-        f"serial   (jobs=1): {serial_s:7.2f}s wall",
-        f"parallel (jobs={jobs}): {parallel_s:7.2f}s wall"
-        f"  -> {speedup:.2f}x measured",
-        "records identical: True",
-        "",
-        speedup_table([serial, parallel], title="per-campaign accounting"),
+        f" samples={serial.n} jobs={jobs}",
+        "records identical (jobs=1 vs jobs=N): True",
+        "wall-clock speedup: printed at run time (host-dependent)",
     ]
-    text = "\n".join(lines)
-    save_artifact("parallel_speedup.txt", text)
+    save_artifact("parallel_speedup.txt", "\n".join(artifact))
     print()
-    print(text)
+    print("\n".join(artifact))
+    print(f"serial   (jobs=1): {serial_s:7.2f}s wall ({cpus} cpus)")
+    print(f"parallel (jobs={jobs}): {parallel_s:7.2f}s wall"
+          f"  -> {speedup:.2f}x measured")
+    print(speedup_table([serial, parallel],
+                        title="per-campaign accounting"))

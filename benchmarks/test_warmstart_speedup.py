@@ -69,18 +69,22 @@ def test_warmstart_speedup(benchmark):
             f"warm-start not faster on this host: {warm_s:.2f}s vs "
             f"{cold_s:.2f}s cold"
         )
+    # Deterministic lines only in the artifact (cycle counts are exact
+    # for a fixed seed); the host wall clock is printed, not persisted.
     lines = [
         f"workload={WORKLOAD} structure=regfile mode=pinout"
         f" samples={cold.n} stride={STRIDE} seed=2017 (fig1 config)",
         f"cold-start (jobs=1): {cold.simulated_cycles:>9} faulty-phase"
-        f" cycles, {cold_s:6.2f}s wall",
+        f" cycles",
         f"warm-start (jobs=1): {warm.simulated_cycles:>9} faulty-phase"
-        f" cycles, {warm_s:6.2f}s wall",
+        f" cycles",
         f"speedup: {cycle_speedup:.2f}x simulated cycles"
-        f" (deterministic), {wall_speedup:.2f}x wall clock (this host)",
+        f" (deterministic)",
         "records identical: True",
     ]
     text = "\n".join(lines)
     save_artifact("warmstart_speedup.txt", text)
     print()
     print(text)
+    print(f"wall clock (this host): cold {cold_s:.2f}s, warm"
+          f" {warm_s:.2f}s -> {wall_speedup:.2f}x")

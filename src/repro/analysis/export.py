@@ -7,7 +7,8 @@ _FIELDS = (
     "workload", "level", "structure", "n", "unsafeness", "ci95_low",
     "ci95_high", "masked", "sdc", "due", "hang", "mismatch", "latent",
     "golden_cycles", "s_per_run", "population", "recommended_samples",
-    "achieved_margin", "jobs", "resumed", "total_s", "speedup",
+    "achieved_margin", "jobs", "pruned", "simulated", "resumed",
+    "total_s", "speedup",
 )
 
 
@@ -36,7 +37,7 @@ def records_to_csv(result):
     writer = csv.writer(buffer)
     writer.writerow((
         "structure", "bit", "cycle", "original_cycle", "class", "detail",
-        "sim_cycles", "replay_cycles", "wall_seconds",
+        "sim_cycles", "replay_cycles", "wall_seconds", "pruned",
     ))
     for record in result.records:
         fault = record.fault
@@ -44,5 +45,6 @@ def records_to_csv(result):
             fault.structure, fault.bit, fault.cycle, fault.original_cycle,
             record.fclass.value, record.detail, record.sim_cycles,
             record.replay_cycles, f"{record.wall_seconds:.6f}",
+            record.pruned,
         ))
     return buffer.getvalue()

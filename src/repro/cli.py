@@ -16,10 +16,14 @@ microarchitectural model (``uarch``) and the RT-level model (``rtl``).
 Campaign-running subcommands (``fig1``..``fig3``, ``headline``) accept
 ``--jobs`` to fan the faulty runs of each campaign out over a process
 pool (default: one worker per CPU; ``--jobs 1`` forces the serial
-path), plus ``--store DIR`` to persist every completed fault to an
-on-disk campaign store and ``--resume`` to continue an interrupted
-run without repeating finished faults.  Results are independent of the
-worker count and of interruption/resume -- see DESIGN.md.
+path), ``--prune {off,dead,group}`` to control lifetime-aware fault
+pruning (default ``dead``: provably-Masked faults are classified from
+the golden access trace without simulation), plus ``--store DIR`` to
+persist every completed fault to an on-disk campaign store and
+``--resume`` to continue an interrupted run without repeating finished
+faults.  Results are independent of the worker count and of
+interruption/resume, and per-fault classes are independent of ``dead``
+pruning -- see DESIGN.md.
 """
 
 import argparse
@@ -40,6 +44,15 @@ STORE_HELP = (
 RESUME_HELP = (
     "load faults already completed in --store instead of re-running "
     "them; the merged result is bit-identical to an uninterrupted run"
+)
+
+PRUNE_HELP = (
+    "lifetime-aware fault pruning (repro.prune): 'dead' (default) "
+    "classifies faults whose bit is overwritten before its next read "
+    "as Masked without simulating them -- per-fault classes are "
+    "identical to 'off', only cheaper; 'group' additionally collapses "
+    "faults sharing a live interval onto one representative "
+    "(approximate windows, opt-in)"
 )
 
 _EPILOGS = {
@@ -146,6 +159,7 @@ def _make_study(args):
         jobs=args.jobs,
         store=args.store,
         resume=args.resume,
+        prune=args.prune,
     )
     # The header fully identifies the run's configuration (including
     # the parallel knobs), so logged outputs are reproducible.
@@ -266,6 +280,8 @@ def main(argv=None):
                        help="campaign RNG seed (default: 2017)")
         p.add_argument("--jobs", type=_positive_jobs,
                        default=default_jobs(), help=JOBS_HELP)
+        p.add_argument("--prune", choices=("off", "dead", "group"),
+                       default="dead", help=PRUNE_HELP)
         p.add_argument("--store", default=None, help=STORE_HELP)
         p.add_argument("--resume", action="store_true", help=RESUME_HELP)
     p_store = _add_parser(sub, "store",

@@ -35,7 +35,7 @@ class StudyConfig:
     def __init__(self, workloads=WORKLOAD_NAMES, samples=None, seed=2017,
                  window=SCALED_WINDOW, distribution="normal",
                  same_binaries=False, jobs=1, batch_size=None,
-                 store=None, resume=False):
+                 store=None, resume=False, prune="dead"):
         self.workloads = tuple(workloads)
         self.samples = samples if samples is not None else default_samples()
         self.seed = seed
@@ -54,6 +54,9 @@ class StudyConfig:
         #: Load already-completed faults from the store instead of
         #: re-running them.
         self.resume = resume
+        #: Lifetime-aware fault pruning mode for every campaign
+        #: (``off``/``dead``/``group``; see :mod:`repro.prune`).
+        self.prune = prune
 
     def describe(self):
         """One line identifying the run (printed by ``repro-study``)."""
@@ -63,10 +66,11 @@ class StudyConfig:
         if self.store is not None:
             persist = f", store={self.store}" + (", resume"
                                                  if self.resume else "")
+        prune = "" if self.prune == "dead" else f", prune={self.prune}"
         return (
             f"{len(self.workloads)} workloads x {self.samples} faults,"
             f" window={window}, dist={self.distribution},"
-            f" seed={self.seed}{parallel}{persist}"
+            f" seed={self.seed}{prune}{parallel}{persist}"
         )
 
     def campaign_store(self, level, workload, structure, mode):
@@ -114,6 +118,7 @@ class CrossLevelStudy:
             structure, mode=mode, samples=cfg.samples, seed=cfg.seed,
             window=cfg.window, distribution=cfg.distribution,
             jobs=cfg.jobs, batch_size=cfg.batch_size,
+            prune_mode=cfg.prune,
             store=cfg.campaign_store(level, workload, structure, mode),
             resume=cfg.resume,
         )

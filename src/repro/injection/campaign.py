@@ -79,12 +79,19 @@ class CampaignConfig:
     def __init__(self, samples=100, window=SCALED_WINDOW,
                  observation="pinout", distribution="normal", seed=2017,
                  checkpoint_interval=None, checkpoint_bound=None,
-                 warm_start=True, early_stop=True, accelerate=False,
-                 accelerate_lead=32, hang_factor=3.0, error_margin=0.02,
-                 confidence=0.99, jobs=1, batch_size=None,
-                 start_method=None):
+                 warm_start=True, early_stop=True, prune_mode="dead",
+                 accelerate=False, accelerate_lead=32, hang_factor=3.0,
+                 error_margin=0.02, confidence=0.99, jobs=1,
+                 batch_size=None, start_method=None):
+        from repro.prune import PRUNE_MODES
+
         if observation not in ("pinout", "software", "arch"):
             raise ValueError(f"unknown observation point {observation!r}")
+        if prune_mode not in PRUNE_MODES:
+            raise ValueError(
+                f"unknown prune mode {prune_mode!r} (choose from "
+                f"{PRUNE_MODES})"
+            )
         if observation == "arch" and window is not None:
             raise ValueError(
                 "the arch (HVF) observation point compares end-of-run "
@@ -119,6 +126,15 @@ class CampaignConfig:
         #: protocol flag makes the comparison exact, so the
         #: classification sequence never changes -- only wall clock.
         self.early_stop = early_stop
+        #: Lifetime-aware fault pruning (:mod:`repro.prune`):
+        #: ``"off"`` simulates every sampled fault; ``"dead"`` (default)
+        #: classifies faults whose bit is overwritten before its next
+        #: read -- or never read again -- as Masked without simulation
+        #: (exact: the per-fault classes match ``"off"`` fault for
+        #: fault); ``"group"`` additionally collapses faults sharing a
+        #: live interval onto one representative injected just before
+        #: the consuming read (approximate windows; opt-in).
+        self.prune_mode = prune_mode
         self.accelerate = accelerate
         self.accelerate_lead = accelerate_lead
         self.hang_factor = hang_factor
@@ -156,6 +172,7 @@ class CampaignConfig:
             "checkpoint_interval": self.checkpoint_interval,
             "warm_start": self.warm_start,
             "early_stop": self.early_stop,
+            "prune_mode": self.prune_mode,
             "accelerate": self.accelerate,
             "accelerate_lead": self.accelerate_lead,
             "hang_factor": self.hang_factor,
@@ -179,10 +196,12 @@ class CampaignConfig:
         parallel = parallel_suffix(self.jobs, self.batch_size,
                                    self.start_method)
         start = "" if self.warm_start else ", cold-start"
+        prune = "" if self.prune_mode == "dead" \
+            else f", prune={self.prune_mode}"
         return (
             f"{self.samples} faults, window={window},"
             f" op={self.observation}, dist={self.distribution}"
-            f"{start}{parallel}"
+            f"{start}{prune}{parallel}"
         )
 
 
@@ -218,6 +237,16 @@ class CampaignResult:
 
     def count(self, fclass):
         return sum(1 for r in self.records if r.fclass is fclass)
+
+    @property
+    def pruned_count(self):
+        """Faults classified from the lifetime trace, no simulation."""
+        return sum(1 for r in self.records if r.pruned)
+
+    @property
+    def simulated_count(self):
+        """Faults whose classification cost a simulation run."""
+        return sum(1 for r in self.records if r.simulated)
 
     @property
     def unsafe_count(self):
@@ -293,6 +322,8 @@ class CampaignResult:
             "golden_cycles": self.golden_cycles,
             "s_per_run": self.seconds_per_run,
             "jobs": self.jobs,
+            "pruned": self.pruned_count,
+            "simulated": self.simulated_count,
             "resumed": self.resumed,
             "total_s": self.total_seconds,
             "speedup": self.speedup,
@@ -484,11 +515,20 @@ class Campaign:
         cfg = self.config
         started = time.perf_counter()
         access_log = []
+        attach_access_log = None
         if cfg.accelerate and self.structure.startswith("l1d."):
-            sim.dcache.access_listener = (
-                lambda cycle, index, way, write, addr:
-                access_log.append((cycle, index, way, write, addr))
-            )
+            def attach_access_log(target):
+                target.dcache.access_listener = (
+                    lambda cycle, index, way, write, addr:
+                    access_log.append((cycle, index, way, write, addr))
+                )
+            attach_access_log(sim)
+        if cfg.prune_mode != "off":
+            # No per-checkpoint trace snapshots: the capture loop
+            # round-trips the same machine at the same instant, where
+            # the live trace already holds the right prefix -- only the
+            # final sealed trace feeds the pruner.
+            sim.enable_access_trace(snapshot_in_checkpoints=False)
         cache = CheckpointCache(
             stride=cfg.checkpoint_interval,
             max_resident=cfg.checkpoint_bound,
@@ -498,7 +538,16 @@ class Campaign:
             collect_digests=(cfg.early_stop
                              and type(sim).DRAIN_FREE),
         )
-        status = cache.capture_golden(sim)
+        status = cache.capture_golden(sim, on_restore=attach_access_log)
+        # The golden trajectory is complete: freeze the lifetime trace
+        # and the access log before anything else touches this simulator
+        # (the serial faulty path reuses it), and keep only the final
+        # trace -- per-boundary prefixes would bloat the executor
+        # payload for nothing.
+        sim.seal_access_trace()
+        cache.drop_access_traces()
+        if attach_access_log is not None:
+            sim.dcache.access_listener = None
         if not sim.exited:
             raise RuntimeError(
                 f"golden run did not exit cleanly: {status}, {sim.fault}"
@@ -512,6 +561,7 @@ class Campaign:
             "end_cycle": sim.cycle,
             "cache": cache,
             "access_log": access_log,
+            "trace": sim.access_trace(),
         }
         if cfg.observation == "arch":
             golden["hw_state"] = hardware_state_digest(sim)
@@ -561,6 +611,70 @@ class Campaign:
         return fault_mod.FaultSpec(fault.structure, fault.bit, new_cycle,
                                    original_cycle=fault.cycle)
 
+    def _prune_partition(self, sim, golden, specs):
+        """Consult the fault pruner (:mod:`repro.prune`) over ``specs``.
+
+        Returns ``(pruned_records, effective_specs, member_of)``:
+
+        * ``pruned_records`` -- fault index -> :class:`FaultRecord`
+          classified from the golden lifetime trace, no simulation;
+        * ``effective_specs`` -- the spec list with equivalence-group
+          representatives moved to the latest stop cycle before their
+          consuming read (``group`` mode; identical to ``specs``
+          otherwise -- ``original_cycle`` is preserved either way);
+        * ``member_of`` -- non-representative group member index ->
+          its representative's index; the member inherits the
+          representative's classification after the faulty phase.
+        """
+        cfg = self.config
+        pruned_records = {}
+        member_of = {}
+        if cfg.prune_mode == "off" or golden.get("trace") is None:
+            return pruned_records, specs, member_of
+        from repro.prune import FaultPruner
+
+        cache = golden["cache"]
+        pruner = FaultPruner(
+            golden["trace"],
+            type(sim).TRACE_EVENTS_AT_STOP_EXECUTED,
+            cfg.observation,
+            # Pipelined backends: golden events are provably the faulty
+            # machine's events only within the injection's checkpoint
+            # segment (see repro.prune.pruner).  Drain-free backends
+            # share the whole trajectory.
+            segments=(None if type(sim).DRAIN_FREE
+                      else (cache.cycles, cache.stops)),
+        )
+        effective = list(specs)
+        groups = {}
+        for i, fault in enumerate(specs):
+            verdict = pruner.classify(fault)
+            if verdict is not None:
+                fclass, detail = verdict
+                pruned_records[i] = FaultRecord(fault, fclass, detail,
+                                                pruned="dead")
+                continue
+            if cfg.prune_mode != "group":
+                continue
+            interval = pruner.group_interval(fault)
+            if interval is None:
+                continue
+            rep = groups.get(interval.key)
+            if rep is None:
+                # First sampled fault of this live interval becomes the
+                # representative, injected right before the read that
+                # consumes the corruption (the MeRLiN move).
+                groups[interval.key] = i
+                rep_cycle = pruner.representative_cycle(interval)
+                if rep_cycle > fault.cycle:
+                    effective[i] = fault_mod.FaultSpec(
+                        fault.structure, fault.bit, rep_cycle,
+                        original_cycle=fault.original_cycle,
+                    )
+            else:
+                member_of[i] = rep
+        return pruned_records, effective, member_of
+
     def identity(self):
         """What a campaign store records and resume validates: the
         target plus every result-affecting config knob."""
@@ -608,9 +722,18 @@ class Campaign:
                                  golden["end_cycle"], result.population,
                                  golden["bits"])
             self._check_stored_faults(stored, specs)
-            remaining = [(i, spec) for i, spec in enumerate(specs)
-                         if i not in stored]
-            result.resumed = len(specs) - len(remaining)
+            pruned_records, eff_specs, member_of = self._prune_partition(
+                sim, golden, specs)
+            if store is not None:
+                for i in sorted(pruned_records):
+                    if i not in stored:
+                        store.append(i, pruned_records[i])
+            remaining = [
+                (i, eff_specs[i]) for i in range(len(specs))
+                if i not in stored and i not in pruned_records
+                and i not in member_of
+            ]
+            result.resumed = len(stored)
             result.resumed_seconds = sum(
                 stored[i].wall_seconds for i in range(len(specs))
                 if i in stored
@@ -652,10 +775,25 @@ class Campaign:
                 records = run_serial(sim, runner, rem_specs, progress,
                                      on_batch=on_batch)
             result.jobs = jobs
-            # Merge by fault index: stored records fill the gaps, every
-            # index appears exactly once, in fault-sample order.
-            merged = dict(stored)
+            # Merge by fault index: pruned classifications and stored
+            # records fill the gaps around the simulated ones; every
+            # index appears exactly once, in fault-sample order (the
+            # store stays authoritative for anything it already holds).
+            merged = dict(pruned_records)
             merged.update(zip(rem_index, records))
+            merged.update(stored)
+            # Group members inherit their representative's verdict (the
+            # representative is always in ``merged``: simulated this
+            # session or loaded from the store).
+            for m in sorted(member_of):
+                if m in merged:
+                    continue  # resumed from the store
+                rep_record = merged[member_of[m]]
+                member = FaultRecord(specs[m], rep_record.fclass,
+                                     rep_record.detail, pruned="group")
+                merged[m] = member
+                if store is not None:
+                    store.append(m, member)
             for i in range(len(specs)):
                 result.add(merged[i])
             result.total_seconds = time.perf_counter() - total_start

@@ -87,19 +87,45 @@ class CheckpointCache:
                      sim)
         return cp
 
-    def capture_golden(self, sim):
+    def capture_golden(self, sim, on_restore=None):
         """Drive the golden run to completion, capturing every stride.
 
         Returns the final :class:`RunStatus`.  The caller owns listener
         setup and exit validation; this method owns the capture cadence.
+
+        After each capture the simulator is *restored from its own
+        checkpoint*.  Every faulty run starts from a restored
+        checkpoint, and ``restore()`` canonicalizes microarchitectural
+        residue that drain-in-place does not (which physical register
+        backs an architectural one, free-list order).  Round-tripping
+        the golden machine at every boundary makes the golden
+        trajectory -- its pinout, its boundary digests and above all
+        its lifetime access trace, whose events name *physical* storage
+        cells -- the exact trajectory every warm- or cold-started
+        faulty run replays.  Architectural content is unchanged by the
+        round trip (that is the checkpoint contract); transient timing
+        residue a drain leaves in place (current fetch line, stall
+        watermarks) is re-primed, which defines the canonical golden
+        timeline all equivalence contracts are stated on.
+
+        ``restore()`` rebuilds the machine, so golden-phase listeners
+        attached to its internals (the L1D acceleration access log) are
+        lost at every boundary; ``on_restore(sim)``, when given, is
+        called after each round trip to re-attach them.
         """
-        self.capture(sim)
+        cp = self.capture(sim)
+        sim.restore(cp)
+        if on_restore is not None:
+            on_restore(sim)
         while True:
             stop = sim.cycle + self.stride
             status, cp = sim.checkpoint_at(stop)
             if cp is None:
                 return status
             self._retain(cp, stop, sim)
+            sim.restore(cp)
+            if on_restore is not None:
+                on_restore(sim)
             if sim.exited or sim.fault is not None:
                 return status
 
@@ -126,6 +152,19 @@ class CheckpointCache:
             victim = next(i for i in self._lru if i != 0)
             self._lru.remove(victim)
             del self._entries[victim]
+
+    def drop_access_traces(self):
+        """Strip lifetime-trace snapshots from the retained checkpoints.
+
+        A traced golden run snapshots its access trace into every
+        checkpoint (so traced runs round-trip like the pinout does),
+        but the campaign needs only the *final* trace -- the faulty
+        phase restores with tracing sealed -- and the per-boundary
+        prefixes would otherwise bloat the per-worker executor payload
+        quadratically.  Called once after the golden phase.
+        """
+        for cp in self._entries.values():
+            cp.pop("access_trace", None)
 
     # ------------------------------------------------------------------
     # lookup / seek

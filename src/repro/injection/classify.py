@@ -42,13 +42,13 @@ class FaultClass(enum.Enum):
 
 
 class FaultRecord:
-    """Outcome of one injection run."""
+    """Outcome of one injection run (or of one pruning decision)."""
 
     __slots__ = ("fault", "fclass", "detail", "sim_cycles", "wall_seconds",
-                 "replay_cycles")
+                 "replay_cycles", "pruned")
 
     def __init__(self, fault, fclass, detail="", sim_cycles=0,
-                 wall_seconds=0.0, replay_cycles=0):
+                 wall_seconds=0.0, replay_cycles=0, pruned=""):
         self.fault = fault
         self.fclass = fclass
         self.detail = detail
@@ -61,9 +61,21 @@ class FaultRecord:
         #: warm/cold ratio of (replay + post-injection) cycles as the
         #: deterministic speedup metric.
         self.replay_cycles = replay_cycles
+        #: How the classification was reached without simulation:
+        #: ``""`` -- this fault was simulated; ``"dead"`` -- the golden
+        #: lifetime trace proved it Masked (dead-interval pruning);
+        #: ``"group"`` -- inherited from its equivalence-group
+        #: representative (``prune_mode="group"``).
+        self.pruned = pruned
+
+    @property
+    def simulated(self):
+        """Whether this fault cost a simulation run."""
+        return not self.pruned
 
     def __repr__(self):
-        return f"FaultRecord({self.fault!r} -> {self.fclass.value})"
+        tag = f" [{self.pruned}]" if self.pruned else ""
+        return f"FaultRecord({self.fault!r} -> {self.fclass.value}{tag})"
 
 
 def compare_traces(golden_keys, faulty_keys, limit=None):

@@ -82,6 +82,7 @@ def record_to_json(index, record):
         "sim_cycles": record.sim_cycles,
         "wall_seconds": record.wall_seconds,
         "replay_cycles": record.replay_cycles,
+        "pruned": record.pruned,
     }
 
 
@@ -94,6 +95,7 @@ def record_from_json(blob):
         sim_cycles=blob["sim_cycles"],
         wall_seconds=blob["wall_seconds"],
         replay_cycles=blob.get("replay_cycles", 0),
+        pruned=blob.get("pruned", ""),
     )
     return blob["i"], record
 

@@ -25,6 +25,20 @@ from repro.memory.ram import RAM
 
 _PC = 15
 
+#: Flag bits each condition code consults, as CPSR pack-order masks
+#: (N=bit3, Z=2, C=1, V=0); indexed by the numeric condition.  AL reads
+#: nothing.  Feeds the ``flag_listener`` lifetime-trace hook.
+_COND_FLAG_READS = (
+    0b0100, 0b0100,  # eq, ne        -> Z
+    0b0010, 0b0010,  # cs, cc        -> C
+    0b1000, 0b1000,  # mi, pl        -> N
+    0b0001, 0b0001,  # vs, vc        -> V
+    0b0110, 0b0110,  # hi, ls        -> C, Z
+    0b1001, 0b1001,  # ge, lt        -> N, V
+    0b1101, 0b1101,  # gt, le        -> Z, N, V
+    0b0000,          # al
+)
+
 
 class InterpResult:
     """Outcome of an interpreter run."""
@@ -42,9 +56,17 @@ class InterpResult:
 
 
 class Interpreter:
-    """Executes a :class:`~repro.isa.program.Program` architecturally."""
+    """Executes a :class:`~repro.isa.program.Program` architecturally.
 
-    def __init__(self, program):
+    ``decode_cache`` (default on) fetches through the program's
+    memoized decode table -- one dict hit per step.  ``False`` selects
+    the uncached baseline that re-decodes the encoded word on every
+    fetch; both paths execute bit-identically (the decode round-trip is
+    exact), the cache is purely a hot-loop optimisation (see
+    benchmarks/test_decode_cache.py).
+    """
+
+    def __init__(self, program, decode_cache=True):
         self.program = program
         self.ram = RAM(program.layout.ram_size)
         program.load_into(self.ram)
@@ -58,6 +80,31 @@ class Interpreter:
         #: Optional hook called as ``(addr, size, value)`` after every
         #: store; the ``arch`` backend publishes these as its pinout.
         self.store_listener = None
+        #: Optional hook called as ``(read_mask, write_mask)`` -- CPSR
+        #: pack-order bit masks -- whenever flags are consulted or
+        #: replaced; the ``arch`` backend's lifetime-trace capture.
+        #: Reads are reported conservatively (a superset of the bits an
+        #: instruction may actually consume), which only ever makes the
+        #: fault pruner simulate more, never prune wrongly.
+        self.flag_listener = None
+        if decode_cache:
+            self._fetch_inst = program.decode_table().get
+        else:
+            self._fetch_inst = self._decode_inst
+
+    def _decode_inst(self, addr):
+        """Uncached fetch: decode the binary word on every call."""
+        program = self.program
+        offset = addr - program.layout.text_base
+        index = offset >> 2
+        if offset < 0 or offset & 0b11 or index >= len(program.words):
+            return None
+        if index in program.raw_words:
+            # Pool slots hold data; their decoded view is the trap.
+            return program.insts[index]
+        from repro.isa.encoding import decode
+
+        return decode(program.words[index], addr)
 
     # -- operand helpers ---------------------------------------------------
 
@@ -68,6 +115,9 @@ class Interpreter:
 
     def _operand2(self, inst):
         """Resolve operand2 -> (value, shifter_carry)."""
+        if self.flag_listener is not None:
+            # Both forms thread flags.c through as the shifter carry.
+            self.flag_listener(0b0010, 0)
         if inst.op in DP_IMM_OPS:
             return inst.imm & 0xFFFFFFFF, self.flags.c
         value = self._read_reg(inst.rm, inst.addr)
@@ -114,11 +164,13 @@ class Interpreter:
         """Execute one instruction.  Returns False once halted."""
         if self.halted:
             return False
-        inst = self.program.inst_at(self.pc)
+        inst = self._fetch_inst(self.pc)
         if inst is None:
             raise SimFault("mem-fault", "fetch outside text", addr=self.pc)
         self.inst_count += 1
         next_pc = inst.addr + 4
+        if self.flag_listener is not None and inst.cond != 14:
+            self.flag_listener(_COND_FLAG_READS[inst.cond], 0)
         if not cond_passed(inst.cond, self.flags):
             self.pc = next_pc
             return True
@@ -146,6 +198,9 @@ class Interpreter:
                 self._read_reg(inst.ra, inst.addr),
             )
             if inst.s:
+                if self.flag_listener is not None:
+                    # MUL/MLA-S replaces N and Z without reading flags.
+                    self.flag_listener(0, 0b1100)
                 self.flags.n = bool(result & 0x80000000)
                 self.flags.z = result == 0
             return self._write_reg(inst.rd, result)
@@ -180,10 +235,20 @@ class Interpreter:
         rn_value = (
             0 if op in UNARY_OPS else self._read_reg(inst.rn, inst.addr)
         )
+        writes_flags = inst.s or op in COMPARE_OPS
+        if self.flag_listener is not None:
+            # ADC/SBC consume C as an operand; a flag write may inherit
+            # C/V from the old flags (logical ops).  Both are reported
+            # before the full NZCV replacement, conservatively.
+            reads = 0b0010 if inst.reads_flags() else 0
+            if writes_flags:
+                reads |= 0b0011
+            if reads or writes_flags:
+                self.flag_listener(reads, 0b1111 if writes_flags else 0)
         result, new_flags = alu.dp_compute(
             op, rn_value, op2, self.flags, shifter_carry
         )
-        if inst.s or op in COMPARE_OPS:
+        if writes_flags:
             self.flags = new_flags
         if op in COMPARE_OPS:
             return False

@@ -63,6 +63,7 @@ class Program:
         self.entry = self.layout.text_base if entry is None else entry
         self.source = source
         self.toolchain = toolchain
+        self._decode_table = None
 
     @property
     def text_size(self):
@@ -76,6 +77,38 @@ class Program:
         if offset < 0 or offset & 0b11 or index >= len(self.insts):
             return None
         return self.insts[index]
+
+    def decode_table(self):
+        """Address -> decoded instruction, memoized once per program.
+
+        The table materialises ``repro.isa.encoding.decode(word, addr)``
+        over the whole binary image in one pass, so a fetch in the
+        interpreter hot loop is a single dict hit instead of a per-step
+        decode.  Literal-pool slots carry data, not code; their entries
+        keep the assembler's HLT trap (matching :meth:`inst_at` -- the
+        raw word round-trips through the image, the *decoded view* of a
+        pool slot is always the trap).
+        """
+        if self._decode_table is None:
+            from repro.isa.encoding import decode
+
+            base = self.layout.text_base
+            table = {}
+            for index, word in enumerate(self.words):
+                addr = base + 4 * index
+                if index in self.raw_words:
+                    table[addr] = self.insts[index]
+                else:
+                    table[addr] = decode(word, addr)
+            self._decode_table = table
+        return self._decode_table
+
+    def __getstate__(self):
+        # The decode table is a derived memo: drop it from pickles so
+        # executor worker payloads stay lean; workers rebuild it lazily.
+        state = self.__dict__.copy()
+        state["_decode_table"] = None
+        return state
 
     def text_bytes(self):
         """The encoded text segment as little-endian bytes."""

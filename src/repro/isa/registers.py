@@ -58,15 +58,22 @@ class RegisterFile:
     the reference interpreter only.
     """
 
-    __slots__ = ("_regs",)
+    __slots__ = ("_regs", "listener")
 
     def __init__(self):
         self._regs = [0] * NUM_REGS
+        #: Optional access hook called as ``(index, is_write)`` on every
+        #: read/write; the ``arch`` backend's lifetime-trace capture.
+        self.listener = None
 
     def read(self, index):
+        if self.listener is not None:
+            self.listener(index, False)
         return self._regs[index]
 
     def write(self, index, value):
+        if self.listener is not None:
+            self.listener(index, True)
         self._regs[index] = value & 0xFFFFFFFF
 
     def snapshot(self):

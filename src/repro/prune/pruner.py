@@ -1,0 +1,191 @@
+"""Dead-interval early classification and equivalence grouping.
+
+The pruner answers one question per sampled fault, *before* any
+simulation: what is the first thing the golden run does to the faulted
+cell after the injection instant?
+
+* **a write** -- the flipped bit is overwritten before anything reads
+  it.  Nothing consumed the corruption, the overwrite erases it, and
+  the machine is bit-identical to the golden run from that cycle on:
+  the fault is Masked by construction.  This is exact, not statistical
+  (see DESIGN.md for the argument and its exclusions).
+* **nothing, ever** -- the bit is never touched again.  No observation
+  channel that watches *behavior* (pinout traffic, program output) can
+  see it, so the fault is Masked -- except at the ``arch``
+  (layer-boundary / HVF) observation point, which inspects the final
+  hardware state itself and would report the surviving flip as latent
+  corruption; there the fault is left to simulation.
+* **a read** -- the corruption is consumed and anything may happen:
+  the fault must be simulated (``dead`` mode), or -- opt-in ``group``
+  mode -- it joins the equivalence group of every sampled fault of the
+  same bit in the same live interval: the machine state at the first
+  read is identical for all of them, so one representative injected
+  just before that read stands for the group.
+
+Two refinements keep the classification *exact* on every tier:
+
+**The event horizon.**  On pipelined backends the golden trajectory is
+drain-punctuated: at every checkpoint boundary the golden run pauses
+fetch, empties the pipeline and round-trips through a restore.  A
+faulty run replays exactly that trajectory up to the injection instant
+but then free-runs -- so the golden event stream is provably the faulty
+machine's event stream only up to the *current segment's pre-drain stop
+cycle* (past it, speculative activity and -- at the renamed tier --
+physical-register labeling may diverge even for a masked fault).  The
+pruner therefore accepts a verdict on such backends only when the
+deciding event lies within the segment the fault was injected into;
+anything beyond the horizon is simulated.  Drain-free backends (the
+arch emulator) have no such divergence and keep the unlimited horizon,
+as does the final segment of any run (the golden run free-runs from its
+last checkpoint to program exit, exactly like a faulty run does).
+
+**Structural reachability.**  A backend may declare cells its machine
+cannot address at all -- the RT-level register-file macro's banked and
+spare entries, which no instruction field can name.  Faults there are
+masked by construction in every trajectory, with no horizon caveat.
+
+The injection instant vs. the event timeline needs one convention: a
+run pauses *between* ticks, and backends differ on whether the work
+stamped with the stop cycle has already executed when the run pauses
+there (``SimulatorBase.TRACE_EVENTS_AT_STOP_EXECUTED``).  The pruner
+derives the first post-injection event stamp from that flag, so its
+notion of "after the injection" matches ``run(stop_cycle=...)`` +
+``inject()`` exactly, tier by tier.
+"""
+
+import bisect
+
+from repro.injection.classify import FaultClass
+
+#: The campaign's pruning modes (``CampaignConfig.prune_mode``).
+PRUNE_MODES = ("off", "dead", "group")
+
+#: Detail strings of records classified without simulation.
+DEAD_OVERWRITE_DETAIL = "pruned: overwritten before next read"
+DEAD_SILENT_DETAIL = "pruned: never read again"
+DEAD_UNREACHABLE_DETAIL = "pruned: structurally unreachable cell"
+
+
+class GroupInterval:
+    """A live fault's position: the first golden read that consumes it."""
+
+    __slots__ = ("key", "read_cycle")
+
+    def __init__(self, key, read_cycle):
+        #: ``(structure, bit, event_position)`` -- faults sharing it are
+        #: injected into identical machine states at the same read.
+        self.key = key
+        self.read_cycle = read_cycle
+
+
+class FaultPruner:
+    """Classifies faults from the golden access trace, without simulation.
+
+    Built once per campaign from the golden run's
+    :class:`~repro.prune.trace.LifetimeTrace`; consulted by
+    :meth:`repro.injection.campaign.Campaign.run` while partitioning
+    the sampled fault list.  ``segments`` carries the golden
+    checkpoint cadence ``(boundary_cycles, boundary_stops)`` on
+    pipelined backends (the event-horizon input); ``None`` means the
+    whole trace is authoritative (drain-free backends).
+    """
+
+    def __init__(self, trace, events_at_stop_executed, observation,
+                 segments=None):
+        self.trace = trace
+        #: Tick-stamp convention of the backend that produced the trace
+        #: (see the module docstring).
+        self.events_at_stop_executed = bool(events_at_stop_executed)
+        self.observation = observation
+        self.segments = segments
+
+    # ------------------------------------------------------------------
+
+    def _horizon(self, fault_cycle):
+        """Last golden event stamp provably shared with a faulty run
+        injected at ``fault_cycle``: the pre-drain stop closing the
+        fault's segment, ``None`` for unlimited (drain-free backend,
+        or the final free-running segment), ``-1`` when the injection
+        lands inside a drain window (nothing past it is shared)."""
+        if self.segments is None:
+            return None
+        cycles, stops = self.segments
+        k = max(bisect.bisect_right(cycles, fault_cycle) - 1, 0)
+        if k + 1 >= len(stops):
+            return None
+        stop = stops[k + 1]
+        return stop if fault_cycle <= stop else -1
+
+    def _first_event_after_injection(self, fault):
+        """``(event_or_None, trustworthy)`` for the faulted cell."""
+        trace = self.trace
+        threshold = fault.cycle + (1 if self.events_at_stop_executed
+                                   else 0)
+        cell = trace.cell_of(fault.structure, fault.bit)
+        event = trace.next_event(fault.structure, cell, threshold)
+        horizon = self._horizon(fault.cycle)
+        if horizon is None:
+            return event, True
+        if event is None:
+            # "Never touched again" is a whole-run claim; a bounded
+            # horizon cannot prove it.
+            return None, False
+        cycle = event[0]
+        return event, cycle <= horizon
+
+    def classify(self, fault):
+        """``(FaultClass, detail)`` when provable without simulation,
+        else ``None`` (the fault must be simulated)."""
+        trace = self.trace
+        if not trace.traces(fault.structure):
+            return None
+        cell = trace.cell_of(fault.structure, fault.bit)
+        if not trace.reachable(fault.structure, cell):
+            return FaultClass.MASKED, DEAD_UNREACHABLE_DETAIL
+        event, trustworthy = self._first_event_after_injection(fault)
+        if not trustworthy:
+            return None
+        if event is None:
+            # The bit survives to the end of the run untouched.  Behavior
+            # is golden, but the arch (HVF) observation point inspects
+            # final state and would call the flip latent -- simulate it.
+            if self.observation == "arch":
+                return None
+            return FaultClass.MASKED, DEAD_SILENT_DETAIL
+        _, is_write, _ = event
+        if is_write:
+            return FaultClass.MASKED, DEAD_OVERWRITE_DETAIL
+        return None
+
+    def group_interval(self, fault):
+        """The live interval of a *read-consumed* fault, or ``None``
+        when the fault is prunable/untraced/beyond the horizon
+        (callers check :meth:`classify` first; this returns ``None``
+        for anything that does not provably end in a read)."""
+        trace = self.trace
+        if not trace.traces(fault.structure):
+            return None
+        cell = trace.cell_of(fault.structure, fault.bit)
+        if not trace.reachable(fault.structure, cell):
+            return None
+        event, trustworthy = self._first_event_after_injection(fault)
+        if not trustworthy or event is None:
+            return None
+        cycle, is_write, position = event
+        if is_write:
+            return None
+        return GroupInterval((fault.structure, fault.bit, position),
+                             cycle)
+
+    def representative_cycle(self, interval):
+        """The injection instant for a group representative: the latest
+        stop cycle at which the consuming read has not yet executed."""
+        if self.events_at_stop_executed:
+            return interval.read_cycle - 1
+        return interval.read_cycle
+
+    def __repr__(self):
+        return (
+            f"FaultPruner({self.trace!r}, observation="
+            f"{self.observation!r})"
+        )

@@ -1,0 +1,151 @@
+"""Golden-run access traces: per-cell read/write event logs.
+
+A :class:`LifetimeTrace` records, for every *cell* of a registered
+structure, the ordered sequence of read and write events the golden run
+performed on it.  A cell is the backend's natural write granularity --
+one 32-bit register of a register file, one flag bit of the CPSR -- so
+an event on a cell covers every fault-target bit inside it: a register
+write kills all 32 bits at once, a register read consumes all 32.
+
+Events are stored per cell as one flat list of encoded integers,
+``(cycle << 1) | is_write``, appended in execution order.  Cycles are
+monotone within a run, so each cell's list is sorted and the
+first-event-at-or-after query the pruner needs is a single bisect.
+The encoding keeps the trace compact (tens of thousands of small ints
+for the paper's workloads) and trivially picklable/snapshottable, which
+is what lets checkpoints carry the trace prefix alongside the pinout
+(see :meth:`repro.sim.base.SimulatorBase.checkpoint`).
+"""
+
+import bisect
+
+
+class LifetimeTrace:
+    """Per-structure, per-cell read/write event log of one golden run."""
+
+    __slots__ = ("_events", "_bits_per_cell", "_reachable")
+
+    def __init__(self):
+        #: structure -> cell -> sorted list of ``(cycle << 1) | write``.
+        self._events = {}
+        #: structure -> fault-target bits covered by one cell.
+        self._bits_per_cell = {}
+        #: structure -> frozenset of cells the machine can ever access,
+        #: or None for "all" (see :meth:`register`).
+        self._reachable = {}
+
+    # ------------------------------------------------------------------
+    # registration + capture (backend listeners)
+    # ------------------------------------------------------------------
+
+    def register(self, structure, bits_per_cell, reachable_cells=None):
+        """Declare a traced structure and its cell granularity.
+
+        ``bits_per_cell`` maps a fault-target bit index to its cell
+        (``bit // bits_per_cell``): 32 for register files, 1 for the
+        per-bit CPSR flags.
+
+        ``reachable_cells``, when given, names the cells the machine
+        can *structurally* access at all -- e.g. the RT-level
+        register-file macro holds 56 entries but the pipeline only ever
+        addresses the 16 architectural ones; faults in the banked/spare
+        entries are masked by construction.  ``None`` means every cell
+        is reachable.
+        """
+        if bits_per_cell < 1:
+            raise ValueError(f"bits_per_cell must be >= 1, got "
+                             f"{bits_per_cell}")
+        self._events.setdefault(structure, {})
+        self._bits_per_cell[structure] = bits_per_cell
+        self._reachable[structure] = (
+            None if reachable_cells is None else frozenset(reachable_cells)
+        )
+
+    def record(self, structure, cell, cycle, write):
+        """Append one event (in execution order; cycles are monotone)."""
+        cells = self._events[structure]
+        encoded = (cycle << 1) | bool(write)
+        try:
+            cells[cell].append(encoded)
+        except KeyError:
+            cells[cell] = [encoded]
+
+    # ------------------------------------------------------------------
+    # queries (the pruner)
+    # ------------------------------------------------------------------
+
+    def traces(self, structure):
+        """Whether ``structure`` is registered for tracing."""
+        return structure in self._bits_per_cell
+
+    def cell_of(self, structure, bit):
+        """The cell covering fault-target ``bit`` of ``structure``."""
+        return bit // self._bits_per_cell[structure]
+
+    def reachable(self, structure, cell):
+        """Whether the machine can structurally access ``cell`` at all."""
+        cells = self._reachable.get(structure)
+        return cells is None or cell in cells
+
+    def next_event(self, structure, cell, min_cycle):
+        """First event on ``cell`` at or after ``min_cycle``.
+
+        Returns ``(cycle, is_write, position)`` -- ``position`` is the
+        event's index in the cell's stream, a stable identifier of the
+        interval boundary (the equivalence-grouping key) -- or ``None``
+        when the golden run never touches the cell again.
+        """
+        events = self._events[structure].get(cell)
+        if not events:
+            return None
+        pos = bisect.bisect_left(events, min_cycle << 1)
+        if pos == len(events):
+            return None
+        encoded = events[pos]
+        return encoded >> 1, bool(encoded & 1), pos
+
+    # ------------------------------------------------------------------
+    # introspection (tests, reports)
+    # ------------------------------------------------------------------
+
+    def structures(self):
+        return tuple(sorted(self._bits_per_cell))
+
+    def cells(self, structure):
+        """Cells of ``structure`` with at least one event, sorted."""
+        return tuple(sorted(self._events.get(structure, ())))
+
+    def events(self, structure, cell):
+        """Decoded ``(cycle, is_write)`` event stream of one cell."""
+        return tuple((e >> 1, bool(e & 1))
+                     for e in self._events.get(structure, {}).get(cell, ()))
+
+    def event_count(self):
+        return sum(len(events) for cells in self._events.values()
+                   for events in cells.values())
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (checkpoint round trips)
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        return (
+            {s: {c: list(ev) for c, ev in cells.items()}
+             for s, cells in self._events.items()},
+            dict(self._bits_per_cell),
+            dict(self._reachable),
+        )
+
+    def restore(self, state):
+        events, bits, reachable = state
+        self._events = {s: {c: list(ev) for c, ev in cells.items()}
+                        for s, cells in events.items()}
+        self._bits_per_cell = dict(bits)
+        self._reachable = dict(reachable)
+
+    def __repr__(self):
+        per = ", ".join(
+            f"{s}:{sum(len(e) for e in cells.values())}ev"
+            for s, cells in sorted(self._events.items())
+        )
+        return f"LifetimeTrace({per or 'empty'})"

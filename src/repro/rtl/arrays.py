@@ -26,17 +26,32 @@ class RTLRegisterFile:
         self.entries = entries
         self.regs = np.zeros(entries, dtype=np.uint32)
         self.cpsr = 0  # packed NZCV
+        #: Optional access hook ``(index, is_write)`` per register
+        #: read/write; the ``rtl`` backend's lifetime-trace capture.
+        self.listener = None
+        #: Optional access hook ``(is_write,)`` whenever the pipeline
+        #: consults (``flags()``) or replaces (``set_flags()``) the
+        #: CPSR flops as a unit.
+        self.flag_listener = None
 
     def read(self, index):
+        if self.listener is not None:
+            self.listener(index, False)
         return int(self.regs[index])
 
     def write(self, index, value):
+        if self.listener is not None:
+            self.listener(index, True)
         self.regs[index] = value & 0xFFFFFFFF
 
     def flags(self):
+        if self.flag_listener is not None:
+            self.flag_listener(False)
         return Flags.unpack(self.cpsr)
 
     def set_flags(self, flags):
+        if self.flag_listener is not None:
+            self.flag_listener(True)
         self.cpsr = flags.pack()
 
     # -- fault-injection interface --------------------------------------

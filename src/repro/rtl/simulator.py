@@ -72,6 +72,38 @@ class RTLSim(SimulatorBase):
         self.rf.write(13, layout.stack_top)
 
     # ------------------------------------------------------------------
+    # access tracing (fault pruning)
+    # ------------------------------------------------------------------
+
+    def _install_trace_listeners(self, trace):
+        # The pipeline addresses the RF macro through 4-bit instruction
+        # fields: only the 16 architectural entries are reachable at
+        # all.  Faults in the banked/spare entries (the paper's SS I
+        # equivalence argument) are masked by construction, and the
+        # pruner may classify them without simulation.
+        trace.register("regfile", 32, reachable_cells=range(16))
+        trace.register("cpsr", 1)
+
+        def rf_event(index, write):
+            if self._trace_pause == 0:
+                trace.record("regfile", index, self.core.cycle, write)
+
+        def flag_event(write):
+            if self._trace_pause:
+                return
+            # The RT design reads/writes the NZCV flops as one bundle.
+            cycle = self.core.cycle
+            for bit in range(4):
+                trace.record("cpsr", bit, cycle, write)
+
+        self.rf.listener = rf_event
+        self.rf.flag_listener = flag_event
+
+    def _remove_trace_listeners(self):
+        self.rf.listener = None
+        self.rf.flag_listener = None
+
+    # ------------------------------------------------------------------
     # signal tracing (this level only)
     # ------------------------------------------------------------------
 

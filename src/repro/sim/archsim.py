@@ -111,6 +111,13 @@ class ArchSim(SimulatorBase):
     #: golden boundary digests (enables campaign early-stop).
     DRAIN_FREE = True
 
+    #: ``_ArchCore.tick`` executes the instruction *then* advances the
+    #: cycle, so when a run pauses at a stop cycle the events stamped
+    #: with that cycle have not happened yet (unlike the hardware
+    #: models, which advance first).  The fault pruner keys its
+    #: post-injection event query off this.
+    TRACE_EVENTS_AT_STOP_EXECUTED = False
+
     INJECTABLE = {
         "regfile": "architectural register file (15 x 32 bits, r0-r14)",
         "cpsr": "NZCV status flags",
@@ -131,6 +138,38 @@ class ArchSim(SimulatorBase):
     def _publish_store(self, addr, size, value):
         data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
         self.pinout.append(Transaction("wb", addr, data, self.core.cycle))
+
+    # ------------------------------------------------------------------
+    # access tracing (fault pruning)
+    # ------------------------------------------------------------------
+
+    def _install_trace_listeners(self, trace):
+        trace.register("regfile", 32)
+        trace.register("cpsr", 1)
+
+        def reg_event(index, write):
+            if self._trace_pause == 0:
+                trace.record("regfile", index, self.core.cycle, write)
+
+        def flag_event(read_mask, write_mask):
+            if self._trace_pause:
+                return
+            cycle = self.core.cycle
+            for bit in range(4):
+                if read_mask & (1 << bit):
+                    trace.record("cpsr", bit, cycle, False)
+            for bit in range(4):
+                if write_mask & (1 << bit):
+                    trace.record("cpsr", bit, cycle, True)
+
+        interp = self.core.interp
+        interp.regs.listener = reg_event
+        interp.flag_listener = flag_event
+
+    def _remove_trace_listeners(self):
+        interp = self.core.interp
+        interp.regs.listener = None
+        interp.flag_listener = None
 
     # ------------------------------------------------------------------
     # architectural visibility

@@ -80,13 +80,33 @@ class SimulatorBase:
     #: the campaign engine's early-stop convergence check sound there.
     DRAIN_FREE = False
 
-    def __init__(self, program, config=None):
+    #: Tick-stamp convention of the access trace: True when a tick
+    #: advances the cycle counter *before* doing its work, so that when
+    #: ``run(stop_cycle=c)`` pauses at cycle ``c`` the trace events
+    #: stamped ``c`` have already executed (the hardware models).  The
+    #: arch emulator works then advances, so events stamped with the
+    #: stop cycle are still pending there.  The fault pruner uses this
+    #: to decide which golden events are post-injection.
+    TRACE_EVENTS_AT_STOP_EXECUTED = True
+
+    def __init__(self, program, config=None, trace_accesses=False):
         self.config = config if config is not None else self.default_config()
         self.program = program
         self.pinout = []
         self.dcache = None
         self.icache = None
+        #: Golden-run access trace (:mod:`repro.prune`); None until
+        #: :meth:`enable_access_trace`.
+        self._access_trace = None
+        self._trace_sealed = False
+        #: Non-zero while state observation (checkpoint capture, digest,
+        #: restore) reads storage: those accesses are bookkeeping, not
+        #: execution, and must not pollute the lifetime trace.
+        self._trace_pause = 0
+        self._trace_in_checkpoints = True
         self._build()
+        if trace_accesses:
+            self.enable_access_trace()
 
     # -- construction hooks --------------------------------------------
 
@@ -108,6 +128,64 @@ class SimulatorBase:
         def bus_event(kind, addr, data, cycle):
             self.pinout.append(Transaction(kind, addr, data, cycle))
         return bus_event
+
+    # ------------------------------------------------------------------
+    # access tracing (the fault-pruning subsystem's capture hook)
+    # ------------------------------------------------------------------
+
+    def enable_access_trace(self, snapshot_in_checkpoints=True):
+        """Start recording per-cell read/write events into a
+        :class:`~repro.prune.trace.LifetimeTrace`.
+
+        Backends install their storage listeners through
+        :meth:`_install_trace_listeners`; the base class keeps the trace
+        across :meth:`restore` (re-installing listeners on the rebuilt
+        machine) and -- with ``snapshot_in_checkpoints`` -- copies it
+        into checkpoints so traced runs round-trip exactly like the
+        pinout does.  The campaign's golden capture disables the
+        snapshots: it round-trips the *same* machine at the *same*
+        instant after every capture, where the live trace is already
+        the right prefix and the per-boundary copies (the trace grows
+        with the run, so effectively quadratic work) would be thrown
+        away unread.
+        """
+        if self._access_trace is None:
+            from repro.prune.trace import LifetimeTrace
+
+            self._access_trace = LifetimeTrace()
+        self._trace_sealed = False
+        self._trace_in_checkpoints = bool(snapshot_in_checkpoints)
+        self._install_trace_listeners(self._access_trace)
+        return self._access_trace
+
+    def access_trace(self):
+        """The recorded :class:`LifetimeTrace`, or None when disabled."""
+        return self._access_trace
+
+    def seal_access_trace(self):
+        """Stop recording (detach listeners), keeping the trace readable.
+
+        The campaign seals right after the golden run: the same
+        simulator object then executes faulty runs (serial path), whose
+        accesses must not leak into the golden trace.
+        """
+        if self._access_trace is not None:
+            self._trace_sealed = True
+            self._remove_trace_listeners()
+
+    def _trace_active(self):
+        return self._access_trace is not None and not self._trace_sealed
+
+    def _install_trace_listeners(self, trace):
+        """Backend hook: attach storage listeners feeding ``trace``.
+
+        The default registers nothing -- a backend without trace support
+        degrades to "no fault is ever pruned", which is sound.
+        """
+
+    def _remove_trace_listeners(self):
+        """Backend hook: detach whatever ``_install_trace_listeners``
+        attached."""
 
     # ------------------------------------------------------------------
     # run control
@@ -177,17 +255,23 @@ class SimulatorBase:
         """Drain the pipeline and capture a deterministic restart point."""
         self.drain()
         core = self.core
-        cp = {
-            "cycle": core.cycle,
-            "icount": core.icount,
-            "pc": self._restart_pc(),
-            "ram": self.ram.snapshot(),
-            "syscalls": core.syscalls.snapshot(),
-            "pinout": list(self.pinout),
-            "mispredicts": core.mispredicts,
-            "exited": core.exited,
-        }
-        cp.update(self._capture_state())
+        self._trace_pause += 1
+        try:
+            cp = {
+                "cycle": core.cycle,
+                "icount": core.icount,
+                "pc": self._restart_pc(),
+                "ram": self.ram.snapshot(),
+                "syscalls": core.syscalls.snapshot(),
+                "pinout": list(self.pinout),
+                "mispredicts": core.mispredicts,
+                "exited": core.exited,
+            }
+            cp.update(self._capture_state())
+            if self._trace_active() and self._trace_in_checkpoints:
+                cp["access_trace"] = self._access_trace.snapshot()
+        finally:
+            self._trace_pause -= 1
         return cp
 
     def checkpoint_at(self, stop_cycle, max_cycles=5_000_000):
@@ -215,21 +299,25 @@ class SimulatorBase:
         masked classification) and the backend test suite uses it for
         checkpoint/restore round-trip properties.
         """
-        arch = self.arch_state()
-        core = self.core
-        return (
-            self.cycle,
-            self.icount,
-            self.exited,
-            self.fault is None,
-            tuple(arch["regs"]),
-            arch["flags"],
-            arch["pc"],
-            _crc(self.ram.snapshot()),
-            core.syscalls.snapshot(),
-            _crc([t.key() for t in self.pinout]),
-            self._digest_extra(),
-        )
+        self._trace_pause += 1
+        try:
+            arch = self.arch_state()
+            core = self.core
+            return (
+                self.cycle,
+                self.icount,
+                self.exited,
+                self.fault is None,
+                tuple(arch["regs"]),
+                arch["flags"],
+                arch["pc"],
+                _crc(self.ram.snapshot()),
+                core.syscalls.snapshot(),
+                _crc([t.key() for t in self.pinout]),
+                self._digest_extra(),
+            )
+        finally:
+            self._trace_pause -= 1
 
     def _digest_extra(self):
         """Level-specific digest components (cache arrays, predictor...).
@@ -257,18 +345,28 @@ class SimulatorBase:
 
     def restore(self, cp):
         """Rebuild the machine from a checkpoint (fresh, empty pipeline)."""
-        self._build()
-        core = self.core
-        self.ram.restore(cp["ram"])
-        core.syscalls.restore(cp["syscalls"])
-        self.pinout[:] = list(cp["pinout"])
-        self._restore_state(cp)
-        core.cycle = cp["cycle"]
-        core.icount = cp["icount"]
-        core.pc = cp["pc"]
-        self._set_restart_point(cp["pc"], cp["cycle"])
-        core.exited = cp["exited"]
-        core.mispredicts = cp["mispredicts"]
+        self._trace_pause += 1
+        try:
+            self._build()
+            core = self.core
+            self.ram.restore(cp["ram"])
+            core.syscalls.restore(cp["syscalls"])
+            self.pinout[:] = list(cp["pinout"])
+            self._restore_state(cp)
+            core.cycle = cp["cycle"]
+            core.icount = cp["icount"]
+            core.pc = cp["pc"]
+            self._set_restart_point(cp["pc"], cp["cycle"])
+            core.exited = cp["exited"]
+            core.mispredicts = cp["mispredicts"]
+        finally:
+            self._trace_pause -= 1
+        if self._trace_active():
+            # ``_build`` replaced the storage objects: rewind the trace
+            # to the checkpoint's prefix and re-attach the listeners.
+            if "access_trace" in cp:
+                self._access_trace.restore(cp["access_trace"])
+            self._install_trace_listeners(self._access_trace)
 
     # -- checkpoint hooks ----------------------------------------------
 

@@ -20,11 +20,19 @@ class PhysRegFile:
         self.size = size
         self.values = [0] * size
         self.ready = [True] * size
+        #: Optional access hook called as ``(index, is_write)`` on every
+        #: value read/write (ready-bit traffic is not value state); the
+        #: ``uarch`` backend's lifetime-trace capture.
+        self.listener = None
 
     def read(self, index):
+        if self.listener is not None:
+            self.listener(index, False)
         return self.values[index]
 
     def write(self, index, value):
+        if self.listener is not None:
+            self.listener(index, True)
         self.values[index] = value & 0xFFFFFFFF
 
     # -- fault-injection interface ------------------------------------

@@ -80,6 +80,26 @@ class MicroArchSim(SimulatorBase):
         self.prf.write(self.rat.committed[13], layout.stack_top)
 
     # ------------------------------------------------------------------
+    # access tracing (fault pruning)
+    # ------------------------------------------------------------------
+
+    def _install_trace_listeners(self, trace):
+        # The PRF holds the live values (execute-at-execute), so its
+        # read/write stream *is* the lifetime of every injectable
+        # regfile bit.  The flag file is not an injection target and
+        # stays untraced.
+        trace.register("regfile", 32)
+
+        def prf_event(index, write):
+            if self._trace_pause == 0:
+                trace.record("regfile", index, self.core.cycle, write)
+
+        self.prf.listener = prf_event
+
+    def _remove_trace_listeners(self):
+        self.prf.listener = None
+
+    # ------------------------------------------------------------------
     # architectural visibility (tests, syscall-level comparison)
     # ------------------------------------------------------------------
 

@@ -76,13 +76,17 @@ def test_bar_chart_handles_none_series():
 
 def test_campaign_table_renders():
     class _Stub:
+        simulated_cycles = 12_000
+
         def summary(self):
             return {
                 "workload": "fft", "level": "rtl", "structure": "regfile",
                 "n": 10, "unsafeness": 0.2, "ci95": (0.05, 0.5),
                 "masked": 8, "sdc": 1, "due": 1, "hang": 0, "mismatch": 0,
-                "s_per_run": 0.5,
+                "pruned": 4, "simulated": 6,
             }
 
     text = campaign_table([_Stub()], title="Campaigns")
     assert "fft" in text and "20.0%" in text
+    assert "pruned" in text and "kcyc/sim" in text
+    assert "2.0" in text  # 12 kcyc over 6 simulated faults

@@ -148,8 +148,12 @@ def test_acceleration_increases_window_observability(tiny_program):
 
 
 def test_progress_callback_invoked(tiny_program):
+    # prune_mode="off" so every sampled fault is simulated: progress
+    # counts only simulated faults (pruned ones are classified before
+    # the faulty phase starts; see tests/test_prune.py).
     seen = []
-    config = CampaignConfig(samples=5, window=500, seed=5)
+    config = CampaignConfig(samples=5, window=500, seed=5,
+                            prune_mode="off")
     campaign = Campaign(uarch_factory(tiny_program), "regfile", config,
                         workload="tiny", level="uarch")
     campaign.run(progress=lambda i, n, record: seen.append((i, n)))

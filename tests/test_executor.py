@@ -64,8 +64,12 @@ class TinyFactory:
 
 
 def run_campaign(program, **config_kwargs):
+    # prune_mode="off": these tests pin the executor's sharding and
+    # merge mechanics, which need every sampled fault to actually reach
+    # the faulty phase (pruning would thin the work list; its own
+    # equivalence suite lives in tests/test_prune.py).
     config = CampaignConfig(samples=16, window=800, seed=9,
-                            **config_kwargs)
+                            prune_mode="off", **config_kwargs)
     campaign = Campaign(TinyFactory(program), "regfile", config,
                         workload="tiny", level="uarch")
     return campaign.run()
@@ -187,7 +191,8 @@ def test_single_batch_degenerates_in_process(tiny_program, monkeypatch):
 
 def test_parallel_progress_reaches_total(tiny_program):
     seen = []
-    config = CampaignConfig(samples=12, window=800, seed=9, jobs=2)
+    config = CampaignConfig(samples=12, window=800, seed=9, jobs=2,
+                            prune_mode="off")
     campaign = Campaign(TinyFactory(tiny_program), "regfile", config,
                         workload="tiny", level="uarch")
     campaign.run(progress=lambda done, total, rec: seen.append((done,
@@ -205,7 +210,7 @@ def test_progress_counts_each_fault_exactly_once(tiny_program, samples,
     the done counter's increments partition the fault set exactly."""
     seen = []
     config = CampaignConfig(samples=samples, window=800, seed=9, jobs=2,
-                            batch_size=batch_size)
+                            batch_size=batch_size, prune_mode="off")
     campaign = Campaign(TinyFactory(tiny_program), "regfile", config,
                         workload="tiny", level="uarch")
     result = campaign.run(
@@ -230,7 +235,8 @@ def test_resumed_progress_counts_only_remaining(tiny_program, tmp_path):
 
     def campaign(jobs=1, batch_size=None):
         config = CampaignConfig(samples=13, window=800, seed=9,
-                                jobs=jobs, batch_size=batch_size)
+                                jobs=jobs, batch_size=batch_size,
+                                prune_mode="off")
         return Campaign(TinyFactory(tiny_program), "regfile", config,
                         workload="tiny", level="uarch")
 

@@ -264,3 +264,54 @@ target:
 def test_stack_pointer_initialised():
     interp = Interpreter(assemble(".text\n_start: nop\n svc #0\n"))
     assert interp.regs.read(13) == interp.program.layout.stack_top
+
+
+# ----------------------------------------------------------------------
+# decode cache (hot-loop fetch memoization)
+# ----------------------------------------------------------------------
+
+def test_decode_cache_matches_uncached_execution():
+    """Cached (memoized decode table) and uncached (decode per fetch)
+    execution are bit-identical on a real workload: output, exit code,
+    instruction count and final register file."""
+    from repro.isa.toolchain import Toolchain
+    from repro.workloads import build
+
+    program = build("stringsearch", Toolchain("gnu"))
+    cached = Interpreter(program, decode_cache=True)
+    uncached = Interpreter(program, decode_cache=False)
+    res_c = cached.run()
+    res_u = uncached.run()
+    assert res_c.output == res_u.output
+    assert res_c.exit_code == res_u.exit_code
+    assert res_c.inst_count == res_u.inst_count
+    assert cached.regs.snapshot() == uncached.regs.snapshot()
+    assert cached.flags.pack() == uncached.flags.pack()
+
+
+def test_decode_table_memoized_and_covers_text():
+    from repro.isa.toolchain import Toolchain
+    from repro.workloads import build
+
+    program = build("sha", Toolchain("gnu"))
+    table = program.decode_table()
+    assert program.decode_table() is table  # built once
+    assert len(table) == len(program.insts)
+    base = program.layout.text_base
+    for index in program.raw_words:
+        # Pool slots keep the trap view, exactly like inst_at().
+        assert table[base + 4 * index] is program.insts[index]
+
+
+def test_decode_table_not_pickled():
+    import pickle
+
+    from repro.isa.toolchain import Toolchain
+    from repro.workloads import build
+
+    program = build("sha", Toolchain("gnu"))
+    program.decode_table()
+    clone = pickle.loads(pickle.dumps(program))
+    assert clone._decode_table is None
+    # ...and rebuilds lazily to the same content.
+    assert len(clone.decode_table()) == len(program.decode_table())

@@ -1,0 +1,370 @@
+"""Lifetime-aware fault pruning: the cross-tier exactness suite.
+
+The acceptance contract (companion to test_warmstart_equivalence.py):
+``prune_mode="dead"`` produces fault-for-fault identical
+*classifications* to ``prune_mode="off"`` on every registered backend
+-- pruning is a work-avoidance optimisation, never a result change.
+Pruned records differ only in their accounting (``detail`` explains the
+proof, ``sim_cycles`` is 0, ``pruned`` is set).
+
+Plus unit coverage of the trace/pruner pair and the ``group`` mode
+mechanics (opt-in, approximate windows -- only its bookkeeping is
+pinned, not class equality).
+"""
+
+import pytest
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.classify import FaultClass
+from repro.injection.faults import FaultSpec
+from repro.prune import FaultPruner, LifetimeTrace
+from repro.prune.pruner import (
+    DEAD_OVERWRITE_DETAIL,
+    DEAD_SILENT_DETAIL,
+    DEAD_UNREACHABLE_DETAIL,
+)
+from repro.sim import registry
+
+WORKLOAD = "stringsearch"
+SAMPLES = 24
+SEED = 13
+WINDOW = 800
+
+ALL_LEVELS = registry.level_names()
+
+
+def run_campaign(factory, level, store=None, resume=False,
+                 **config_kwargs):
+    config = CampaignConfig(samples=SAMPLES, window=WINDOW, seed=SEED,
+                            **config_kwargs)
+    campaign = Campaign(factory, "regfile", config,
+                        workload=WORKLOAD, level=level)
+    return campaign.run(store=store, resume=resume)
+
+
+# ----------------------------------------------------------------------
+# LifetimeTrace
+# ----------------------------------------------------------------------
+
+def make_trace():
+    trace = LifetimeTrace()
+    trace.register("regfile", 32)
+    trace.register("cpsr", 1)
+    return trace
+
+
+def test_trace_next_event_orders_same_cycle_events():
+    trace = make_trace()
+    # read-then-write at cycle 10 (e.g. add r0, r0, r1): the read must
+    # be what a fault injected at cycle 10 sees first.
+    trace.record("regfile", 0, 10, False)
+    trace.record("regfile", 0, 10, True)
+    assert trace.next_event("regfile", 0, 10) == (10, False, 0)
+    assert trace.next_event("regfile", 0, 11) is None
+    # write-then-read at the same cycle keeps execution order too.
+    trace.record("regfile", 1, 20, True)
+    trace.record("regfile", 1, 20, False)
+    assert trace.next_event("regfile", 1, 20) == (20, True, 0)
+
+
+def test_trace_bisect_skips_earlier_events():
+    trace = make_trace()
+    for cycle, write in ((5, True), (9, False), (14, True)):
+        trace.record("regfile", 3, cycle, write)
+    assert trace.next_event("regfile", 3, 6) == (9, False, 1)
+    assert trace.next_event("regfile", 3, 10) == (14, True, 2)
+    assert trace.next_event("regfile", 3, 15) is None
+    assert trace.next_event("regfile", 7, 0) is None  # untouched cell
+
+
+def test_trace_cell_mapping_and_reachability():
+    trace = LifetimeTrace()
+    trace.register("regfile", 32, reachable_cells=range(16))
+    assert trace.cell_of("regfile", 0) == 0
+    assert trace.cell_of("regfile", 33) == 1
+    assert trace.reachable("regfile", 15)
+    assert not trace.reachable("regfile", 16)
+    trace.register("cpsr", 1)
+    assert trace.reachable("cpsr", 3)
+
+
+def test_trace_snapshot_round_trip():
+    trace = make_trace()
+    trace.record("regfile", 2, 7, True)
+    snap = trace.snapshot()
+    trace.record("regfile", 2, 9, False)
+    other = LifetimeTrace()
+    other.restore(snap)
+    assert other.events("regfile", 2) == ((7, True),)
+    assert other.traces("cpsr")
+    # The snapshot is a deep copy: mutating the original leaves it alone.
+    assert trace.events("regfile", 2) == ((7, True), (9, False))
+
+
+# ----------------------------------------------------------------------
+# FaultPruner unit behavior (synthetic traces)
+# ----------------------------------------------------------------------
+
+def fault(bit, cycle, structure="regfile"):
+    return FaultSpec(structure, bit, cycle)
+
+
+def test_pruner_dead_interval_is_masked():
+    trace = make_trace()
+    trace.record("regfile", 1, 50, True)   # overwrite, no read before
+    pruner = FaultPruner(trace, events_at_stop_executed=True,
+                         observation="pinout")
+    assert pruner.classify(fault(32, 10)) == (
+        FaultClass.MASKED, DEAD_OVERWRITE_DETAIL)
+
+
+def test_pruner_read_first_is_live():
+    trace = make_trace()
+    trace.record("regfile", 1, 50, False)
+    trace.record("regfile", 1, 51, True)
+    pruner = FaultPruner(trace, True, "pinout")
+    assert pruner.classify(fault(32, 10)) is None
+    interval = pruner.group_interval(fault(32, 10))
+    assert interval is not None and interval.read_cycle == 50
+    assert pruner.representative_cycle(interval) == 49
+
+
+def test_pruner_stop_convention_shifts_the_threshold():
+    trace = make_trace()
+    trace.record("regfile", 0, 10, True)
+    # Hardware models: events stamped with the stop cycle already ran,
+    # so a fault at cycle 10 sees nothing -> never-read -> masked.
+    hw = FaultPruner(trace, events_at_stop_executed=True,
+                     observation="pinout")
+    assert hw.classify(fault(0, 10)) == (
+        FaultClass.MASKED, DEAD_SILENT_DETAIL)
+    # The arch emulator pauses *before* the work of the stop cycle:
+    # the write at 10 is still ahead -> overwritten.
+    arch = FaultPruner(trace, events_at_stop_executed=False,
+                       observation="pinout")
+    assert arch.classify(fault(0, 10)) == (
+        FaultClass.MASKED, DEAD_OVERWRITE_DETAIL)
+
+
+def test_pruner_never_read_simulates_under_arch_observation():
+    trace = make_trace()
+    pruner = FaultPruner(trace, True, "arch")
+    # The surviving flip would show up as latent state at the HVF
+    # layer boundary: not prunable there.
+    assert pruner.classify(fault(32, 10)) is None
+    assert FaultPruner(trace, True, "software").classify(
+        fault(32, 10)) == (FaultClass.MASKED, DEAD_SILENT_DETAIL)
+
+
+def test_pruner_unreachable_cell_is_masked_in_every_mode():
+    trace = LifetimeTrace()
+    trace.register("regfile", 32, reachable_cells=range(16))
+    for observation in ("pinout", "software", "arch"):
+        pruner = FaultPruner(trace, True, observation)
+        assert pruner.classify(fault(20 * 32, 10)) == (
+            FaultClass.MASKED, DEAD_UNREACHABLE_DETAIL)
+
+
+def test_pruner_untraced_structure_simulates():
+    trace = make_trace()
+    pruner = FaultPruner(trace, True, "pinout")
+    assert pruner.classify(fault(5, 10, structure="l1d.data")) is None
+
+
+def test_pruner_event_horizon_bounds_pipelined_verdicts():
+    trace = make_trace()
+    trace.record("regfile", 1, 5000, True)  # kill-write, next segment
+    segments = ([0, 4100], [0, 4000])       # boundary cycles / stops
+    pruner = FaultPruner(trace, True, "pinout", segments=segments)
+    # Injection in segment 0: the write at 5000 lies beyond the shared
+    # horizon (stop 4000) -> simulate.
+    assert pruner.classify(fault(32, 100)) is None
+    # "Never read again" is a whole-run claim: not provable either.
+    assert pruner.classify(fault(64, 100)) is None
+    # Injection inside the drain window (stop 4000 < cycle <= 4100):
+    # nothing past the stop is shared -> simulate.
+    assert pruner.classify(fault(32, 4050)) is None
+    # The final segment free-runs to program exit: full authority.
+    assert pruner.classify(fault(32, 4200)) == (
+        FaultClass.MASKED, DEAD_OVERWRITE_DETAIL)
+    assert pruner.classify(fault(64, 4200)) == (
+        FaultClass.MASKED, DEAD_SILENT_DETAIL)
+    # Unlimited horizon (drain-free backend): the same early fault is
+    # provably overwritten.
+    assert FaultPruner(trace, True, "pinout").classify(
+        fault(32, 100)) == (FaultClass.MASKED, DEAD_OVERWRITE_DETAIL)
+
+
+# ----------------------------------------------------------------------
+# the acceptance contract: dead == off, fault for fault, on every tier
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module", params=ALL_LEVELS)
+def level_results(request):
+    level = request.param
+    factory = registry.create_frontend(level, WORKLOAD).sim_factory
+    off = run_campaign(factory, level, prune_mode="off")
+    dead = run_campaign(factory, level, prune_mode="dead")
+    return level, factory, off, dead
+
+
+def test_dead_mode_classifications_identical(level_results):
+    level, _, off, dead = level_results
+    assert [(r.fault.bit, r.fault.cycle) for r in off.records] == \
+        [(r.fault.bit, r.fault.cycle) for r in dead.records]
+    assert [r.fclass for r in off.records] == \
+        [r.fclass for r in dead.records], (
+            f"{level}: pruning changed a classification"
+    )
+
+
+def test_dead_mode_actually_prunes(level_results):
+    level, _, off, dead = level_results
+    assert off.pruned_count == 0
+    assert off.simulated_count == SAMPLES
+    assert dead.pruned_count > 0, f"{level}: pruning never fired"
+    assert dead.simulated_count + dead.pruned_count == SAMPLES
+    assert all(r.sim_cycles == 0 and r.replay_cycles == 0
+               for r in dead.records if r.pruned)
+    assert all(r.pruned == "dead" for r in dead.records if r.pruned)
+    # Pruned work is visible in the deterministic cycle accounting too.
+    assert dead.simulated_cycles < off.simulated_cycles
+
+
+def test_dead_mode_independent_of_execution_strategy(level_results):
+    """Pruning composes with the other accelerators: jobs/warm-start
+    permutations of a pruned campaign stay bit-identical."""
+    from support import record_keys
+
+    level, factory, _, dead = level_results
+    for kwargs in ({"jobs": 2}, {"warm_start": False},
+                   {"checkpoint_bound": 2}):
+        other = run_campaign(factory, level, prune_mode="dead", **kwargs)
+        assert record_keys(other) == record_keys(dead), (level, kwargs)
+
+
+def test_summary_reports_prune_counts(level_results):
+    _, _, off, dead = level_results
+    assert off.summary()["pruned"] == 0
+    summary = dead.summary()
+    assert summary["pruned"] == dead.pruned_count
+    assert summary["simulated"] == dead.simulated_count
+
+
+# ----------------------------------------------------------------------
+# group mode (opt-in): bookkeeping, not class equality
+# ----------------------------------------------------------------------
+
+def test_group_mode_mechanics():
+    factory = registry.create_frontend("arch", WORKLOAD).sim_factory
+    grouped = run_campaign(factory, "arch", prune_mode="group")
+    dead = run_campaign(factory, "arch", prune_mode="dead")
+    assert grouped.n == SAMPLES
+    # Grouping can only reduce the number of simulated runs further.
+    assert grouped.simulated_count <= dead.simulated_count
+    members = [r for r in grouped.records if r.pruned == "group"]
+    for member in members:
+        # The member inherited a verdict reached by simulating its
+        # representative at the shared first-read instant.
+        assert member.sim_cycles == 0
+        reps = [r for r in grouped.records
+                if r.simulated and r.fault.bit == member.fault.bit
+                and r.fclass is member.fclass]
+        assert reps, "group member without a simulated representative"
+    # Every fault still carries exactly one record, so the AVF math
+    # (unsafe / n) stays consistently weighted.
+    assert grouped.simulated_count + grouped.pruned_count == SAMPLES
+
+
+def test_group_representative_moves_to_first_read():
+    factory = registry.create_frontend("arch", WORKLOAD).sim_factory
+    grouped = run_campaign(factory, "arch", prune_mode="group")
+    moved = [r for r in grouped.records
+             if r.simulated and r.fault.accelerated]
+    for r in moved:
+        assert r.fault.cycle >= r.fault.original_cycle
+
+
+# ----------------------------------------------------------------------
+# config / CLI / store plumbing
+# ----------------------------------------------------------------------
+
+def test_config_validates_and_identifies_prune_mode():
+    with pytest.raises(ValueError):
+        CampaignConfig(prune_mode="telepathy")
+    assert CampaignConfig().prune_mode == "dead"
+    assert CampaignConfig().identity()["prune_mode"] == "dead"
+    assert "prune=group" in CampaignConfig(prune_mode="group").describe()
+    assert "prune" not in CampaignConfig().describe()
+
+
+def test_progress_counts_only_simulated_faults():
+    factory = registry.create_frontend("arch", WORKLOAD).sim_factory
+    seen = []
+    config = CampaignConfig(samples=SAMPLES, window=WINDOW, seed=SEED)
+    result = Campaign(factory, "regfile", config, workload=WORKLOAD,
+                      level="arch").run(
+        progress=lambda done, total, rec: seen.append((done, total)))
+    assert result.pruned_count > 0
+    assert all(total == result.simulated_count for _, total in seen)
+    assert len(seen) == result.simulated_count
+
+
+def test_store_round_trip_preserves_pruned_flag(tmp_path):
+    from repro.injection.store import CampaignStore
+    from support import record_keys
+
+    factory = registry.create_frontend("arch", WORKLOAD).sim_factory
+    store = CampaignStore(tmp_path / "s")
+    first = run_campaign(factory, "arch", prune_mode="dead", store=store)
+    assert first.pruned_count > 0
+    reloaded = CampaignStore(tmp_path / "s").records()
+    assert sum(1 for r in reloaded.values() if r.pruned == "dead") == \
+        first.pruned_count
+    # A full resume rebuilds the identical result without simulating.
+    resumed = run_campaign(factory, "arch", prune_mode="dead",
+                           store=CampaignStore(tmp_path / "s"),
+                           resume=True)
+    assert resumed.resumed == SAMPLES
+    assert record_keys(resumed) == record_keys(first)
+    assert resumed.pruned_count == first.pruned_count
+
+
+def test_store_rejects_prune_mode_mismatch(tmp_path):
+    from repro.injection.store import CampaignStore, StoreMismatchError
+
+    factory = registry.create_frontend("arch", WORKLOAD).sim_factory
+    run_campaign(factory, "arch", prune_mode="dead",
+                 store=CampaignStore(tmp_path / "s"))
+    with pytest.raises(StoreMismatchError):
+        run_campaign(factory, "arch", prune_mode="off",
+                     store=CampaignStore(tmp_path / "s"), resume=True)
+
+
+def test_group_mode_store_resume_consistent(tmp_path):
+    from repro.injection.store import CampaignStore
+    from support import record_keys
+
+    factory = registry.create_frontend("arch", WORKLOAD).sim_factory
+    store = CampaignStore(tmp_path / "g")
+    first = run_campaign(factory, "arch", prune_mode="group", store=store)
+    resumed = run_campaign(factory, "arch", prune_mode="group",
+                           store=CampaignStore(tmp_path / "g"),
+                           resume=True)
+    assert resumed.resumed == SAMPLES
+    assert record_keys(resumed) == record_keys(first)
+
+
+def test_records_csv_carries_pruned_column():
+    from repro.analysis.export import records_to_csv, results_to_csv
+
+    factory = registry.create_frontend("arch", WORKLOAD).sim_factory
+    result = run_campaign(factory, "arch", prune_mode="dead")
+    per_fault = records_to_csv(result)
+    assert "pruned" in per_fault.splitlines()[0]
+    assert ",dead" in per_fault
+    summary_csv = results_to_csv([result])
+    header = summary_csv.splitlines()[0].split(",")
+    row = summary_csv.splitlines()[1].split(",")
+    assert row[header.index("pruned")] == str(result.pruned_count)
+    assert row[header.index("simulated")] == str(result.simulated_count)

@@ -198,6 +198,96 @@ def test_campaign_runs_at_every_level(level_sim):
 
 
 # ----------------------------------------------------------------------
+# access-trace contract (the fault-pruning capture hook)
+# ----------------------------------------------------------------------
+
+def test_access_trace_contract(level_sim):
+    """Every backend's lifetime trace is well-formed: registered
+    structures are injectable, events stay inside the fault-target bit
+    space, per-cell cycle stamps are monotone, and every storage cell
+    the golden run demonstrably touches (the SP at minimum) is
+    covered."""
+    level, factory = level_sim
+    sim = factory()
+    trace = sim.enable_access_trace()
+    assert sim.run() is RunStatus.EXITED
+    sim.seal_access_trace()
+    assert sim.access_trace() is trace
+
+    targets = sim.fault_targets()
+    structures = trace.structures()
+    assert "regfile" in structures
+    assert set(structures) <= set(targets), level
+    total_events = 0
+    for structure in structures:
+        bit_count = targets[structure]
+        for cell in trace.cells(structure):
+            events = trace.events(structure, cell)
+            total_events += len(events)
+            assert events, (level, structure, cell)
+            # Cells stay inside the injectable bit space (the last
+            # valid bit's cell bounds the cell ids) and only
+            # machine-reachable cells ever see traffic.
+            assert 0 <= cell <= trace.cell_of(structure, bit_count - 1)
+            assert trace.reachable(structure, cell)
+            cycles = [c for c, _ in events]
+            assert cycles == sorted(cycles), (
+                f"{level}/{structure}[{cell}]: events not monotone"
+            )
+            assert all(0 <= c <= sim.cycle for c in cycles)
+    assert total_events > 0, level
+    # The golden run touches many registers; the trace must cover a
+    # spread of cells (not just one hot register), with both reads and
+    # writes -- r0 (the syscall result register at every tier's
+    # canonical layout) is always among them.
+    assert len(trace.cells("regfile")) >= 4, level
+    assert trace.events("regfile", 0), f"{level}: r0 never traced"
+    reads = writes = 0
+    for cell in trace.cells("regfile"):
+        for _, is_write in trace.events("regfile", cell):
+            writes += is_write
+            reads += not is_write
+    assert reads > 0 and writes > 0, level
+
+
+def test_access_trace_round_trips_through_checkpoint_restore(level_sim):
+    """A traced checkpoint carries the trace prefix: restoring it into
+    a fresh traced simulator and continuing reproduces exactly the
+    trace of the reference machine (which, like the campaign's golden
+    capture, round-trips through its own checkpoint -- restore()
+    canonicalizes renaming residue, so both suffixes start from the
+    identical machine)."""
+    level, factory = level_sim
+    reference = factory()
+    reference.enable_access_trace()
+    assert reference.run(stop_cycle=400) is RunStatus.STOPPED
+    cp = reference.checkpoint()
+    assert "access_trace" in cp
+    reference.restore(cp)
+    assert reference.run() is RunStatus.EXITED
+    reference.seal_access_trace()
+
+    other = factory()
+    other.enable_access_trace()
+    other.restore(cp)
+    assert other.run() is RunStatus.EXITED
+    other.seal_access_trace()
+
+    assert other.access_trace().snapshot() == \
+        reference.access_trace().snapshot(), level
+
+
+def test_untraced_checkpoints_stay_lean(level_sim):
+    """Tracing is strictly opt-in: a plain simulator's checkpoints must
+    not grow an access-trace payload, and access_trace() stays None."""
+    _, factory = level_sim
+    sim = factory()
+    assert sim.access_trace() is None
+    assert sim.run(stop_cycle=300) is RunStatus.STOPPED
+    assert "access_trace" not in sim.checkpoint()
+
+
+# ----------------------------------------------------------------------
 # the arch tier specifically
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Diff the per-fault classification sequences of two campaign stores.
+
+Usage: python tools/diff_store_classes.py STORE_A STORE_B
+
+Reads both stores' ``records.jsonl`` and compares, index by index, the
+fault identity (structure, bit, original cycle) and the classification
+class.  Accounting fields -- detail, sim_cycles, wall clock, the
+``pruned`` tag -- are deliberately ignored: this is exactly the
+equivalence ``--prune dead`` promises against ``--prune off``, and the
+CI smoke uses this tool to hold it on every push.
+
+Exit status 0 when the sequences match; 1 with a per-index report
+otherwise.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.injection.store import CampaignStore  # noqa: E402
+
+
+def classification_sequence(path):
+    records = CampaignStore(path).records()
+    return {
+        index: (r.fault.structure, r.fault.bit, r.fault.original_cycle,
+                r.fclass.value)
+        for index, r in records.items()
+    }
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    a_path, b_path = argv[1], argv[2]
+    a = classification_sequence(a_path)
+    b = classification_sequence(b_path)
+    problems = []
+    for index in sorted(set(a) | set(b)):
+        left, right = a.get(index), b.get(index)
+        if left != right:
+            problems.append(f"  fault #{index}: {a_path}={left}  "
+                            f"{b_path}={right}")
+    if problems:
+        print(f"classification sequences differ "
+              f"({len(problems)} of {max(len(a), len(b))} faults):")
+        print("\n".join(problems))
+        return 1
+    print(f"classification sequences identical: {len(a)} faults"
+          f" ({a_path} vs {b_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
