@@ -10,7 +10,8 @@ help:
 	@echo "  test        tier-1 suite (tests/ + benchmarks/, what CI gates on)"
 	@echo "  bench       artifact-regenerating benches only (-> benchmarks/results/)"
 	@echo "  bench-smoke fig1 store+resume round trip, prune off/dead classification"
-	@echo "              diff + warm-start speedup artifact"
+	@echo "              diff, sweep-scenario store+resume round trip (+ CSV"
+	@echo "              artifact) + warm-start speedup artifact"
 	@echo "  bench-json  distill benchmarks/results/*.txt into BENCH_4.json"
 	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
 
@@ -23,7 +24,12 @@ bench:
 # The resumable-campaign smoke: the same fig1 command twice -- the first
 # populates a fresh store (a --resume of an empty store is a fresh
 # start), the second resumes it and must re-run nothing -- then the
-# store summary.  The warm-start speedup bench publishing
+# store summary.  The sweep-smoke scenario (2 levels x 2 prune modes)
+# then exercises the scenario layer end to end the same way: run twice
+# with store+resume, export the ResultSet CSV (a CI artifact), and diff
+# each level's prune=off vs prune=dead store class-by-class (the
+# exactness contract, via the sweep path).  The warm-start speedup
+# bench publishing
 # benchmarks/results/warmstart_speedup.txt runs only when `make test` /
 # `make bench` has not already written the artifact (CI runs `make
 # test` first, so the expensive cold campaign is not paid twice).
@@ -46,6 +52,21 @@ bench-smoke:
 	$(PYTHON) tools/diff_store_classes.py \
 	  benchmarks/results/smoke_store/rtl-stringsearch-regfile-pinout \
 	  benchmarks/results/smoke_prune/rtl-stringsearch-regfile-pinout
+	rm -rf benchmarks/results/smoke_sweep
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set execution.store=benchmarks/results/smoke_sweep \
+	  --set execution.resume=true \
+	  --csv benchmarks/results/sweep_smoke.csv
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set execution.store=benchmarks/results/smoke_sweep \
+	  --set execution.resume=true \
+	  --csv benchmarks/results/sweep_smoke.csv
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=off \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=dead
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_sweep/uarch-stringsearch-regfile-pinout-prune=off \
+	  benchmarks/results/smoke_sweep/uarch-stringsearch-regfile-pinout-prune=dead
 	test -f benchmarks/results/warmstart_speedup.txt || \
 	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 	    benchmarks/test_warmstart_speedup.py -q

@@ -76,3 +76,7 @@ print(f"\ncross-level delta: {delta_pp:.1f} percentile units "
       f"(paper reports ~0.7 pp average for the register file)")
 print(f"Leveugle-exact sample size for 2% error, 99% confidence: "
       f"{gefin_result.recommended_samples()}")
+
+# Next step: the declarative scenario API runs whole campaign grids
+# (levels x workloads x structures x modes, plus knob sweeps) from one
+# spec -- see examples/scenario_sweep.py and `repro-study run --help`.

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario API tour: declare a sweep, run it, query the ResultSet.
+
+The same experiment as a TOML file (runnable with
+``repro-study run sweep.toml``) appears at the bottom.
+
+Run:  python examples/scenario_sweep.py
+"""
+
+from repro import ScenarioRunner, ScenarioSpec
+
+# ----------------------------------------------------------------------
+# 1. Declare the experiment: a 2-level x 2-prune-mode sweep over one
+#    short workload.  The mapping is exactly what the TOML file parses
+#    to; unknown keys or bad names raise ScenarioError naming the field.
+# ----------------------------------------------------------------------
+
+spec = ScenarioSpec.from_mapping({
+    "scenario": {"name": "prune-sweep",
+                 "title": "dead-pruning exactness, arch vs uarch"},
+    "targets": {
+        "levels": ["arch", "uarch"],
+        "workloads": ["stringsearch"],
+        "structures": ["regfile"],
+        "modes": ["pinout"],
+    },
+    "faults": {"samples": 20, "seed": 2017},
+    "execution": {"jobs": 2},
+    "sweep": {"prune": ["off", "dead"]},
+})
+print(f"# {spec.describe()}")
+for cell in spec.cells():
+    print(f"#   cell {cell.index}: {cell.label()}")
+
+# ----------------------------------------------------------------------
+# 2. Run the grid.  Campaigns of one (level, workload) share the golden
+#    capture where legal; results come back as a queryable ResultSet.
+# ----------------------------------------------------------------------
+
+results = ScenarioRunner(spec).run()
+print(results.table(title="All cells"))
+
+# ----------------------------------------------------------------------
+# 3. Query: filters compose, group_by aggregates, and the dead-pruning
+#    exactness contract is directly checkable per level.
+# ----------------------------------------------------------------------
+
+for (level,), subset in results.group_by("level").items():
+    off = subset.where(prune="off").one()
+    dead = subset.where(prune="dead").one()
+    agree = [r.fclass for r in off.records] == \
+        [r.fclass for r in dead.records]
+    print(f"{level}: prune=dead skipped {dead.pruned_count} of "
+          f"{dead.n} simulations, classes identical to off: {agree}")
+
+print()
+print(results.where(level="uarch").speedup_table(title="uarch cells"))
+
+# ----------------------------------------------------------------------
+# The equivalent scenario file:
+#
+#   [scenario]
+#   name = "prune-sweep"
+#
+#   [targets]
+#   levels = ["arch", "uarch"]
+#   workloads = ["stringsearch"]
+#   structures = ["regfile"]
+#   modes = ["pinout"]
+#
+#   [faults]
+#   samples = 20
+#
+#   [execution]
+#   jobs = 2
+#
+#   [sweep]
+#   prune = ["off", "dead"]
+#
+# and then:  repro-study run sweep.toml --csv cells.csv
+# ----------------------------------------------------------------------

@@ -1,15 +1,32 @@
+import pathlib
+import re
+
 from setuptools import find_packages, setup
+
+
+def read_version():
+    """Single-source the version from ``repro.__version__`` without
+    importing the package (no installed deps at build time)."""
+    init = pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__ = "([^"]+)"', init.read_text(),
+                      re.MULTILINE)
+    if not match:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
 
 setup(
     name="repro-dsn-chatzidimitriou17",
-    version="0.1.0",
+    version=read_version(),
     description=(
         "RT-level vs microarchitecture-level reliability assessment: "
         "a full-system reproduction (DSN-W 2017)"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.9",
+    package_data={"repro.scenario": ["presets/*.toml"]},
+    # The scenario layer parses TOML with the stdlib tomllib (3.11+).
+    python_requires=">=3.11",
     entry_points={
         "console_scripts": ["repro-study=repro.cli:main"],
     },

@@ -12,12 +12,26 @@ _FIELDS = (
 )
 
 
-def results_to_csv(results):
-    """Render an iterable of :class:`CampaignResult` to CSV text."""
+#: Extra leading columns when exporting a scenario ResultSet: the cell
+#: coordinate label, the observation mode and the sweep coordinates
+#: (``axis=value`` pairs, space-separated).
+_CELL_FIELDS = ("cell", "mode", "sweep")
+
+
+def results_to_csv(results, cells=None):
+    """Render an iterable of :class:`CampaignResult` to CSV text.
+
+    With ``cells`` (a parallel iterable of
+    :class:`~repro.scenario.spec.CellSpec`, as a ResultSet provides),
+    each row is prefixed with the cell coordinates, so a sweep's CSV
+    is self-describing.
+    """
+    cells = list(cells) if cells is not None else None
+    fields = _FIELDS if cells is None else _CELL_FIELDS + _FIELDS
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=_FIELDS)
+    writer = csv.DictWriter(buffer, fieldnames=fields)
     writer.writeheader()
-    for result in results:
+    for i, result in enumerate(results):
         summary = result.summary()
         low, high = summary.pop("ci95")
         summary["ci95_low"] = f"{low:.6f}"
@@ -27,6 +41,12 @@ def results_to_csv(results):
         summary["s_per_run"] = f"{summary['s_per_run']:.6f}"
         summary["total_s"] = f"{summary['total_s']:.6f}"
         summary["speedup"] = f"{summary['speedup']:.3f}"
+        if cells is not None:
+            cell = cells[i]
+            summary["cell"] = cell.label()
+            summary["mode"] = cell.mode
+            summary["sweep"] = " ".join(f"{k}={v}"
+                                        for k, v in cell.axes)
         writer.writerow(summary)
     return buffer.getvalue()
 

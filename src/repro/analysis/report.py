@@ -123,6 +123,30 @@ def store_table(paths, title=None):
     return render_table(headers, rows, title=title)
 
 
+def scenario_table(resultset, title=None):
+    """Per-cell summary of a scenario run, one row per grid cell.
+
+    The ``cell`` column is the cell's coordinate label (level/workload/
+    structure/mode plus any sweep coordinates).  Zero-budget
+    (golden-only) cells show their golden cycle count and ``-`` for the
+    vulnerability columns.  Deterministic for a fixed seed -- wall
+    clock stays in :func:`speedup_table`.
+    """
+    headers = ("cell", "n", "unsafe", "masked", "sdc", "due", "hang",
+               "mism", "latent", "pruned", "sim", "golden_kcyc")
+    rows = []
+    for cell, r in resultset:
+        s = r.summary()
+        rows.append((
+            cell.label(), s["n"],
+            f"{100 * s['unsafeness']:.1f}%" if s["n"] else "-",
+            s["masked"], s["sdc"], s["due"], s["hang"], s["mismatch"],
+            s["latent"], s["pruned"], s["simulated"],
+            f"{s['golden_cycles'] / 1000.0:.1f}",
+        ))
+    return render_table(headers, rows, title=title)
+
+
 def campaign_table(results, title=None):
     """Standard per-campaign summary table.
 

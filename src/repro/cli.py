@@ -1,6 +1,16 @@
 """Command-line entry point: ``repro-study``.
 
-Subcommands regenerate the paper's artifacts from a terminal::
+The primary command runs a declarative scenario (see DESIGN.md's
+"scenario layer" section for the spec reference)::
+
+    repro-study run scenario.toml [--set key=value] [--csv out.csv]
+    repro-study run fig1 --set faults.samples=100   # built-in preset
+    repro-study list                                 # valid spec values
+
+The paper's artifacts are committed preset scenarios
+(``src/repro/scenario/presets/*.toml``); the historical subcommands are
+thin loaders over them and stay bit-identical to the pre-scenario code
+paths::
 
     repro-study table1
     repro-study table2 [--workloads sha,fft] [--no-trace]
@@ -13,13 +23,12 @@ Subcommands regenerate the paper's artifacts from a terminal::
 (``repro.sim.registry``): the architectural emulator (``arch``), the
 microarchitectural model (``uarch``) and the RT-level model (``rtl``).
 
-Campaign-running subcommands (``fig1``..``fig3``, ``headline``) accept
-``--jobs`` to fan the faulty runs of each campaign out over a process
-pool (default: one worker per CPU; ``--jobs 1`` forces the serial
-path), ``--prune {off,dead,group}`` to control lifetime-aware fault
-pruning (default ``dead``: provably-Masked faults are classified from
-the golden access trace without simulation), plus ``--store DIR`` to
-persist every completed fault to an on-disk campaign store and
+Campaign-running subcommands (``run``, ``fig1``..``fig3``,
+``headline``) accept ``--jobs`` to fan the faulty runs of each campaign
+out over a process pool (default: one worker per CPU; ``--jobs 1``
+forces the serial path), ``--prune {off,dead,group}`` to control
+lifetime-aware fault pruning (default ``dead``), plus ``--store DIR``
+to persist every completed fault to an on-disk campaign store and
 ``--resume`` to continue an interrupted run without repeating finished
 faults.  Results are independent of the worker count and of
 interruption/resume, and per-fault classes are independent of ``dead``
@@ -56,6 +65,22 @@ PRUNE_HELP = (
 )
 
 _EPILOGS = {
+    "run": """\
+Runs a scenario file (TOML/JSON) or a built-in preset by name.  The
+scenario declares targets (levels x workloads x structures x modes),
+the fault budget, execution knobs and optional sweep axes; `--set`
+overrides any spec key from the command line.  Output: each cell's
+summary table (plus the preset's figure/headline rendering when the
+scenario carries a [present] block); `--csv` exports the ResultSet.
+
+examples:
+  repro-study run fig1 --set faults.samples=100
+  repro-study run sweep.toml --set sweep.prune=off,dead --csv out.csv
+  repro-study run sweep-smoke --set execution.store=runs/smoke""",
+    "list": """\
+Discovery for scenario authors: every value a spec can target --
+registered abstraction levels, their observation modes and injectable
+structures, workloads, sweepable axes and built-in presets.""",
     "table1": """\
 Renders Table I: the Cortex-A9 configuration used at both abstraction
 levels (pipeline geometry, cache organisation, predictor).  Static --
@@ -71,7 +96,8 @@ examples:
     "fig1": """\
 Regenerates Figure 1: register-file unsafeness at the core-pinout
 observation point, 20 kcycle (scaled) window -- GeFIN vs RTL vs
-GeFIN-no-timer.
+GeFIN-no-timer.  Loads the committed preset scenario
+src/repro/scenario/presets/fig1.toml.
 
 examples:
   repro-study fig1 --samples 100 --jobs 4
@@ -79,16 +105,16 @@ examples:
     "fig2": """\
 Regenerates Figure 2: L1 data-cache unsafeness at the core pinout,
 windowed; the RTL series uses the paper's inject-near-consumption
-acceleration (SS IV-B).""",
+acceleration (SS IV-B).  Preset: presets/fig2.toml.""",
     "fig3": """\
 Regenerates Figure 3: L1D AVF with the software observation point
 (program-output comparison, run to completion) on the short workloads
-the paper's RTL flow can afford.""",
+the paper's RTL flow can afford.  Preset: presets/fig3.toml.""",
     "headline": """\
 Reproduces the abstract's headline numbers: the cross-level unsafeness
 deltas for the register file (from Fig. 1) and the L1D (from Fig. 3),
 plus a wall-clock accounting of the campaign executor (speedup vs the
-estimated serial time when --jobs > 1).""",
+estimated serial time when --jobs > 1).  Preset: presets/headline.toml.""",
     "golden": """\
 One fault-free run of a workload; prints cycles, instructions, cache
 and predictor statistics and the program output.  Useful to sanity-check
@@ -100,7 +126,7 @@ examples:
   repro-study golden sha --level rtl
   repro-study golden sha --level arch""",
     "store": """\
-Summarizes one or more on-disk campaign stores (written by the figure
+Summarizes one or more on-disk campaign stores (written by campaign
 subcommands with --store): per-store completion, class tallies and the
 recorded provenance.  Reads manifests and intact records only -- a
 store whose campaign was killed mid-fault is still summarized.
@@ -132,6 +158,200 @@ def _parse_workloads(text):
     return names
 
 
+# ----------------------------------------------------------------------
+# scenario plumbing
+# ----------------------------------------------------------------------
+
+def _resolve_scenario(ref):
+    """A scenario argument: a file path (has a suffix or a separator)
+    or a preset name."""
+    import pathlib
+
+    from repro.scenario.presets import preset_path
+
+    path = pathlib.Path(ref)
+    if path.suffix or "/" in ref or path.exists():
+        return path
+    return preset_path(ref)
+
+
+def _progress_cell(done, total, cell, _result):
+    print(f"  [{done}/{total}] {cell.label()} done", file=sys.stderr)
+
+
+def _run_scenario(spec):
+    """Print the run header, execute the grid, return the ResultSet."""
+    from repro.scenario.runner import ScenarioRunner
+
+    print(f"# {spec.describe()}", file=sys.stderr)
+    return ScenarioRunner(spec, progress=_progress_cell).run()
+
+
+def _render_headline(spec, resultset):
+    """The headline preset's rendering: one cross-level comparison
+    table per [present.comparisons] entry, then the wall-clock
+    accounting over every campaign in [present.series] order --
+    the historical `headline` output, reproduced from the ResultSet."""
+    from repro.analysis.compare import CrossLevelComparison
+    from repro.analysis.report import render_table, speedup_table
+
+    for comp in spec.present.get("comparisons", []):
+        comparison = CrossLevelComparison(comp["structure"],
+                                          comp.get("mode", ""))
+        gefin = resultset.where(**comp["gefin"])
+        rtl = resultset.where(**comp["rtl"])
+        for cell, gefin_result in gefin:
+            rtl_result = rtl.where(workload=cell.workload).one()
+            comparison.add_results(gefin_result, rtl_result)
+        print(render_table(
+            ("workload", "GeFIN", "RTL", "delta (pp)", "delta (rel)"),
+            comparison.rows(),
+            title=f"Cross-level delta: {comp['name']}",
+        ))
+        print()
+    campaigns = [
+        result
+        for series in spec.present.get("series", [])
+        for _, result in resultset.where(**{
+            axis: series[axis]
+            for axis in ("level", "mode", "structure") if axis in series
+        })
+    ]
+    print(speedup_table(
+        campaigns,
+        title=f"Campaign wall clock (jobs={spec.jobs or 'auto'})",
+    ))
+
+
+def _render_table2(spec):
+    """The table2 preset renders through the dedicated throughput
+    measurement (paired traced-RTL vs GeFIN golden runs), not the
+    campaign grid."""
+    from repro.core.tables import render_table2, table2_rows
+
+    rows, average = table2_rows(
+        spec.workloads, rtl_traced=spec.present.get("rtl_traced", True))
+    print(render_table2(rows, average))
+
+
+def _render_scenario(spec, resultset):
+    """Dispatch on the spec's [present] block; always end with the
+    per-cell table for sweeps/plain scenarios."""
+    kind = spec.present.get("kind")
+    if kind == "figure":
+        from repro.core.figures import chart_from_resultset
+
+        print(chart_from_resultset(resultset, spec.present))
+    elif kind == "headline":
+        _render_headline(spec, resultset)
+    else:
+        print(resultset.table(
+            title=spec.title or f"Scenario: {spec.name}"))
+
+
+def _run_flag_overrides(args):
+    """The run subcommand's convenience flags as --set pairs (applied
+    before --set, so an explicit --set wins)."""
+    overrides = []
+    if args.jobs is not None:
+        overrides.append(f"execution.jobs={args.jobs}")
+    if args.prune is not None:
+        overrides.append(f"execution.prune={args.prune}")
+    if args.store is not None:
+        # pre-split tuple: the path must reach the spec verbatim, not
+        # through TOML-scalar coercion (see parse_overrides)
+        overrides.append((("execution", "store"), args.store))
+    if args.resume:
+        overrides.append("execution.resume=true")
+    return overrides
+
+
+def _cmd_run(args):
+    from repro.scenario.spec import load_scenario
+
+    path = _resolve_scenario(args.scenario)
+    spec = load_scenario(
+        path, overrides=_run_flag_overrides(args) + (args.set or []))
+    if spec.present.get("kind") == "table2":
+        if args.csv:
+            raise SystemExit(
+                "repro-study: --csv is not supported for table2-kind "
+                "scenarios (throughput is measured outside the "
+                "campaign grid)")
+        print("# table2 scenario: paired golden throughput runs; "
+              "faults/execution knobs do not apply", file=sys.stderr)
+        _render_table2(spec)
+        return
+    resultset = _run_scenario(spec)
+    _render_scenario(spec, resultset)
+    if args.csv:
+        import pathlib
+
+        out = pathlib.Path(args.csv)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(resultset.to_csv())
+        print(f"# wrote {len(resultset)} cells to {out}",
+              file=sys.stderr)
+
+
+def _legacy_overrides(args):
+    """Map the historical figure-subcommand flags onto --set pairs."""
+    overrides = [f"execution.jobs={args.jobs}",
+                 f"execution.prune={args.prune}",
+                 f"faults.seed={args.seed}"]
+    if args.workloads:
+        overrides.append("targets.workloads="
+                         + ",".join(_parse_workloads(args.workloads)))
+    if args.samples is not None:
+        overrides.append(f"faults.samples={args.samples}")
+    if args.store:
+        overrides.append((("execution", "store"), args.store))
+        if args.resume:
+            overrides.append("execution.resume=true")
+    return overrides
+
+
+def _load_legacy_preset(name, args):
+    from repro.scenario.presets import load_preset
+
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store")
+    return load_preset(name, overrides=_legacy_overrides(args))
+
+
+# ----------------------------------------------------------------------
+# subcommand handlers
+# ----------------------------------------------------------------------
+
+def _cmd_list(_args):
+    from repro.scenario.presets import preset_names, preset_path
+    from repro.scenario.spec import SWEEP_AXES, load_mapping
+    from repro.sim import registry
+    from repro.workloads.registry import (
+        WORKLOAD_DESCRIPTIONS,
+        WORKLOAD_NAMES,
+    )
+
+    print("abstraction levels (targets.levels / sweep.level):")
+    for spec in registry.levels():
+        print(f"  {spec.name:<14} {spec.description}")
+        modes = sorted(spec.frontend_class().MODES)
+        structures = sorted(spec.simulator_class().INJECTABLE)
+        print(f"  {'':<14} modes: {', '.join(modes)}")
+        print(f"  {'':<14} structures: {', '.join(structures)}")
+    print()
+    print("workloads (targets.workloads, or \"all\"):")
+    for name in WORKLOAD_NAMES:
+        print(f"  {name:<14} {WORKLOAD_DESCRIPTIONS[name]}")
+    print()
+    print("presets (repro-study run <name>):")
+    for name in preset_names():
+        meta = load_mapping(preset_path(name)).get("scenario", {})
+        print(f"  {name:<14} {meta.get('title', '')}")
+    print()
+    print(f"sweep axes ([sweep]): {', '.join(SWEEP_AXES)}")
+
+
 def _cmd_table1(_args):
     from repro.core.tables import render_table1
 
@@ -139,77 +359,29 @@ def _cmd_table1(_args):
 
 
 def _cmd_table2(args):
-    from repro.core.tables import render_table2, table2_rows
+    from repro.scenario.presets import load_preset
 
-    rows, average = table2_rows(
-        _parse_workloads(args.workloads), rtl_traced=not args.no_trace
-    )
-    print(render_table2(rows, average))
-
-
-def _make_study(args):
-    from repro.core.study import CrossLevelStudy, StudyConfig
-
-    if args.resume and not args.store:
-        raise SystemExit("--resume requires --store")
-    config = StudyConfig(
-        workloads=_parse_workloads(args.workloads),
-        samples=args.samples,
-        seed=args.seed,
-        jobs=args.jobs,
-        store=args.store,
-        resume=args.resume,
-        prune=args.prune,
-    )
-    # The header fully identifies the run's configuration (including
-    # the parallel knobs), so logged outputs are reproducible.
-    print(f"# {config.describe()}", file=sys.stderr)
-    return CrossLevelStudy(config)
-
-
-def _progress(stage, workload):
-    print(f"  [{stage}] {workload} done", file=sys.stderr)
+    overrides = []
+    if args.workloads:
+        overrides.append("targets.workloads="
+                         + ",".join(_parse_workloads(args.workloads)))
+    if args.no_trace:
+        overrides.append("present.rtl_traced=false")
+    _render_table2(load_preset("table2", overrides=overrides))
 
 
 def _cmd_fig(args, which):
-    from repro.core import figures
+    from repro.core.figures import chart_from_resultset
 
-    study = _make_study(args)
-    if which == 1:
-        results = study.figure1(progress=_progress)
-        print(figures.figure1_chart(results))
-    elif which == 2:
-        results = study.figure2(progress=_progress)
-        print(figures.figure2_chart(results))
-    else:
-        results = study.figure3(progress=_progress)
-        print(figures.figure3_chart(results))
+    spec = _load_legacy_preset(f"fig{which}", args)
+    resultset = _run_scenario(spec)
+    print(chart_from_resultset(resultset, spec.present))
 
 
 def _cmd_headline(args):
-    from repro.analysis.report import render_table, speedup_table
-
-    study = _make_study(args)
-    fig1 = study.figure1(progress=_progress)
-    fig3 = study.figure3(progress=_progress)
-    headline = study.headline(fig1=fig1, fig3=fig3)
-    for name, comparison in headline.items():
-        print(render_table(
-            ("workload", "GeFIN", "RTL", "delta (pp)", "delta (rel)"),
-            comparison.rows(),
-            title=f"Cross-level delta: {name}",
-        ))
-        print()
-    campaigns = [
-        result
-        for series in (fig1, fig3)
-        for by_workload in series.values()
-        for result in by_workload.values()
-    ]
-    print(speedup_table(
-        campaigns,
-        title=f"Campaign wall clock (jobs={args.jobs or 'auto'})",
-    ))
+    spec = _load_legacy_preset("headline", args)
+    resultset = _run_scenario(spec)
+    _render_headline(spec, resultset)
 
 
 def _cmd_store(args):
@@ -245,12 +417,37 @@ def _add_parser(sub, name, help_text):
 
 
 def main(argv=None):
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-study",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro-study {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+    p_run = _add_parser(sub, "run",
+                        "run a declarative scenario file or preset")
+    p_run.add_argument("scenario",
+                       help="scenario file (.toml/.json) or preset name "
+                            "(see `repro-study list`)")
+    p_run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override a spec key (dotted path), e.g. "
+                            "--set faults.samples=100 "
+                            "--set sweep.prune=off,dead")
+    p_run.add_argument("--csv", default=None, metavar="PATH",
+                       help="write the ResultSet summary CSV "
+                            "(one row per cell) to PATH")
+    p_run.add_argument("--jobs", type=_positive_jobs, default=None,
+                       help=JOBS_HELP + " (default: the spec's "
+                            "execution.jobs)")
+    p_run.add_argument("--prune", choices=("off", "dead", "group"),
+                       default=None, help=PRUNE_HELP)
+    p_run.add_argument("--store", default=None, help=STORE_HELP)
+    p_run.add_argument("--resume", action="store_true", help=RESUME_HELP)
+    _add_parser(sub, "list",
+                "valid scenario spec values (levels, workloads, ...)")
     _add_parser(sub, "table1", "Table I: simulated CPU configuration")
     p_table2 = _add_parser(
         sub, "table2", "Table II: per-framework simulation throughput")
@@ -299,9 +496,14 @@ def main(argv=None):
                                "(default: uarch)")
     args = parser.parse_args(argv)
     from repro.injection.store import StoreError
+    from repro.scenario.spec import ScenarioError
 
     try:
-        if args.command == "table1":
+        if args.command == "run":
+            _cmd_run(args)
+        elif args.command == "list":
+            _cmd_list(args)
+        elif args.command == "table1":
             _cmd_table1(args)
         elif args.command == "table2":
             _cmd_table2(args)
@@ -317,10 +519,10 @@ def main(argv=None):
             _cmd_golden(args)
         elif args.command == "store":
             _cmd_store(args)
-    except StoreError as exc:
-        # Store problems (not a store, refusal to overwrite completed
-        # records, identity mismatch) are user-facing conditions, not
-        # tracebacks.
+    except (StoreError, ScenarioError) as exc:
+        # Spec and store problems (bad field, unknown preset, refusal
+        # to overwrite completed records, identity mismatch) are
+        # user-facing conditions, not tracebacks.
         raise SystemExit(f"repro-study: {exc}")
     return 0
 

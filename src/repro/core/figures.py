@@ -1,6 +1,24 @@
-"""Rendering of the paper's Figures 1-3 as grouped bar charts."""
+"""Rendering of the paper's Figures 1-3 as grouped bar charts.
+
+Figures render from the legacy ``{series: {workload: CampaignResult}}``
+dictionaries; :func:`chart_from_resultset` adapts a scenario
+:class:`~repro.scenario.resultset.ResultSet` plus a preset's
+``[present]`` block into exactly that shape, which is how the preset
+path reproduces the historical charts bit for bit.
+"""
 
 from repro.analysis.report import bar_chart
+
+
+def chart_from_resultset(resultset, present):
+    """Render a preset figure from its scenario results.
+
+    ``present`` is the scenario's ``[present]`` block (``kind =
+    "figure"``): ``title`` plus ``[[series]]`` entries mapping a series
+    name to the (level, mode[, structure]) cells that populate it.
+    """
+    series = resultset.series(present["series"])
+    return render_figure(series, present["title"])
 
 
 def figure_series(series_results):

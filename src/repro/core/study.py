@@ -1,15 +1,28 @@
-"""Cross-level study orchestration.
+"""Cross-level study orchestration (compatibility layer).
 
-The study dispatches on abstraction levels exclusively through
-:mod:`repro.sim.registry`, so every registered backend -- including the
-``arch`` emulator tier -- is a valid campaign target.
+Since the scenario redesign, the supported experiment surface is
+:mod:`repro.scenario`: declare a :class:`~repro.scenario.spec
+.ScenarioSpec` (TOML/JSON or Python), run it through
+:class:`~repro.scenario.runner.ScenarioRunner`, query the returned
+:class:`~repro.scenario.resultset.ResultSet`.  The classes here keep
+the historical Python API alive as thin shims over that machinery:
+
+* :class:`StudyConfig` validates its knobs by building a
+  :class:`ScenarioSpec` (exposed as :attr:`StudyConfig.spec`) and
+  derives its run header from the shared knob table;
+* :class:`CrossLevelStudy` dispatches every figure's campaigns through
+  one persistent :class:`ScenarioRunner`, which also gives the legacy
+  path golden-capture sharing and per-cell result caching for free.
+
+Figure results keep their historical ``{series: {workload:
+CampaignResult}}`` shape, bit-identical to the pre-scenario code path.
 """
 
 import os
 import pathlib
 
 from repro.analysis.compare import CrossLevelComparison
-from repro.injection.campaign import SCALED_WINDOW, parallel_suffix
+from repro.injection.campaign import SCALED_WINDOW
 from repro.sim import registry as sim_registry
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -30,7 +43,11 @@ def default_samples():
 
 
 class StudyConfig:
-    """Configuration of one full cross-level study."""
+    """Configuration of one full cross-level study.
+
+    A compatibility shim: the knobs live on, but validation and the
+    run header are delegated to the scenario layer (:attr:`spec`).
+    """
 
     def __init__(self, workloads=WORKLOAD_NAMES, samples=None, seed=2017,
                  window=SCALED_WINDOW, distribution="normal",
@@ -57,27 +74,58 @@ class StudyConfig:
         #: Lifetime-aware fault pruning mode for every campaign
         #: (``off``/``dead``/``group``; see :mod:`repro.prune`).
         self.prune = prune
+        self._spec = None
+
+    @property
+    def spec(self):
+        """The equivalent :class:`~repro.scenario.spec.ScenarioSpec`
+        (built lazily; validation errors surface here with the
+        offending field named)."""
+        if self._spec is None:
+            from repro.scenario.spec import ScenarioSpec
+
+            self._spec = ScenarioSpec(
+                name="study",
+                workloads=self.workloads,
+                samples=self.samples,
+                seed=self.seed,
+                window="to-end" if self.window is None else self.window,
+                distribution=self.distribution,
+                jobs=self.jobs,
+                batch_size=self.batch_size,
+                prune=self.prune,
+                store=None if self.store is None else str(self.store),
+                # ``resume`` without a store is a no-op at the campaign
+                # layer; the scenario schema treats it as an authoring
+                # error, so only carry it when it can take effect.
+                resume=self.resume and self.store is not None,
+                same_binaries=self.same_binaries,
+            )
+        return self._spec
 
     def describe(self):
-        """One line identifying the run (printed by ``repro-study``)."""
-        window = "to-end" if self.window is None else f"{self.window}cyc"
-        parallel = parallel_suffix(self.jobs, self.batch_size)
-        persist = ""
-        if self.store is not None:
-            persist = f", store={self.store}" + (", resume"
-                                                 if self.resume else "")
-        prune = "" if self.prune == "dead" else f", prune={self.prune}"
-        return (
-            f"{len(self.workloads)} workloads x {self.samples} faults,"
-            f" window={window}, dist={self.distribution},"
-            f" seed={self.seed}{prune}{parallel}{persist}"
-        )
+        """One line identifying the run (printed by ``repro-study``),
+        from the same knob table every other run header uses."""
+        from repro.scenario.knobs import describe_knobs
+
+        head = (f"{len(self.workloads)} workloads x {self.samples} "
+                f"faults")
+        return describe_knobs(head, {
+            "window": self.window,
+            "distribution": self.distribution,
+            "seed": self.seed,
+            "prune": self.prune,
+            "parallel": (self.jobs, self.batch_size, None),
+            "store": self.store,
+            "resume": self.resume and self.store is not None,
+        })
 
     def campaign_store(self, level, workload, structure, mode):
-        """The per-series store directory, or None when not persisting."""
+        """The per-series store directory, or None when not persisting
+        (the scenario layer's naming is the single source)."""
         if self.store is None:
             return None
-        name = f"{level}-{workload}-{structure}-{mode}"
+        name = self.spec.cell(level, workload, structure, mode).store_name()
         return pathlib.Path(self.store) / name
 
     def frontend(self, level, workload):
@@ -100,30 +148,33 @@ class StudyConfig:
 
 
 class CrossLevelStudy:
-    """Runs the paper's experiment matrix and caches per-series results."""
+    """Runs the paper's experiment matrix and caches per-series results.
+
+    Every campaign dispatches through one persistent
+    :class:`~repro.scenario.runner.ScenarioRunner`, so repeated figure
+    calls recall cached cell results and campaigns sharing a golden
+    trajectory (the ``pinout``/``pinout-notimer`` series of one
+    workload) capture it once.
+    """
 
     def __init__(self, config=None):
+        from repro.scenario.runner import ScenarioRunner
+
         self.config = config or StudyConfig()
-        self._cache = {}
+        self._runner = ScenarioRunner(self.config.spec)
+        self._pool_workload = None
 
     # ------------------------------------------------------------------
 
     def _campaign(self, level, workload, structure, mode):
-        key = (level, workload, structure, mode)
-        if key in self._cache:
-            return self._cache[key]
-        cfg = self.config
-        front = cfg.frontend(level, workload)
-        result = front.campaign(
-            structure, mode=mode, samples=cfg.samples, seed=cfg.seed,
-            window=cfg.window, distribution=cfg.distribution,
-            jobs=cfg.jobs, batch_size=cfg.batch_size,
-            prune_mode=cfg.prune,
-            store=cfg.campaign_store(level, workload, structure, mode),
-            resume=cfg.resume,
-        )
-        self._cache[key] = result
-        return result
+        # Every figure iterates workload-major, so pooled goldens from
+        # other workloads can be released at each workload boundary --
+        # the pool never holds more than one workload's captures.
+        if workload != self._pool_workload:
+            self._runner.release_goldens(keep_workload=workload)
+            self._pool_workload = workload
+        cell = self.config.spec.cell(level, workload, structure, mode)
+        return self._runner.run_cell(cell)
 
     # ------------------------------------------------------------------
     # Figure 1: register-file unsafeness, pinout OP, windowed

@@ -56,23 +56,6 @@ from repro.sim.base import RunStatus
 SCALED_WINDOW = 2000
 
 
-def parallel_suffix(jobs, batch_size=None, start_method=None):
-    """The ``, jobs=...`` fragment of a run header (empty when serial).
-
-    Shared by :meth:`CampaignConfig.describe` and
-    :meth:`repro.core.study.StudyConfig.describe`, so every header
-    identifies a parallel run's configuration the same way.
-    """
-    if jobs == 1:
-        return ""
-    suffix = f", jobs={jobs or 'auto'}"
-    if batch_size is not None:
-        suffix += f", batch={batch_size}"
-    if start_method is not None:
-        suffix += f", start={start_method}"
-    return suffix
-
-
 class CampaignConfig:
     """Knobs of one campaign (defaults follow the paper's setup)."""
 
@@ -192,17 +175,19 @@ class CampaignConfig:
         return jobs
 
     def describe(self):
-        window = "to-end" if self.window is None else f"{self.window}cyc"
-        parallel = parallel_suffix(self.jobs, self.batch_size,
-                                   self.start_method)
-        start = "" if self.warm_start else ", cold-start"
-        prune = "" if self.prune_mode == "dead" \
-            else f", prune={self.prune_mode}"
-        return (
-            f"{self.samples} faults, window={window},"
-            f" op={self.observation}, dist={self.distribution}"
-            f"{start}{prune}{parallel}"
-        )
+        """One line identifying the campaign (shared knob table:
+        :mod:`repro.scenario.knobs`, so this header and the study/
+        scenario headers can never drift apart)."""
+        from repro.scenario.knobs import describe_knobs
+
+        return describe_knobs(f"{self.samples} faults", {
+            "window": self.window,
+            "observation": self.observation,
+            "distribution": self.distribution,
+            "warm_start": self.warm_start,
+            "prune": self.prune_mode,
+            "parallel": (self.jobs, self.batch_size, self.start_method),
+        })
 
 
 class CampaignResult:
@@ -294,13 +279,18 @@ class CampaignResult:
         return self.estimated_serial_seconds / self.total_seconds
 
     def recommended_samples(self):
-        """Leveugle-exact sample size for the configured margins."""
+        """Leveugle-exact sample size for the configured margins
+        (``0`` for a golden-only result, which has no population)."""
+        if not self.population:
+            return 0
         return leveugle_sample_size(
             self.population, self.config.error_margin,
             self.config.confidence,
         )
 
     def achieved_margin(self):
+        if not self.population:
+            return 0.0
         return achieved_error_margin(self.population, self.n,
                                      self.config.confidence)
 
@@ -338,6 +328,31 @@ class CampaignResult:
             f" {self.unsafe_count}/{self.n} unsafe"
             f" = {100 * self.unsafeness:.1f}%)"
         )
+
+
+class SharedGolden:
+    """One captured golden run, shareable across campaigns.
+
+    Scenario grids routinely run several campaigns against the same
+    (level, workload) machine -- a prune-mode sweep, or the ``pinout``
+    and ``pinout-notimer`` series of one figure.  The golden trajectory
+    those campaigns capture is identical whenever every knob that
+    shapes the capture agrees (see :meth:`Campaign.golden_key`), so
+    :meth:`Campaign.run` can adopt a pooled instance instead of
+    re-simulating it.  ``seconds`` records what the original capture
+    cost; an adopting campaign's own ``golden_seconds`` stays ``0.0``
+    (it did not pay the capture), keeping its serial estimate and
+    speedup honest for the work done in its session.
+    """
+
+    __slots__ = ("sim", "golden", "cycles", "insts", "seconds")
+
+    def __init__(self, sim, golden, cycles, insts, seconds):
+        self.sim = sim
+        self.golden = golden
+        self.cycles = cycles
+        self.insts = insts
+        self.seconds = seconds
 
 
 class FaultRunner:
@@ -685,7 +700,36 @@ class Campaign:
             "config": self.config.identity(),
         }
 
-    def run(self, progress=None, store=None, resume=False):
+    def golden_key(self):
+        """Pool key under which this campaign's golden run is shareable.
+
+        Two campaigns may adopt the same :class:`SharedGolden` exactly
+        when every knob that shapes the golden capture agrees: the
+        machine itself (level, workload -- the pool owner must also
+        guarantee one toolchain policy per pool), whether the arch
+        (HVF) observation point captures the end-of-run hardware
+        digest, whether the lifetime trace is recorded (any pruning
+        mode vs off), the checkpoint stride/bound, whether boundary
+        digests are collected for the early-stop comparator, and --
+        when the inject-near-consumption acceleration is live -- the
+        structure whose access log is captured.  Sampling knobs
+        (samples, seed, window, distribution) never touch the golden
+        trajectory and stay out of the key.
+        """
+        cfg = self.config
+        accelerated = cfg.accelerate and self.structure.startswith("l1d.")
+        return (
+            self.level, self.workload,
+            cfg.observation == "arch",
+            cfg.prune_mode != "off",
+            cfg.checkpoint_interval, cfg.checkpoint_bound,
+            cfg.early_stop,
+            (self.structure, cfg.accelerate_lead) if accelerated
+            else None,
+        )
+
+    def run(self, progress=None, store=None, resume=False,
+            golden_pool=None):
         """Execute the campaign.  Returns a :class:`CampaignResult`.
 
         The golden phase and fault sampling always run in this process;
@@ -701,6 +745,15 @@ class Campaign:
         ``progress`` then counts only the faults actually simulated this
         session.  A fully completed store resumes without building a
         simulator at all.
+
+        ``golden_pool`` (a plain dict the caller owns, keyed by
+        :meth:`golden_key`) lets campaigns of one scenario grid share
+        golden captures: on a hit the whole golden phase is skipped and
+        the pooled simulator/payload adopted; on a miss this campaign's
+        capture is published for the cells after it.  Classifications
+        are unaffected -- the key covers every capture-shaping knob,
+        and warm-start ``seek`` restores bit-identical pre-injection
+        states from any checkpoint-cache residency pattern.
         """
         cfg = self.config
         result = CampaignResult(self.workload, self.level, self.structure,
@@ -714,8 +767,26 @@ class Campaign:
                                                            store):
                 result.total_seconds = time.perf_counter() - total_start
                 return result
-            sim = self.sim_factory()
-            golden = self._golden_phase(sim, result)
+            shared = None
+            if golden_pool is not None:
+                shared = golden_pool.get(self.golden_key())
+            if shared is None:
+                sim = self.sim_factory()
+                golden = self._golden_phase(sim, result)
+                if golden_pool is not None:
+                    golden_pool[self.golden_key()] = SharedGolden(
+                        sim, golden, result.golden_cycles,
+                        result.golden_insts, result.golden_seconds)
+            else:
+                sim, golden = shared.sim, shared.golden
+                result.golden_cycles = shared.cycles
+                result.golden_insts = shared.insts
+                # This session spent nothing capturing the golden run
+                # -- the original capture's cost stays with the
+                # campaign that paid it, so the serial estimate (and
+                # hence speedup, ~1.0 at jobs=1) reflects only work
+                # actually done here, exactly like resumed records.
+                result.golden_seconds = 0.0
             specs = self._sample(sim, golden, result)
             if store is not None:
                 store.set_golden(result.golden_cycles, result.golden_insts,

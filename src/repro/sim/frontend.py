@@ -89,7 +89,7 @@ class Frontend:
     def campaign(self, structure, mode="pinout", samples=100, seed=2017,
                  window=USE_SCALED_WINDOW, distribution="normal", *,
                  accelerate=None, progress=None, store=None, resume=False,
-                 **extra):
+                 golden_pool=None, **extra):
         """Run one campaign.  ``structure`` is e.g. ``regfile`` or
         ``l1d.data``.
 
@@ -99,7 +99,11 @@ class Frontend:
         are identical for any worker count.  ``store`` (a directory
         path or :class:`~repro.injection.store.CampaignStore`) makes
         the campaign durable; ``resume=True`` skips faults already on
-        disk.
+        disk.  ``golden_pool`` (a caller-owned dict) lets compatible
+        campaigns share one golden capture -- see
+        :meth:`repro.injection.campaign.Campaign.run`; pool sharers
+        must agree on toolchain and simulator configuration, which any
+        pool confined to one :class:`ScenarioRunner`/study does.
         """
         from repro.injection.campaign import Campaign
         from repro.injection.store import CampaignStore
@@ -116,7 +120,8 @@ class Frontend:
         )
         if store is not None and not isinstance(store, CampaignStore):
             store = CampaignStore(store)
-        return runner.run(progress=progress, store=store, resume=resume)
+        return runner.run(progress=progress, store=store, resume=resume,
+                          golden_pool=golden_pool)
 
     def golden_run(self):
         """One fault-free run; returns the simulator for inspection."""

@@ -15,6 +15,19 @@ WORKLOAD_NAMES = (
     "susan_smooth",
 )
 
+#: One-line description per workload (``repro-study list``; kept in
+#: Table II order and pinned against :data:`WORKLOAD_NAMES` by tests).
+WORKLOAD_DESCRIPTIONS = {
+    "fft": "64-point fixed-point radix-2 FFT (Q14 twiddles)",
+    "qsort": "iterative quicksort (Lomuto) over 128 words",
+    "caes": "AES-128 ECB encryption of four blocks",
+    "sha": "SHA-1 over a 192-byte message (4 padded blocks)",
+    "stringsearch": "Boyer-Moore-Horspool search over 8 patterns",
+    "susan_corners": "USAN corner detection on a synthetic image",
+    "susan_edges": "USAN edge detection on a synthetic image",
+    "susan_smooth": "USAN noise-reduction smoothing pass",
+}
+
 #: Shared epilogue: print the 32-bit checksum in r0 as hex + newline, exit.
 PRINT_CHECKSUM_AND_EXIT = """
 print_checksum_and_exit:
