@@ -11,7 +11,8 @@ help:
 	@echo "  bench       artifact-regenerating benches only (-> benchmarks/results/)"
 	@echo "  bench-smoke fig1 store+resume round trip, prune off/dead classification"
 	@echo "              diff, sweep-scenario store+resume round trip (+ CSV"
-	@echo "              artifact) + warm-start speedup artifact"
+	@echo "              artifact), lanes=8 vs lanes=1 class diff (repro.batch)"
+	@echo "              + warm-start speedup artifact"
 	@echo "  bench-json  distill benchmarks/results/*.txt into BENCH_4.json"
 	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
 
@@ -28,8 +29,12 @@ bench:
 # then exercises the scenario layer end to end the same way: run twice
 # with store+resume, export the ResultSet CSV (a CI artifact), and diff
 # each level's prune=off vs prune=dead store class-by-class (the
-# exactness contract, via the sweep path).  The warm-start speedup
-# bench publishing
+# exactness contract, via the sweep path).  The lanes leg re-runs the
+# sweep's arch cells with the vectorized lane engine (execution.lanes=8
+# -- arch only: the spec rejects lanes>1 on non-batchable levels) into
+# a fresh store and diffs each prune mode's classes against the
+# scalar sweep store (the cross-lane exactness contract, via the CLI
+# path).  The warm-start speedup bench publishing
 # benchmarks/results/warmstart_speedup.txt runs only when `make test` /
 # `make bench` has not already written the artifact (CI runs `make
 # test` first, so the expensive cold campaign is not paid twice).
@@ -67,6 +72,16 @@ bench-smoke:
 	$(PYTHON) tools/diff_store_classes.py \
 	  benchmarks/results/smoke_sweep/uarch-stringsearch-regfile-pinout-prune=off \
 	  benchmarks/results/smoke_sweep/uarch-stringsearch-regfile-pinout-prune=dead
+	rm -rf benchmarks/results/smoke_lanes
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set targets.levels=arch --set execution.lanes=8 \
+	  --set execution.store=benchmarks/results/smoke_lanes
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_lanes/arch-stringsearch-regfile-pinout-prune=off \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=off
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_lanes/arch-stringsearch-regfile-pinout-prune=dead \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=dead
 	test -f benchmarks/results/warmstart_speedup.txt || \
 	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 	    benchmarks/test_warmstart_speedup.py -q

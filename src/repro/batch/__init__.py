@@ -1,0 +1,14 @@
+"""repro.batch: the vectorized batch-fault lane engine (arch tier).
+
+``CampaignConfig(batch_lanes=N)`` makes :class:`~repro.injection
+.campaign.FaultRunner` hand same-segment fault groups to
+:class:`LaneEngine`, which executes the N faulty runs as one
+numpy-vectorized pass over ``(N, cells)`` lane arrays instead of N
+scalar interpreter replays.  The records are bit-identical to the
+scalar path (``tests/test_batch_equivalence.py``); only the simulated
+work shrinks.  See DESIGN.md, "Lane engine".
+"""
+
+from repro.batch.engine import LaneEngine
+
+__all__ = ["LaneEngine"]

@@ -30,9 +30,11 @@ forces the serial path), ``--prune {off,dead,group}`` to control
 lifetime-aware fault pruning (default ``dead``), plus ``--store DIR``
 to persist every completed fault to an on-disk campaign store and
 ``--resume`` to continue an interrupted run without repeating finished
-faults.  Results are independent of the worker count and of
-interruption/resume, and per-fault classes are independent of ``dead``
-pruning -- see DESIGN.md.
+faults.  ``--lanes N`` additionally vectorizes the faulty runs of
+arch-tier campaigns (``repro.batch``): N runs execute as one numpy
+pass with bit-identical per-fault classes.  Results are independent of
+the worker count, of the lane count and of interruption/resume, and
+per-fault classes are independent of ``dead`` pruning -- see DESIGN.md.
 """
 
 import argparse
@@ -53,6 +55,13 @@ STORE_HELP = (
 RESUME_HELP = (
     "load faults already completed in --store instead of re-running "
     "them; the merged result is bit-identical to an uninterrupted run"
+)
+
+LANES_HELP = (
+    "vectorized fault lanes per campaign (repro.batch): N > 1 executes "
+    "N faulty runs of the arch tier as one numpy pass; per-fault "
+    "classes are bit-identical to the scalar path.  Rejected for "
+    "scenarios targeting non-batchable levels (uarch/rtl)"
 )
 
 PRUNE_HELP = (
@@ -255,6 +264,8 @@ def _run_flag_overrides(args):
     overrides = []
     if args.jobs is not None:
         overrides.append(f"execution.jobs={args.jobs}")
+    if args.lanes is not None:
+        overrides.append(f"execution.lanes={args.lanes}")
     if args.prune is not None:
         overrides.append(f"execution.prune={args.prune}")
     if args.store is not None:
@@ -299,6 +310,8 @@ def _legacy_overrides(args):
     overrides = [f"execution.jobs={args.jobs}",
                  f"execution.prune={args.prune}",
                  f"faults.seed={args.seed}"]
+    if args.lanes is not None and args.lanes != 1:
+        overrides.append(f"execution.lanes={args.lanes}")
     if args.workloads:
         overrides.append("targets.workloads="
                          + ",".join(_parse_workloads(args.workloads)))
@@ -442,6 +455,9 @@ def main(argv=None):
     p_run.add_argument("--jobs", type=_positive_jobs, default=None,
                        help=JOBS_HELP + " (default: the spec's "
                             "execution.jobs)")
+    p_run.add_argument("--lanes", type=_positive_jobs, default=None,
+                       help=LANES_HELP + " (default: the spec's "
+                            "execution.lanes)")
     p_run.add_argument("--prune", choices=("off", "dead", "group"),
                        default=None, help=PRUNE_HELP)
     p_run.add_argument("--store", default=None, help=STORE_HELP)
@@ -477,6 +493,8 @@ def main(argv=None):
                        help="campaign RNG seed (default: 2017)")
         p.add_argument("--jobs", type=_positive_jobs,
                        default=default_jobs(), help=JOBS_HELP)
+        p.add_argument("--lanes", type=_positive_jobs, default=None,
+                       help=LANES_HELP)
         p.add_argument("--prune", choices=("off", "dead", "group"),
                        default="dead", help=PRUNE_HELP)
         p.add_argument("--store", default=None, help=STORE_HELP)

@@ -51,7 +51,7 @@ class StudyConfig:
 
     def __init__(self, workloads=WORKLOAD_NAMES, samples=None, seed=2017,
                  window=SCALED_WINDOW, distribution="normal",
-                 same_binaries=False, jobs=1, batch_size=None,
+                 same_binaries=False, jobs=1, batch_size=None, lanes=1,
                  store=None, resume=False, prune="dead"):
         self.workloads = tuple(workloads)
         self.samples = samples if samples is not None else default_samples()
@@ -64,6 +64,9 @@ class StudyConfig:
         #: serial, ``None`` = one per CPU); see repro.injection.executor.
         self.jobs = jobs
         self.batch_size = batch_size
+        #: Vectorized lane count for the faulty phase (``repro.batch``;
+        #: effective on batchable levels only -- the arch tier).
+        self.lanes = lanes
         #: Root directory for per-campaign stores (``None`` = volatile).
         #: Each (level, workload, structure, mode) series gets its own
         #: subdirectory; see repro.injection.store.
@@ -93,6 +96,7 @@ class StudyConfig:
                 distribution=self.distribution,
                 jobs=self.jobs,
                 batch_size=self.batch_size,
+                lanes=self.lanes,
                 prune=self.prune,
                 store=None if self.store is None else str(self.store),
                 # ``resume`` without a store is a no-op at the campaign
@@ -116,6 +120,7 @@ class StudyConfig:
             "seed": self.seed,
             "prune": self.prune,
             "parallel": (self.jobs, self.batch_size, None),
+            "lanes": self.lanes,
             "store": self.store,
             "resume": self.resume and self.store is not None,
         })

@@ -65,7 +65,7 @@ class CampaignConfig:
                  warm_start=True, early_stop=True, prune_mode="dead",
                  accelerate=False, accelerate_lead=32, hang_factor=3.0,
                  error_margin=0.02, confidence=0.99, jobs=1,
-                 batch_size=None, start_method=None):
+                 batch_size=None, start_method=None, batch_lanes=1):
         from repro.prune import PRUNE_MODES
 
         if observation not in ("pinout", "software", "arch"):
@@ -84,6 +84,8 @@ class CampaignConfig:
             raise ValueError(f"jobs must be >= 1 or None (auto), got {jobs}")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_lanes is None or batch_lanes < 1:
+            raise ValueError(f"batch_lanes must be >= 1, got {batch_lanes}")
         if checkpoint_bound is not None and checkpoint_bound < 1:
             raise ValueError(
                 f"checkpoint_bound must be >= 1 or None, got "
@@ -130,6 +132,12 @@ class CampaignConfig:
         self.batch_size = batch_size
         #: ``multiprocessing`` start method (``None`` = best available).
         self.start_method = start_method
+        #: Vectorized lane count for the faulty phase (``repro.batch``):
+        #: ``N > 1`` executes N same-segment faulty runs as one numpy
+        #: pass on backends whose ``BATCHABLE`` flag allows it (the
+        #: arch tier).  Execution-only: records are bit-identical to
+        #: the scalar path, so it stays out of :meth:`identity`.
+        self.batch_lanes = batch_lanes
 
     def identity(self):
         """The result-affecting configuration, as a plain dict.
@@ -139,7 +147,8 @@ class CampaignConfig:
         equal workload/level/structure) produce identical fault samples
         and classification sequences (class, detail, sim_cycles), so
         their stores are interchangeable.  Execution-only knobs (jobs,
-        batch_size, start_method, checkpoint_bound) are excluded --
+        batch_size, start_method, checkpoint_bound, batch_lanes) are
+        excluded --
         classifications are proven independent of them.  Per-session
         *accounting* fields of a record (``wall_seconds``,
         ``replay_cycles``) are outside the identity contract: they
@@ -187,6 +196,7 @@ class CampaignConfig:
             "warm_start": self.warm_start,
             "prune": self.prune_mode,
             "parallel": (self.jobs, self.batch_size, self.start_method),
+            "lanes": self.batch_lanes,
         })
 
 
@@ -212,6 +222,11 @@ class CampaignResult:
         #: excluded from this run's serial estimate, so a resumed
         #: campaign's speedup reflects only work actually done here.
         self.resumed_seconds = 0.0
+        #: Global cycles the lane engine stepped in-process (``0`` on
+        #: the scalar path).  The hardware-independent denominator of
+        #: the batch-speedup bench: N lanes sharing one global step
+        #: make this ~``simulated_cycles / N`` for well-packed groups.
+        self.batch_cycles = 0
 
     def add(self, record):
         self.records.append(record)
@@ -370,6 +385,37 @@ class FaultRunner:
         self.config = config
         self.golden = golden
         self.hang_deadline = hang_deadline
+        #: Global lane-engine cycles this runner actually stepped --
+        #: the batched analogue of per-record replay+sim cycles,
+        #: accumulated by :meth:`run_many` for the speedup bench.
+        self.batch_cycles = 0
+
+    def run_many(self, sim, specs, progress=None, on_batch=None):
+        """Execute ``specs`` in fault-sample order, vectorized when
+        possible.
+
+        With ``batch_lanes > 1`` on a ``BATCHABLE`` backend the specs
+        are handed to the lane engine (:mod:`repro.batch`), which
+        executes same-segment groups of up to ``batch_lanes`` faulty
+        runs as one numpy pass; otherwise (or for a single fault) this
+        is exactly :func:`run_serial`.  Records are bit-identical
+        either way -- the cross-lane equivalence suite pins that.
+        """
+        cfg = self.config
+        if (cfg.batch_lanes > 1 and type(sim).BATCHABLE
+                and len(specs) > 1):
+            from repro.batch import LaneEngine
+
+            engine = LaneEngine(self, sim, cfg.batch_lanes)
+            records = engine.run(specs)
+            self.batch_cycles += engine.batch_cycles
+            for i, record in enumerate(records):
+                if on_batch is not None:
+                    on_batch(i, [record])
+                if progress is not None:
+                    progress(i + 1, len(specs), record)
+            return records
+        return run_serial(sim, self, specs, progress, on_batch=on_batch)
 
     def run_one(self, sim, fault):
         """Seek, advance, inject, finish, classify: one FaultRecord.
@@ -843,9 +889,10 @@ class Campaign:
                     on_batch=on_batch,
                 )
             else:
-                records = run_serial(sim, runner, rem_specs, progress,
-                                     on_batch=on_batch)
+                records = runner.run_many(sim, rem_specs, progress,
+                                          on_batch=on_batch)
             result.jobs = jobs
+            result.batch_cycles = runner.batch_cycles
             # Merge by fault index: pruned classifications and stored
             # records fill the gaps around the simulated ones; every
             # index appears exactly once, in fault-sample order (the

@@ -184,6 +184,14 @@ class CheckpointCache:
         """Index of the last boundary whose post-drain cycle is <= cycle."""
         return max(bisect.bisect_right(self.cycles, cycle) - 1, 0)
 
+    def trace_base(self, cycle):
+        """Pinout comparison base for a fault at ``cycle``: the golden
+        pinout length at the boundary :meth:`seek` targets for it.
+        This is what ``seek`` returns as its first element; the lane
+        engine needs it without re-seeking because one group seek
+        serves faults at many cycles."""
+        return self.pinout_lens[self.boundary_at_or_before(cycle)]
+
     def nearest_resident(self, cycle):
         """Best retained restart point at or before ``cycle`` (touches
         it for LRU purposes)."""

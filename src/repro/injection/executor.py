@@ -98,7 +98,7 @@ def _run_batch(batch):
     """Execute one batch of faults on this worker's simulator."""
     start, faults = batch
     sim, runner = _WORKER
-    return start, [runner.run_one(sim, fault) for fault in faults]
+    return start, runner.run_many(sim, faults)
 
 
 def run_parallel(sim_factory, runner, specs, jobs, batch_size=None,
@@ -120,15 +120,13 @@ def run_parallel(sim_factory, runner, specs, jobs, batch_size=None,
     the degenerate single-batch case instead of building a fresh
     simulator.
     """
-    from repro.injection.campaign import run_serial
-
     batches = shard(specs, jobs, batch_size)
     jobs = min(jobs, len(batches))
     if jobs <= 1:
         # Degenerate shard (e.g. one batch): stay in-process.
         sim = fallback_sim if fallback_sim is not None else sim_factory()
-        return run_serial(sim, runner, specs, progress,
-                          on_batch=on_batch), 1
+        return runner.run_many(sim, specs, progress,
+                               on_batch=on_batch), 1
     payload = pickle.dumps((sim_factory, runner),
                            protocol=pickle.HIGHEST_PROTOCOL)
     ctx = multiprocessing.get_context(resolve_start_method(start_method))

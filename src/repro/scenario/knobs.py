@@ -46,13 +46,15 @@ _RENDERERS = {
     "warm_start": lambda v: [] if v else ["cold-start"],
     "prune": lambda v: [] if v == "dead" else [f"prune={v}"],
     "parallel": _parallel,
+    "lanes": lambda v: [] if v in (1, None) else [f"lanes={v}"],
     "store": lambda v: [] if v is None else [f"store={v}"],
     "resume": lambda v: ["resume"] if v else [],
 }
 
 #: Fixed header order.  Configs pass only the knobs they carry.
 KNOB_ORDER = ("window", "observation", "distribution", "seed",
-              "warm_start", "prune", "parallel", "store", "resume")
+              "warm_start", "prune", "parallel", "lanes", "store",
+              "resume")
 
 #: ``CampaignConfig.__init__`` parameters that deliberately stay out of
 #: run headers: pure accounting/statistics knobs plus cache-residency
@@ -76,6 +78,8 @@ PARAM_ALIASES = {
     "jobs": "parallel",
     "batch_size": "parallel",
     "start_method": "parallel",
+    "batch_lanes": "lanes",
+    "lanes": "lanes",
 }
 
 

@@ -102,6 +102,7 @@ class ScenarioRunner:
                 window=self._window_argument(cell.window),
                 distribution=cell.distribution,
                 jobs=cell.jobs, batch_size=cell.batch_size,
+                batch_lanes=cell.lanes,
                 prune_mode=cell.prune, warm_start=cell.warm_start,
                 store=self._cell_store(cell), resume=self.spec.resume,
                 golden_pool=self._golden_pool,

@@ -222,6 +222,8 @@ class CellSpec:
     jobs: object            # int | None (auto)
     batch_size: object
     warm_start: bool
+    #: Vectorized lane count for the faulty phase (arch tier only).
+    lanes: int = 1
     #: Sweep coordinates of this cell: ``(axis, value)`` pairs in the
     #: sweep's declaration order (empty without a sweep).
     axes: tuple = ()
@@ -265,7 +267,8 @@ class CellSpec:
         cell reached through two grids shares one result)."""
         return (self.level, self.workload, self.structure, self.mode,
                 self.samples, self.seed, self.window, self.distribution,
-                self.prune, self.jobs, self.batch_size, self.warm_start)
+                self.prune, self.jobs, self.batch_size, self.warm_start,
+                self.lanes)
 
 
 def _derive_seed(base_seed, cell_key):
@@ -282,13 +285,13 @@ class ScenarioSpec:
     _TARGET_KEYS = ("levels", "workloads", "structures", "modes")
     _FAULT_KEYS = ("samples", "seed", "window", "distribution",
                    "seed_policy")
-    _EXECUTION_KEYS = ("jobs", "batch_size", "prune", "store", "resume",
-                       "warm_start", "same_binaries")
+    _EXECUTION_KEYS = ("jobs", "batch_size", "lanes", "prune", "store",
+                       "resume", "warm_start", "same_binaries")
 
     def __init__(self, *, name="scenario", title="", blocks=(),
                  workloads=None, samples=None, seed=2017,
                  window="scaled", distribution="normal",
-                 seed_policy="shared", jobs=1, batch_size=None,
+                 seed_policy="shared", jobs=1, batch_size=None, lanes=1,
                  prune="dead", store=None, resume=False, warm_start=True,
                  same_binaries=False, sweep=(), present=None,
                  _explicit=frozenset()):
@@ -304,6 +307,7 @@ class ScenarioSpec:
         self.seed_policy = seed_policy
         self.jobs = jobs
         self.batch_size = batch_size
+        self.lanes = lanes
         self.prune = prune
         self.store = store
         self.resume = resume
@@ -419,6 +423,8 @@ class ScenarioSpec:
             batch_size=(None if execution.get("batch_size") is None else
                         _int_field("execution.batch_size",
                                    execution["batch_size"], minimum=1)),
+            lanes=_int_field("execution.lanes",
+                             execution.get("lanes", 1), minimum=1),
             prune=execution.get("prune", "dead"),
             store=execution.get("store"),
             resume=_bool_field("execution.resume",
@@ -456,6 +462,7 @@ class ScenarioSpec:
                 "faults.seed_policy",
                 f"unknown policy {self.seed_policy!r}",
                 hint=_suggest(self.seed_policy, _SEED_POLICIES))
+        _int_field("execution.lanes", self.lanes, minimum=1)
         if self.prune not in _PRUNE_MODES:
             raise ScenarioError("execution.prune",
                                 f"unknown prune mode {self.prune!r}",
@@ -536,6 +543,15 @@ class ScenarioSpec:
                            f"at level {level!r}",
                     hint=f"valid for {level}: "
                          f"{', '.join(sorted(injectable))}")
+            if self.lanes > 1 and not getattr(spec.simulator_class(),
+                                              "BATCHABLE", False):
+                raise ScenarioError(
+                    "execution.lanes",
+                    f"lanes={self.lanes} needs a batchable backend, "
+                    f"but level {level!r} is not",
+                    hint="the lane engine vectorizes only the arch "
+                         "tier; restrict targets.levels or use "
+                         "lanes = 1")
 
     def _level_combos(self):
         """Every (level, structure, mode) combination the grid (plus a
@@ -728,6 +744,7 @@ class ScenarioSpec:
                         batch_size=self.batch_size,
                         warm_start=coords.get("warm_start",
                                               self.warm_start),
+                        lanes=self.lanes,
                         axes=axes,
                     )
 
@@ -742,6 +759,7 @@ class ScenarioSpec:
             window=self.window, distribution=self.distribution,
             prune=self.prune, jobs=self.jobs,
             batch_size=self.batch_size, warm_start=self.warm_start,
+            lanes=self.lanes,
         )
         base.update(overrides)
         return CellSpec(**base)
@@ -773,6 +791,7 @@ class ScenarioSpec:
             "warm_start": self.warm_start,
             "prune": self.prune,
             "parallel": (self.jobs, self.batch_size, None),
+            "lanes": self.lanes,
             "store": self.store,
             "resume": self.resume,
         })

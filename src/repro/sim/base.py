@@ -80,6 +80,14 @@ class SimulatorBase:
     #: the campaign engine's early-stop convergence check sound there.
     DRAIN_FREE = False
 
+    #: True when the batch-fault lane engine (``repro.batch``) can
+    #: vectorize this backend's faulty runs: the backend's whole
+    #: architectural state fits the lane-array model (registers, flags,
+    #: flat RAM) and its per-instruction semantics have numpy twins.
+    #: Only the arch emulator qualifies today; ``execution.lanes > 1``
+    #: is rejected for other tiers at scenario validation.
+    BATCHABLE = False
+
     #: Tick-stamp convention of the access trace: True when a tick
     #: advances the cycle counter *before* doing its work, so that when
     #: ``run(stop_cycle=c)`` pauses at cycle ``c`` the trace events

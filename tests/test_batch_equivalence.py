@@ -1,0 +1,179 @@
+"""The cross-lane equivalence matrix for the vectorized batch engine.
+
+``repro.batch`` promises that lane-parallel execution is pure
+throughput optimisation: for a fixed seed, the per-fault record
+sequence of an arch-tier campaign run at ``batch_lanes=N`` is
+bit-identical to the scalar path (``batch_lanes=1``), fault for fault,
+across every execution strategy the campaign engine composes it with --
+
+* **prune modes** -- the simulate-only partition feeds the lane engine
+  exactly the faults the scalar path would simulate;
+* **jobs=1 vs jobs=N** -- each worker batches its own slice;
+* **warm vs cold start** -- lane groups restore from the same
+  checkpoint (or replay the same prefix) the scalar runner would;
+* **store round-trips** -- records written at one lane count resume at
+  another.
+
+Identity is asserted on everything a record carries except per-session
+accounting: fault identity, class, detail and simulated cycles
+(``record_keys``).  The final test pins the acceptance criterion: the
+``fig1`` preset grid, retargeted onto the batchable arch tier, yields
+bit-identical per-fault classes at ``lanes=8`` vs ``lanes=1``.
+"""
+
+import shutil
+
+import pytest
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.store import CampaignStore
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.spec import ScenarioSpec, load_mapping
+from repro.scenario.presets import preset_path
+from repro.sim import registry
+from support import record_keys
+
+SAMPLES = 8
+SEED = 13
+WINDOW = 800
+LANES = 4
+
+
+def make_factory(workload):
+    return registry.create_frontend("arch", workload).sim_factory
+
+
+def run_campaign(factory, workload, structure="regfile", **config_kwargs):
+    kwargs = {"samples": SAMPLES, "window": WINDOW, "seed": SEED}
+    kwargs.update(config_kwargs)
+    store = kwargs.pop("store", None)
+    resume = kwargs.pop("resume", False)
+    config = CampaignConfig(**kwargs)
+    campaign = Campaign(factory, structure, config,
+                        workload=workload, level="arch")
+    return campaign.run(store=store, resume=resume)
+
+
+# ----------------------------------------------------------------------
+# the matrix: workloads x prune x jobs x warm/cold
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module",
+                params=[("stringsearch", "off"), ("stringsearch", "dead"),
+                        ("sha", "off"), ("sha", "dead")],
+                ids=lambda p: f"{p[0]}-prune_{p[1]}")
+def scalar_reference(request):
+    """Per (workload, prune): the factory plus the scalar warm serial
+    reference records."""
+    workload, prune = request.param
+    factory = make_factory(workload)
+    reference = run_campaign(factory, workload, prune_mode=prune)
+    assert reference.n == SAMPLES
+    return workload, prune, factory, record_keys(reference)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+@pytest.mark.parametrize("warm", [True, False], ids=["warm", "cold"])
+def test_lane_equivalence_matrix(scalar_reference, jobs, warm):
+    """lanes=N x {jobs=1,2} x {warm,cold} x {prune off,dead} == the
+    scalar warm serial reference."""
+    workload, prune, factory, reference = scalar_reference
+    result = run_campaign(factory, workload, prune_mode=prune,
+                          warm_start=warm, jobs=jobs, batch_lanes=LANES)
+    assert record_keys(result) == reference, (
+        f"{workload}: lanes={LANES} prune={prune} warm={warm} "
+        f"jobs={jobs} diverged from the scalar reference"
+    )
+
+
+def test_batch_cycles_accounted_serially(scalar_reference):
+    """The serial lane engine reports its global stepped cycles -- the
+    denominator of the published ``batch_speedup`` series.  (The ratio
+    only beats the scalar path at dense sample counts -- asserted in
+    ``benchmarks/test_batch_speedup.py`` -- so here we pin the
+    accounting itself.)"""
+    workload, prune, factory, _ = scalar_reference
+    result = run_campaign(factory, workload, prune_mode=prune,
+                          batch_lanes=LANES)
+    assert result.batch_cycles > 0
+    scalar = run_campaign(factory, workload, prune_mode=prune)
+    assert scalar.batch_cycles == 0
+
+
+# ----------------------------------------------------------------------
+# divergence-heavy configuration
+# ----------------------------------------------------------------------
+
+def test_cpsr_faults_force_heavy_divergence():
+    """CPSR flag flips divert conditional branches immediately, so most
+    lanes leave the golden path within a few instructions -- the lane
+    engine's scalar-fallback side must carry the campaign, and the
+    records must still match the scalar path bit for bit."""
+    factory = make_factory("stringsearch")
+    scalar = run_campaign(factory, "stringsearch", structure="cpsr",
+                          samples=16, window=2000)
+    batch = run_campaign(factory, "stringsearch", structure="cpsr",
+                         samples=16, window=2000, batch_lanes=8)
+    keys = record_keys(batch)
+    assert keys == record_keys(scalar)
+    # The config earns its name: a real mix of survivors and casualties.
+    assert len({k[2] for k in keys}) > 1, "all faults classified alike"
+
+
+# ----------------------------------------------------------------------
+# store round-trips across lane counts
+# ----------------------------------------------------------------------
+
+def test_store_round_trip_across_lane_counts(tmp_path):
+    """Records written by the scalar path resume under the lane engine
+    (and vice versa): ``batch_lanes`` is execution-only, outside the
+    store identity."""
+    factory = make_factory("stringsearch")
+    reference = run_campaign(factory, "stringsearch")
+    run_campaign(factory, "stringsearch",
+                 store=CampaignStore(tmp_path / "scalar"))
+
+    # Interrupt the scalar store after 3 faults; finish under lanes=4.
+    partial = tmp_path / "partial"
+    shutil.copytree(tmp_path / "scalar", partial)
+    records_path = partial / "records.jsonl"
+    lines = records_path.read_text().splitlines(True)
+    records_path.write_text("".join(lines[:3]))
+    resumed = run_campaign(factory, "stringsearch", batch_lanes=LANES,
+                           store=CampaignStore(partial), resume=True)
+    assert resumed.resumed == 3
+    assert record_keys(resumed) == record_keys(reference)
+
+    # And the other direction: a lanes=4 store resumes scalar.
+    run_campaign(factory, "stringsearch", batch_lanes=LANES,
+                 store=CampaignStore(tmp_path / "lanes"))
+    resumed = run_campaign(factory, "stringsearch",
+                           store=CampaignStore(tmp_path / "lanes"),
+                           resume=True)
+    assert resumed.resumed == reference.n
+    assert record_keys(resumed) == record_keys(reference)
+
+
+# ----------------------------------------------------------------------
+# the acceptance pin: fig1 grid at the arch tier, lanes=8 vs lanes=1
+# ----------------------------------------------------------------------
+
+def fig1_at_arch(lanes):
+    """The fig1 preset mapping retargeted onto the batchable tier (the
+    shipped preset's uarch/rtl cells reject ``lanes > 1`` by design)."""
+    mapping = load_mapping(preset_path("fig1"))
+    mapping.pop("present", None)
+    mapping["grid"] = [{"levels": ["arch"], "modes": ["pinout"]}]
+    mapping.setdefault("targets", {})["workloads"] = ["stringsearch"]
+    mapping.setdefault("faults", {})["samples"] = 6
+    mapping.setdefault("execution", {})["lanes"] = lanes
+    return ScenarioSpec.from_mapping(mapping, source="fig1-at-arch")
+
+
+def test_fig1_preset_classes_identical_at_lanes_8():
+    results = {lanes: ScenarioRunner(fig1_at_arch(lanes)).run()
+               for lanes in (8, 1)}
+    assert len(results[8]) == len(results[1]) == 1
+    for (_, batch), (_, scalar) in zip(results[8], results[1]):
+        assert record_keys(batch) == record_keys(scalar)
+        assert batch.n == 6

@@ -5,12 +5,18 @@ processing programs; the reference interpreter, the OoO model and the
 RT-level model must compute identical architectural results.  This is
 the broadest semantic net in the suite -- any divergence in ALU, flags,
 forwarding, renaming or bypass behaviour fails here.
+
+The second half turns the same generator against the vectorized lane
+engine (``repro.batch``): random fault batches over random programs
+must classify bit-identically to the scalar campaign path.
 """
 
 from hypothesis import given, settings, strategies as st
 
+from repro.injection.campaign import Campaign, CampaignConfig
 from repro.isa import Interpreter, assemble
 from repro.rtl import RTLConfig, RTLSim
+from repro.sim.archsim import ArchSim
 from repro.uarch import CortexA9Config, MicroArchSim, RunStatus
 
 FAST_UARCH = CortexA9Config(dcache_size=1024, icache_size=1024)
@@ -80,3 +86,37 @@ def test_three_models_agree_on_random_programs(source):
     assert rtl.output == ref.output
     assert uarch.icount == ref.inst_count
     assert rtl.icount == ref.inst_count
+
+
+# ----------------------------------------------------------------------
+# randomized fault batches: lane engine vs scalar campaign
+# ----------------------------------------------------------------------
+
+def _campaign_keys(program, structure, samples, seed, lanes):
+    """One arch-tier campaign's records projected onto the bit-identity
+    contract (fault cell/bit/cycle draws come deterministically from
+    ``seed``, so both lane counts see the same batch)."""
+    config = CampaignConfig(samples=samples, seed=seed, window=300,
+                            checkpoint_interval=200, batch_lanes=lanes)
+    result = Campaign(lambda: ArchSim(program), structure, config,
+                      workload="random", level="arch").run()
+    return [(r.fault.bit, r.fault.cycle, r.fclass, r.detail,
+             r.sim_cycles) for r in result.records]
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_program(),
+       st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=2, max_value=10),
+       st.integers(min_value=2, max_value=6),
+       st.sampled_from(("regfile", "cpsr")))
+def test_lane_engine_matches_scalar_on_random_batches(
+        source, seed, samples, lanes, structure):
+    """Random programs x random fault batches: final classifications,
+    details and simulated tails are identical lanes=N vs the scalar
+    ``Interpreter`` replay path.  Shrinkable: a failure minimises the
+    program body and the batch together."""
+    program = assemble(source)
+    scalar = _campaign_keys(program, structure, samples, seed, lanes=1)
+    batch = _campaign_keys(program, structure, samples, seed, lanes=lanes)
+    assert batch == scalar

@@ -203,6 +203,7 @@ def test_store_paths_are_never_toml_coerced():
     class Args:
         jobs, prune, seed = 2, "dead", 2017
         workloads, samples, resume = "", None, False
+        lanes = None
         store = "2024"
 
     mapping = {"targets": {"levels": ["arch"],
@@ -544,6 +545,36 @@ def test_scenario_describe_uses_the_same_table():
     text = spec.describe()
     assert "jobs=4" in text and "prune=group" in text
     assert "1 cells x 4 faults" in text
+
+
+def test_lanes_knob_in_every_describe_header():
+    """``lanes`` renders through the one shared table in all three
+    config surfaces (and elides at its default of 1)."""
+    from repro.core.study import StudyConfig
+    from repro.injection.campaign import CampaignConfig
+
+    assert "lanes=8" in CampaignConfig(batch_lanes=8).describe()
+    assert "lanes=8" in StudyConfig(workloads=("sha",), samples=5,
+                                    lanes=8).describe()
+    assert "lanes=8" in make_spec(execution={"lanes": 8}).describe()
+    assert "lanes" not in CampaignConfig().describe()
+    assert "lanes" not in make_spec().describe()
+
+
+def test_lanes_rejected_on_non_batchable_levels():
+    """The lane engine vectorizes only the arch tier: a spec asking for
+    ``lanes > 1`` on uarch/rtl fails validation naming the field."""
+    with pytest.raises(ScenarioError) as err:
+        make_spec(targets={"levels": ["uarch"],
+                           "workloads": ["stringsearch"]},
+                  execution={"lanes": 8})
+    assert err.value.field == "execution.lanes"
+    assert "uarch" in str(err.value)
+    # lanes=1 is fine anywhere, lanes=8 is fine on the batchable tier.
+    make_spec(targets={"levels": ["uarch", "rtl"],
+                       "workloads": ["stringsearch"]},
+              execution={"lanes": 1})
+    make_spec(execution={"lanes": 8})
 
 
 # ----------------------------------------------------------------------

@@ -92,6 +92,18 @@ def parse_warmstart_speedup(text):
     })
 
 
+def parse_batch_speedup(text):
+    return _search_metrics(text, {
+        "samples": rf"samples={_FLOAT}",
+        "lanes": rf"lanes={_FLOAT}",
+        "scalar faulty-phase cycles":
+            rf"scalar \(lanes=1\):\s+{_FLOAT} faulty-phase",
+        "batched global stepped cycles":
+            rf"batched \(lanes=\d+\):\s+{_FLOAT} global stepped",
+        "cycle speedup x": rf"speedup: {_FLOAT}x simulated cycles",
+    })
+
+
 def parse_decode_cache(text):
     return _search_metrics(text, {"golden-run insts": rf"insts={_FLOAT}"})
 
@@ -113,6 +125,7 @@ def parse_table2(text):
 
 #: Artifact basename -> extractor over the file's text.
 PARSERS = {
+    "batch_speedup.txt": parse_batch_speedup,
     "prune_speedup.txt": parse_prune_speedup,
     "warmstart_speedup.txt": parse_warmstart_speedup,
     "decode_cache.txt": parse_decode_cache,
