@@ -11,8 +11,8 @@ help:
 	@echo "  bench       artifact-regenerating benches only (-> benchmarks/results/)"
 	@echo "  bench-smoke fig1 store+resume round trip, prune off/dead classification"
 	@echo "              diff, sweep-scenario store+resume round trip (+ CSV"
-	@echo "              artifact), lanes=8 vs lanes=1 class diff (repro.batch)"
-	@echo "              + warm-start speedup artifact"
+	@echo "              artifact), arch lanes=8 and rtl lanes=4 vs lanes=1 class"
+	@echo "              diffs (repro.batch) + warm-start speedup artifact"
 	@echo "  bench-json  distill benchmarks/results/*.txt into BENCH_4.json"
 	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
 
@@ -29,12 +29,14 @@ bench:
 # then exercises the scenario layer end to end the same way: run twice
 # with store+resume, export the ResultSet CSV (a CI artifact), and diff
 # each level's prune=off vs prune=dead store class-by-class (the
-# exactness contract, via the sweep path).  The lanes leg re-runs the
-# sweep's arch cells with the vectorized lane engine (execution.lanes=8
-# -- arch only: the spec rejects lanes>1 on non-batchable levels) into
-# a fresh store and diffs each prune mode's classes against the
-# scalar sweep store (the cross-lane exactness contract, via the CLI
-# path).  The warm-start speedup bench publishing
+# exactness contract, via the sweep path).  The lanes legs re-run the
+# sweep's cells with the vectorized lane engine into fresh stores and
+# diff each prune mode's classes against a scalar store (the
+# cross-lane exactness contract, via the CLI path): arch at
+# execution.lanes=8 against the sweep store, rtl -- not part of the
+# sweep preset, so run scalar first -- at execution.lanes=4 (the spec
+# still rejects lanes>1 on the non-batchable uarch tier).  The
+# warm-start speedup bench publishing
 # benchmarks/results/warmstart_speedup.txt runs only when `make test` /
 # `make bench` has not already written the artifact (CI runs `make
 # test` first, so the expensive cold campaign is not paid twice).
@@ -82,6 +84,19 @@ bench-smoke:
 	$(PYTHON) tools/diff_store_classes.py \
 	  benchmarks/results/smoke_lanes/arch-stringsearch-regfile-pinout-prune=dead \
 	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=dead
+	rm -rf benchmarks/results/smoke_rtl benchmarks/results/smoke_rtl_lanes
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set targets.levels=rtl \
+	  --set execution.store=benchmarks/results/smoke_rtl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set targets.levels=rtl --set execution.lanes=4 \
+	  --set execution.store=benchmarks/results/smoke_rtl_lanes
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_rtl_lanes/rtl-stringsearch-regfile-pinout-prune=off \
+	  benchmarks/results/smoke_rtl/rtl-stringsearch-regfile-pinout-prune=off
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_rtl_lanes/rtl-stringsearch-regfile-pinout-prune=dead \
+	  benchmarks/results/smoke_rtl/rtl-stringsearch-regfile-pinout-prune=dead
 	test -f benchmarks/results/warmstart_speedup.txt || \
 	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 	    benchmarks/test_warmstart_speedup.py -q

@@ -27,11 +27,19 @@ must be bit-identical (``tests/test_batch_equivalence.py`` pins the
 same promise across the execution matrix; this bench re-checks it at
 bench scale).
 
+The batched run also doubles as the copy-on-write memory probe: it
+executes under ``tracemalloc`` (traced python peak printed per host)
+and asserts the deterministic ``batch_lane_peak_bytes`` counter stays
+below half the dense ``(lanes+1) x ram`` layout the paged lane store
+replaced -- per-lane memory growth must be bounded by divergence, not
+footprint.
+
 Knobs: ``REPRO_SFI_SAMPLES`` (faults, floored at 128 here).
 """
 
 import os
 import time
+import tracemalloc
 
 from conftest import bench_samples, record_keys, save_artifact
 
@@ -61,13 +69,29 @@ def test_batch_speedup(benchmark):
     scalar, scalar_s = run_campaign(factory, lanes=1)
 
     def measure():
-        return run_campaign(factory, lanes=LANES)
+        tracemalloc.start()
+        try:
+            result, seconds = run_campaign(factory, lanes=LANES)
+            traced_peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+        return result, seconds, traced_peak
 
-    batch, batch_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    batch, batch_s, traced_peak = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
     # Correctness first: the lane engine must be a pure throughput
     # optimisation, never a result change.
     assert record_keys(batch) == record_keys(scalar)
     assert batch.batch_cycles > 0, "lane engine never engaged"
+
+    # The COW memory probe: private page bytes are bounded by actual
+    # store divergence, far below dense per-lane RAM copies.
+    ram_bytes = len(factory().checkpoint()["ram"])
+    dense_bytes = (LANES + 1) * ram_bytes
+    assert 0 < batch.batch_lane_peak_bytes < 0.5 * dense_bytes, (
+        f"COW peak {batch.batch_lane_peak_bytes} bytes is not sub-"
+        f"linear vs dense {dense_bytes}"
+    )
 
     cycle_speedup = scalar.simulated_cycles / batch.batch_cycles
     wall_speedup = scalar_s / batch_s if batch_s > 0 else 1.0
@@ -93,6 +117,9 @@ def test_batch_speedup(benchmark):
         f" stepped cycles",
         f"speedup: {cycle_speedup:.2f}x simulated cycles"
         f" (deterministic)",
+        f"peak lane memory: {batch.batch_lane_peak_bytes} COW bytes"
+        f" vs {dense_bytes} dense ((lanes+1) x ram) ->"
+        f" {batch.batch_lane_peak_bytes / dense_bytes:.4f}x",
         "records identical: True",
     ]
     text = "\n".join(lines)
@@ -101,3 +128,5 @@ def test_batch_speedup(benchmark):
     print(text)
     print(f"wall clock (this host): scalar {scalar_s:.2f}s, batched"
           f" {batch_s:.2f}s -> {wall_speedup:.2f}x")
+    print(f"tracemalloc peak (this host, batched run):"
+          f" {traced_peak} bytes")

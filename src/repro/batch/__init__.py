@@ -1,14 +1,20 @@
-"""repro.batch: the vectorized batch-fault lane engine (arch tier).
+"""repro.batch: the vectorized batch-fault lane engine.
 
 ``CampaignConfig(batch_lanes=N)`` makes :class:`~repro.injection
 .campaign.FaultRunner` hand same-segment fault groups to
-:class:`LaneEngine`, which executes the N faulty runs as one
-numpy-vectorized pass over ``(N, cells)`` lane arrays instead of N
-scalar interpreter replays.  The records are bit-identical to the
-scalar path (``tests/test_batch_equivalence.py``); only the simulated
-work shrinks.  See DESIGN.md, "Lane engine".
+:func:`LaneEngine`, which executes the N faulty runs as one
+vectorized pass over lane arrays instead of N scalar replays -- the
+arch tier as a numpy ISS lockstep (:mod:`repro.batch.arch`), the rtl
+tier as lane arrays over the in-order pipeline with drop-to-scalar
+divergence fallback (:mod:`repro.batch.rtl`).  Lane RAM views share a
+copy-on-write paged store (:mod:`repro.batch.memory`), so per-lane
+memory scales with divergent pages, not footprint.  The records are
+bit-identical to the scalar path (``tests/test_batch_equivalence.py``,
+``tests/test_batch_rtl_equivalence.py``); only the simulated work
+shrinks.  See DESIGN.md, "Lane engine".
 """
 
 from repro.batch.engine import LaneEngine
+from repro.batch.memory import LanePagedMemory
 
-__all__ = ["LaneEngine"]
+__all__ = ["LaneEngine", "LanePagedMemory"]

@@ -1,0 +1,746 @@
+"""The arch-tier lane backend: N faulty ISS runs in one numpy pass.
+
+The scalar campaign path replays the interpreter once per fault:
+restore the nearest golden checkpoint, advance to the injection
+instant, flip one bit and run the post-injection tail.  For the arch
+tier every one of those replays walks the *same* golden instruction
+stream, because an injected run only leaves the golden control path at
+the (rare) instruction whose operands the flipped bit actually reaches.
+The lane engine exploits that: it groups faults whose injection
+instants share a checkpoint segment, seeks *once*, and executes all
+lanes in lockstep --
+
+* register file and CPSR state live in ``(N+1, cells)`` numpy arrays
+  (lane ``N`` is the fault-free **reference** lane that supplies the
+  shared fetch/decode stream); lane RAM views share one copy-on-write
+  :class:`~repro.batch.memory.LanePagedMemory` (golden base image +
+  reference overlay + per-lane private pages), so per-lane memory is
+  O(divergent pages), not O(footprint);
+* each decoded golden instruction is applied across all live convergent
+  lanes with masked scatters (per-lane condition codes, per-lane
+  barrel-shifter carries, per-lane memory faults);
+* a lane whose PC leaves the reference PC -- the divergent minority --
+  is exported to a private scalar :class:`~repro.isa.interp
+  .Interpreter` seeded from its lane state and stepped per-cycle from
+  then on (a diverged lane never re-vectorizes);
+* lanes retire early exactly where the scalar path stops them: at a
+  golden-digest match (Masked, the PR 3 early-stop argument), at their
+  syscall exit, window end, latched machine fault or watchdog deadline.
+
+Every event -- injection, digest comparison, classification -- happens
+at the same simulated cycle, in the same order, on the same state as
+the scalar :meth:`FaultRunner.run_one`, so the per-fault records are
+bit-identical; ``tests/test_batch_equivalence.py`` pins that.
+
+The engine's deterministic cost metrics are :attr:`ArchLaneEngine
+.batch_cycles` (global stepped cycles summed over groups -- one shared
+replay + one shared tail per group, instead of one per fault; the
+``batch_speedup`` bench asserts the scalar-vs-batch cycle ratio) and
+:attr:`ArchLaneEngine.peak_lane_bytes` (high-water copy-on-write page
+bytes; the peak-lane-memory bench asserts sub-linear growth in N).
+"""
+
+import bisect
+import time
+import zlib
+
+import numpy as np
+
+from repro.batch.memory import LanePagedMemory
+from repro.errors import SimFault
+from repro.injection.classify import FaultClass, FaultRecord, compare_traces
+from repro.isa import valu
+from repro.isa.flags import Flags
+from repro.isa.instructions import (
+    COMPARE_OPS,
+    DP_IMM_OPS,
+    DP_REG_FORM,
+    DP_REG_OPS,
+    LOAD_OPS,
+    MEM_SIZE,
+    Op,
+    UNARY_OPS,
+)
+from repro.isa.interp import Interpreter
+from repro.isa.syscalls import SyscallEmulator, SyscallError
+from repro.sim.base import RunStatus, _crc
+
+MASK32 = 0xFFFFFFFF
+
+#: Immediate-offset memory forms (register forms shift ``rm`` instead).
+_IMM_MEM_OPS = (Op.LDR, Op.STR, Op.LDRB, Op.STRB, Op.LDRH, Op.STRH)
+
+
+class ArchLaneEngine:
+    """Drive a :class:`FaultRunner`'s faults through vectorized groups.
+
+    ``lanes`` is the fault-lane width N; each group additionally
+    carries the fault-free reference lane.  ``run()`` returns records
+    positionally aligned with ``specs`` (the caller's sample order).
+    """
+
+    def __init__(self, runner, sim, lanes):
+        self.runner = runner
+        self.sim = sim
+        self.lanes = max(int(lanes), 1)
+        #: Global cycles the engine stepped (shared replay + shared
+        #: tails), the deterministic batch-cost metric.
+        self.batch_cycles = 0
+        #: High-water mark of copy-on-write page bytes over any one
+        #: group (the deterministic lane-memory metric; a dense lane
+        #: build would hold ``(N+1) * footprint`` here).
+        self.peak_lane_bytes = 0
+
+    def run(self, specs):
+        records = [None] * len(specs)
+        # Group faults by injection instant so each group's lanes share
+        # one seek and overlap their post-injection windows.
+        order = sorted(range(len(specs)),
+                       key=lambda i: (specs[i].cycle, i))
+        for start in range(0, len(order), self.lanes):
+            chunk = order[start:start + self.lanes]
+            group = _LaneGroup(self, [(i, specs[i]) for i in chunk])
+            for index, record in group.run():
+                records[index] = record
+        return records
+
+
+class _LaneGroup:
+    """One vectorized group: N fault lanes + the reference lane."""
+
+    def __init__(self, engine, items):
+        self.engine = engine
+        self.items = items  # [(original sample index, FaultSpec)]
+        runner = engine.runner
+        self.config = runner.config
+        self.golden = runner.golden
+        self.cache = runner.golden["cache"]
+        self.deadline = runner.hang_deadline
+
+    # -- group driver ------------------------------------------------------
+
+    def run(self):
+        cfg = self.config
+        sim = self.engine.sim
+        wall_start = time.perf_counter()
+        min_cycle = min(fault.cycle for _, fault in self.items)
+        _, self.restore_cycle = self.cache.seek(
+            sim, min_cycle, warm=cfg.warm_start, max_cycles=self.deadline)
+        status = sim.run(stop_cycle=min_cycle, max_cycles=self.deadline)
+        if status is not RunStatus.STOPPED:
+            # The golden run ends before the earliest injection instant;
+            # every later instant is past program end too, so the whole
+            # group lands in dead time (the scalar "after program end"
+            # outcome, lane for lane).
+            self.engine.batch_cycles += sim.cycle - self.restore_cycle
+            wall = (time.perf_counter() - wall_start) / len(self.items)
+            return [
+                (index, FaultRecord(
+                    fault, FaultClass.MASKED, "after program end",
+                    sim_cycles=0, wall_seconds=wall,
+                    replay_cycles=sim.cycle - self.restore_cycle))
+                for index, fault in self.items
+            ]
+        self._init_lanes(sim, sim.checkpoint())
+        self._events()
+        while self.pending:
+            self._step()
+        self.engine.batch_cycles += self.cycle - self.restore_cycle
+        self.engine.peak_lane_bytes = max(self.engine.peak_lane_bytes,
+                                          self.store.peak_bytes)
+        wall = (time.perf_counter() - wall_start) / len(self.items)
+        out = []
+        for k, (index, fault) in enumerate(self.items):
+            fclass, detail, sim_cycles, replay = self.records[k]
+            out.append((index, FaultRecord(
+                fault, fclass, detail, sim_cycles=sim_cycles,
+                wall_seconds=wall, replay_cycles=replay)))
+        return out
+
+    def _init_lanes(self, sim, cp):
+        count = len(self.items)
+        width = count + 1
+        self.ref = count
+        self.program = sim.program
+        self.decode = self.program.decode_table()
+        self.cpi = sim.core.cycles_per_inst
+        self.regs = np.tile(np.array(cp["regs"], dtype=np.uint32),
+                            (width, 1))
+        flags = Flags.unpack(cp["flags"])
+        self.n = np.full(width, flags.n, dtype=bool)
+        self.z = np.full(width, flags.z, dtype=bool)
+        self.c = np.full(width, flags.c, dtype=bool)
+        self.v = np.full(width, flags.v, dtype=bool)
+        self.pc = np.full(width, cp["pc"], dtype=np.uint32)
+        #: All lane RAM views share the checkpoint image copy-on-write;
+        #: the reference lane's stores update the shared overlay, fault
+        #: lanes privatize pages only where their bytes actually differ.
+        self.store = LanePagedMemory(cp["ram"], width, self.ref)
+        self.ram_size = self.store.size
+        self.emus = []
+        for _ in range(width):
+            emu = SyscallEmulator()
+            emu.restore(cp["syscalls"])
+            self.emus.append(emu)
+        #: Golden pinout prefix at the group start (shared; each lane
+        #: appends only its own post-start transactions).
+        self.prefix_keys = [t.key() for t in cp["pinout"]]
+        self.keys = [[] for _ in range(width)]
+        self.halted = np.zeros(width, dtype=bool)
+        self.sfaults = [None] * width
+        self.diverged = {}
+        self.cycle = cp["cycle"]
+        self.icount = cp["icount"]
+        # Per fault-lane campaign bookkeeping.
+        self.faults = [fault for _, fault in self.items]
+        self.injected = [False] * count
+        self.replay = [0] * count
+        self.ends = [
+            None if self.config.window is None
+            else fault.cycle + self.config.window
+            for fault in self.faults
+        ]
+        self.early = (self.config.early_stop and type(sim).DRAIN_FREE
+                      and self.cache.collect_digests)
+        self.check = [False] * count
+        self.nb = [0] * count
+        self.pending = set(range(count))
+        self.records = [None] * count
+
+    def _step(self):
+        """One global lockstep cycle: vector step the convergent lanes
+        at the reference PC, scalar-step the diverged ones, advance the
+        clock, then fire the per-lane event pass."""
+        convergent = [k for k in self.pending if k not in self.diverged]
+        if convergent and not self.halted[self.ref]:
+            self._vector_step(convergent)
+        for k in self.pending:
+            interp = self.diverged.get(k)
+            if interp is not None:
+                try:
+                    interp.step()
+                except SimFault as exc:
+                    self.sfaults[k] = exc
+        self.cycle += self.cpi
+        self._events()
+        self._sync_divergence()
+
+    def _sync_divergence(self):
+        """Export lanes that left the golden control path.
+
+        A convergent lane executes the instruction at the reference PC,
+        so the moment its PC differs it must fall back to private
+        scalar stepping before the next fetch.  When the reference lane
+        halts there is no shared stream left at all: every surviving
+        convergent lane (they all took a different path out of the
+        golden exit) is exported.
+        """
+        survivors = [k for k in self.pending
+                     if k not in self.diverged and not self.halted[k]]
+        if self.halted[self.ref]:
+            for k in survivors:
+                self._export(k)
+            return
+        ref_pc = self.pc[self.ref]
+        for k in survivors:
+            if self.pc[k] != ref_pc:
+                self._export(k)
+
+    def _export(self, k):
+        """Hand lane ``k`` its own scalar Interpreter, seeded from the
+        lane arrays -- the exact state a scalar run would hold here.
+        Its dense RAM image is composed once from the paged store, and
+        the lane leaves the copy-on-write live set."""
+        interp = Interpreter(self.program)
+        interp.ram.restore(self.store.compose(k))
+        interp.regs.restore([int(x) for x in self.regs[k]])
+        interp.flags = Flags(n=bool(self.n[k]), z=bool(self.z[k]),
+                             c=bool(self.c[k]), v=bool(self.v[k]))
+        interp.pc = int(self.pc[k])
+        interp.inst_count = self.icount
+        interp.syscalls = self.emus[k]
+        keys = self.keys[k]
+
+        def publish(addr, size, value, _keys=keys):
+            data = (value & ((1 << (8 * size)) - 1)).to_bytes(size,
+                                                              "little")
+            _keys.append(("wb", addr, data))
+
+        interp.store_listener = publish
+        self.diverged[k] = interp
+        self.store.release(k)
+
+    # -- the campaign event pass -------------------------------------------
+
+    def _events(self):
+        """Per-lane replica of the scalar run loop's check order at one
+        cycle instant: exited -> machine fault -> digest boundary ->
+        window end -> watchdog; uninjected lanes inject (or retire into
+        dead time) first, exactly like ``run_one``'s pre-injection
+        advance."""
+        cyc = self.cycle
+        for k in sorted(self.pending):
+            fault = self.faults[k]
+            if not self.injected[k]:
+                if self._lane_halted(k):
+                    self._retire(k, FaultClass.MASKED, "after program end",
+                                 sim_cycles=0,
+                                 replay=cyc - self.restore_cycle)
+                    continue
+                if cyc < fault.cycle:
+                    continue
+                self._inject(k)
+            if self._lane_halted(k):
+                fclass, detail = self._classify(k, RunStatus.EXITED)
+                self._retire(k, fclass, detail)
+                continue
+            latched = self._lane_fault(k)
+            if latched is not None:
+                self._retire(k, FaultClass.DUE, str(latched))
+                continue
+            if self.check[k]:
+                self._boundary_events(k, cyc)
+                if k not in self.pending:
+                    continue
+            end = self.ends[k]
+            if end is not None and cyc >= end:
+                fclass, detail = self._classify(k, RunStatus.STOPPED)
+                self._retire(k, fclass, detail)
+                continue
+            if cyc >= self.deadline:
+                self._retire(k, FaultClass.HANG, "watchdog expired")
+
+    def _boundary_events(self, k, cyc):
+        """The early-stop comparator at golden checkpoint boundaries
+        (mirrors ``FaultRunner._finish``: boundaries at or past the
+        window end are never compared)."""
+        cache = self.cache
+        end = self.ends[k]
+        while (self.nb[k] < cache.count
+               and cache.cycles[self.nb[k]] <= cyc):
+            boundary = cache.cycles[self.nb[k]]
+            if end is not None and boundary >= end:
+                self.check[k] = False
+                return
+            matched = (boundary == cyc
+                       and self._digest(k) == cache.digests[self.nb[k]])
+            self.nb[k] += 1
+            if matched:
+                self._retire(k, FaultClass.MASKED,
+                             "re-converged with golden")
+                return
+
+    def _inject(self, k):
+        fault = self.faults[k]
+        self.injected[k] = True
+        self.replay[k] = self.cycle - self.restore_cycle
+        if fault.structure == "cpsr":
+            pack = self._lane_flag_pack(k) ^ (1 << fault.bit)
+            flags = Flags.unpack(pack)
+            interp = self.diverged.get(k)
+            if interp is not None:  # pre-injection lanes never diverge
+                interp.flags = flags
+            else:
+                self.n[k] = flags.n
+                self.z[k] = flags.z
+                self.c[k] = flags.c
+                self.v[k] = flags.v
+        else:  # regfile
+            reg, bit = divmod(fault.bit, 32)
+            self.regs[k, reg] ^= np.uint32(1 << bit)
+        if self.early:
+            self.check[k] = True
+            self.nb[k] = bisect.bisect_right(self.cache.cycles,
+                                             fault.cycle)
+
+    def _retire(self, k, fclass, detail, sim_cycles=None, replay=None):
+        if sim_cycles is None:
+            sim_cycles = self.cycle - self.faults[k].cycle
+        if replay is None:
+            replay = self.replay[k]
+        self.records[k] = (fclass, detail, sim_cycles, replay)
+        self.pending.discard(k)
+        self.diverged.pop(k, None)
+        self.store.release(k)
+
+    # -- per-lane observation ----------------------------------------------
+
+    def _lane_halted(self, k):
+        interp = self.diverged.get(k)
+        if interp is not None:
+            return interp.halted
+        return bool(self.halted[k])
+
+    def _lane_fault(self, k):
+        return self.sfaults[k]
+
+    def _lane_flag_pack(self, k):
+        interp = self.diverged.get(k)
+        if interp is not None:
+            return interp.flags.pack()
+        return ((int(self.n[k]) << 3) | (int(self.z[k]) << 2)
+                | (int(self.c[k]) << 1) | int(self.v[k]))
+
+    def _lane_output(self, k):
+        return bytes(self.emus[k].output)
+
+    def _lane_keys(self, k):
+        return self.prefix_keys + self.keys[k]
+
+    def _digest(self, k):
+        """Bit-compatible with ``SimulatorBase.state_digest()`` on the
+        arch backend (a live, unfaulted, unexited lane).  The RAM term
+        hashes the *composed* lane image -- page-granular storage with
+        full-image observation, so the PR 3 early-stop argument is
+        unchanged."""
+        interp = self.diverged.get(k)
+        if interp is not None:
+            regs = tuple(interp.regs.snapshot()[:15])
+            flags = interp.flags.pack()
+            pc = interp.pc
+            ram = interp.ram.snapshot()
+            syscalls = interp.syscalls.snapshot()
+            icount = interp.inst_count
+        else:
+            regs = tuple(int(x) for x in self.regs[k, :15])
+            flags = self._lane_flag_pack(k)
+            pc = int(self.pc[k])
+            ram = self.store.compose(k)
+            syscalls = self.emus[k].snapshot()
+            icount = self.icount
+        return (self.cycle, icount, False, True, regs, flags, pc,
+                _crc(ram), syscalls, _crc(self._lane_keys(k)), ())
+
+    def _hw_state(self, k):
+        """Mirror of ``observation.hardware_state_digest`` for a lane
+        (the arch tier has no caches: RAM is the coherent image)."""
+        interp = self.diverged.get(k)
+        if interp is not None:
+            regs = tuple(interp.regs.snapshot()[:15])
+            flags = interp.flags.pack()
+            ram = interp.ram.snapshot()
+        else:
+            regs = tuple(int(x) for x in self.regs[k, :15])
+            flags = self._lane_flag_pack(k)
+            ram = self.store.compose(k)
+        return ((regs, flags), zlib.crc32(bytes(ram)) & 0xFFFFFFFF)
+
+    def _classify(self, k, status):
+        """Replica of ``FaultRunner._classify`` over lane state (DUE
+        and HANG are handled at the event-pass call sites)."""
+        cfg = self.config
+        golden = self.golden
+        output = self._lane_output(k)
+        if cfg.observation == "software":
+            if status is RunStatus.EXITED:
+                if output == golden["output"]:
+                    return FaultClass.MASKED, ""
+                return FaultClass.SDC, "program output differs"
+            if golden["output"].startswith(output):
+                return FaultClass.MASKED, "window expired, prefix clean"
+            return FaultClass.SDC, "output prefix differs"
+        if cfg.observation == "arch":
+            if output != golden["output"]:
+                return FaultClass.SDC, "program output differs"
+            if self._hw_state(k) != golden["hw_state"]:
+                return FaultClass.LATENT, "hardware state differs"
+            return FaultClass.MASKED, ""
+        trace_base = self.cache.trace_base(self.faults[k].cycle)
+        golden_suffix = golden["pinout_keys"][trace_base:]
+        faulty_suffix = self._lane_keys(k)[trace_base:]
+        if status is RunStatus.EXITED:
+            match = faulty_suffix == golden_suffix
+        else:
+            match = compare_traces(golden_suffix, faulty_suffix)
+        if match:
+            return FaultClass.MASKED, ""
+        return FaultClass.MISMATCH, "pinout trace deviates"
+
+    # -- vectorized execution ----------------------------------------------
+
+    def _read(self, index, lanes, inst):
+        """``Interpreter._read_reg``: r15 reads as the fetch address
+        plus 8 on every lane."""
+        if index == 15:
+            return np.full(lanes.size, (inst.addr + 8) & MASK32,
+                           dtype=np.uint32)
+        return self.regs[lanes, index]
+
+    def _write(self, index, lanes, values):
+        """``Interpreter._write_reg``: a write to PC is a branch."""
+        if index == 15:
+            self.pc[lanes] = np.asarray(values,
+                                        dtype=np.uint32) & np.uint32(
+                                            0xFFFFFFFC)
+        else:
+            self.regs[lanes, index] = values
+
+    def _latch(self, k, exc):
+        if k == self.ref:
+            raise AssertionError(
+                f"reference lane left the golden path: {exc}")
+        self.sfaults[k] = exc
+
+    def _latch_all(self, lanes, exc):
+        for k in lanes.tolist():
+            self._latch(k, exc)
+
+    def _latch_mem_faults(self, lanes, addr, size, store):
+        """Apply the scalar align-then-range check order per lane;
+        returns the boolean keep-mask of lanes that did not fault."""
+        align_bad = (addr % size != 0) if size > 1 else np.zeros(
+            lanes.size, dtype=bool)
+        oob = (addr + size) > self.ram_size
+        word = "store" if store else "load"
+        for pos in np.flatnonzero(align_bad).tolist():
+            self._latch(int(lanes[pos]),
+                        SimFault("align-fault", f"{size}-byte {word}",
+                                 addr=int(addr[pos])))
+        for pos in np.flatnonzero(oob & ~align_bad).tolist():
+            self._latch(int(lanes[pos]),
+                        SimFault("mem-fault",
+                                 f"access of {size} bytes outside RAM",
+                                 addr=int(addr[pos])))
+        return ~(align_bad | oob)
+
+    def _ram_read(self, lanes, addr, size):
+        return self.store.gather(lanes.tolist(), addr.tolist(), size)
+
+    def _ram_write(self, lanes, addr, size, value):
+        mask = (1 << (8 * size)) - 1
+        writers = lanes.tolist()
+        addrs = addr.tolist()
+        values = [int(v) & mask for v in value.tolist()]
+        self.store.write(writers, addrs, size, values)
+        for pos, k in enumerate(writers):
+            data = values[pos].to_bytes(size, "little")
+            self.keys[k].append(("wb", addrs[pos], data))
+
+    def _vector_step(self, convergent):
+        lanes = np.array(convergent + [self.ref], dtype=np.intp)
+        inst = self.decode.get(int(self.pc[self.ref]))
+        if inst is None:  # the reference replays the golden trajectory
+            raise AssertionError(
+                f"reference lane fetched outside text at "
+                f"{int(self.pc[self.ref]):#010x}")
+        self.icount += 1
+        if inst.cond != 14:
+            passed = valu.cond_passed(inst.cond, self.n[lanes],
+                                      self.z[lanes], self.c[lanes],
+                                      self.v[lanes])
+            doers = lanes[passed]
+        else:
+            doers = lanes
+        self.pc[lanes] = np.uint32((inst.addr + 4) & MASK32)
+        if doers.size:
+            self._execute(inst, doers)
+
+    def _execute(self, inst, doers):
+        op = inst.op
+        if op in DP_REG_OPS or op in DP_IMM_OPS:
+            self._exec_dp(inst, doers)
+        elif op == Op.MOVW:
+            self._write(inst.rd, doers, np.uint32(inst.imm & 0xFFFF))
+        elif op == Op.MOVT:
+            old = self._read(inst.rd, doers, inst)
+            self._write(inst.rd, doers,
+                        (old & np.uint32(0xFFFF))
+                        | np.uint32((inst.imm & 0xFFFF) << 16))
+        elif op in (Op.MUL, Op.MLA):
+            result = valu.multiply(op,
+                                   self._read(inst.rn, doers, inst),
+                                   self._read(inst.rm, doers, inst),
+                                   self._read(inst.ra, doers, inst))
+            if inst.s:
+                self.n[doers] = ((result >> np.uint32(31)) & 1).astype(
+                    bool)
+                self.z[doers] = result == 0
+            self._write(inst.rd, doers, result)
+        elif op in MEM_SIZE:
+            self._exec_mem(inst, doers)
+        elif op == Op.LDM:
+            self._exec_ldm(inst, doers)
+        elif op == Op.STM:
+            self._exec_stm(inst, doers)
+        elif op == Op.B:
+            self.pc[doers] = np.uint32((inst.addr + inst.imm)
+                                       & 0xFFFFFFFC)
+        elif op == Op.BL:
+            self.regs[doers, 14] = np.uint32((inst.addr + 4) & MASK32)
+            self.pc[doers] = np.uint32((inst.addr + inst.imm)
+                                       & 0xFFFFFFFC)
+        elif op == Op.BX:
+            self.pc[doers] = (self._read(inst.rm, doers, inst)
+                              & np.uint32(0xFFFFFFFC))
+        elif op == Op.SVC:
+            self._exec_svc(inst, doers)
+        elif op == Op.NOP:
+            pass
+        elif op == Op.HLT:
+            self._latch_all(doers, SimFault("halt-trap",
+                                            "executed HLT/pool word",
+                                            addr=inst.addr))
+        else:
+            self._latch_all(doers, SimFault("undefined-inst", repr(op),
+                                            addr=inst.addr))
+
+    def _exec_dp(self, inst, doers):
+        c_in = self.c[doers]
+        v_in = self.v[doers]
+        if inst.op in DP_IMM_OPS:
+            op2 = np.full(doers.size, inst.imm & MASK32, dtype=np.uint32)
+            shifter_carry = c_in
+        else:
+            value = self._read(inst.rm, doers, inst)
+            if inst.shift_reg is not None:
+                amount = (self._read(inst.shift_reg, doers, inst)
+                          & np.uint32(0xFF))
+            else:
+                amount = inst.shift_amount
+            op2, shifter_carry = valu.barrel_shift(
+                value, inst.shift_kind, amount, c_in)
+        op = DP_REG_FORM.get(inst.op, inst.op)
+        if op in UNARY_OPS:
+            rn_value = np.zeros(doers.size, dtype=np.uint32)
+        else:
+            rn_value = self._read(inst.rn, doers, inst)
+        result, n, z, c, v = valu.dp_compute(op, rn_value, op2, c_in,
+                                             v_in, shifter_carry)
+        if inst.s or op in COMPARE_OPS:
+            self.n[doers] = n
+            self.z[doers] = z
+            self.c[doers] = c
+            self.v[doers] = v
+        if op not in COMPARE_OPS:
+            self._write(inst.rd, doers, result)
+
+    def _exec_mem(self, inst, doers):
+        size = MEM_SIZE[inst.op]
+        base = self._read(inst.rn, doers, inst).astype(np.int64)
+        if inst.op in _IMM_MEM_OPS:
+            offset = np.full(doers.size, inst.imm, dtype=np.int64)
+        else:
+            shifted, _ = valu.barrel_shift(
+                self._read(inst.rm, doers, inst), inst.shift_kind,
+                inst.shift_amount, self.c[doers])
+            offset = shifted.astype(np.int64)
+        addr = (base + offset) & MASK32 if inst.pre else base
+        load = inst.op in LOAD_OPS
+        keep = self._latch_mem_faults(doers, addr, size,
+                                      store=not load)
+        ok = doers[keep]
+        if ok.size:
+            addr_ok = addr[keep]
+            if load:
+                value = self._ram_read(ok, addr_ok, size)
+                self._write(inst.rd, ok, value)
+            else:
+                self._ram_write(ok, addr_ok, size,
+                                self._read(inst.rd, ok, inst))
+            if inst.writeback or not inst.pre:
+                wb_value = ((base[keep] + offset[keep])
+                            & MASK32).astype(np.uint32)
+                if inst.rn != inst.rd or not load:
+                    self._write(inst.rn, ok, wb_value)
+
+    def _exec_ldm(self, inst, doers):
+        base = self._read(inst.rn, doers, inst)
+        # Interior addresses advance unmasked, exactly like the scalar
+        # loop's Python-int `addr += 4` (an overflowing base walks off
+        # the end of RAM rather than wrapping).
+        addr = base.astype(np.uint64)
+        alive = np.ones(doers.size, dtype=bool)
+        count = 0
+        for i in range(16):
+            if not inst.reglist & (1 << i):
+                continue
+            lanes = doers[alive]
+            if lanes.size:
+                keep = self._latch_mem_faults(
+                    lanes, addr[alive].astype(np.int64), 4,
+                    store=False)
+                alive[alive] = keep
+                lanes = doers[alive]
+                if lanes.size:
+                    value = self._ram_read(
+                        lanes, addr[alive].astype(np.int64), 4)
+                    self._write(i, lanes, value)
+            addr += np.uint64(4)
+            count += 1
+        if inst.writeback and not (inst.reglist & (1 << inst.rn)):
+            lanes = doers[alive]
+            if lanes.size:
+                # The scalar path writes through RegisterFile.write
+                # directly (no branch, even for rn=15) and masks there.
+                self.regs[lanes, inst.rn] = (
+                    (base[alive].astype(np.uint64)
+                     + np.uint64(4 * count)) & MASK32).astype(np.uint32)
+
+    def _exec_stm(self, inst, doers):
+        base = self._read(inst.rn, doers, inst)
+        count = bin(inst.reglist).count("1")
+        start = ((base.astype(np.int64) - 4 * count)
+                 & MASK32).astype(np.uint64)
+        addr = start.copy()
+        alive = np.ones(doers.size, dtype=bool)
+        for i in range(16):
+            if not inst.reglist & (1 << i):
+                continue
+            lanes = doers[alive]
+            if lanes.size:
+                keep = self._latch_mem_faults(
+                    lanes, addr[alive].astype(np.int64), 4,
+                    store=True)
+                alive[alive] = keep
+                lanes = doers[alive]
+                if lanes.size:
+                    self._ram_write(lanes, addr[alive].astype(np.int64),
+                                    4, self._read(i, lanes, inst))
+            addr += np.uint64(4)
+        if inst.writeback:
+            lanes = doers[alive]
+            if lanes.size:
+                # Raw RegisterFile.write semantics, like LDM writeback.
+                self.regs[lanes, inst.rn] = start[alive].astype(
+                    np.uint32)
+
+    def _exec_svc(self, inst, doers):
+        for k in doers.tolist():
+            if k == self.ref:
+                self._ref_svc(inst)
+                continue
+            self._lane_svc(inst, k)
+
+    def _lane_svc(self, inst, k, ref=False):
+        from repro.isa.syscalls import SyscallError
+
+        def read_reg(i, _k=k):
+            return int(self.regs[_k, i])
+
+        def read_byte(a, _k=k):
+            if a < 0 or a + 1 > self.ram_size:
+                raise SimFault("mem-fault",
+                               "access of 1 bytes outside RAM", addr=a)
+            return self.store.read_byte(_k, a)
+
+        try:
+            result = self.emus[k].handle(inst.imm, read_reg, read_byte)
+        except SyscallError as exc:
+            fault = SimFault("syscall-error", str(exc), addr=inst.addr)
+            if ref:
+                raise AssertionError(
+                    f"reference lane raised {fault}") from exc
+            self.sfaults[k] = fault
+            return
+        except SimFault as exc:
+            if ref:
+                raise AssertionError(
+                    f"reference lane raised {exc}") from exc
+            self.sfaults[k] = exc
+            return
+        self.regs[k, 0] = np.uint32(result & MASK32)
+        if self.emus[k].exited:
+            self.halted[k] = True
+
+    def _ref_svc(self, inst):
+        self._lane_svc(inst, self.ref, ref=True)

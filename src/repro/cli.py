@@ -31,8 +31,8 @@ lifetime-aware fault pruning (default ``dead``), plus ``--store DIR``
 to persist every completed fault to an on-disk campaign store and
 ``--resume`` to continue an interrupted run without repeating finished
 faults.  ``--lanes N`` additionally vectorizes the faulty runs of
-arch-tier campaigns (``repro.batch``): N runs execute as one numpy
-pass with bit-identical per-fault classes.  Results are independent of
+arch- and rtl-tier campaigns (``repro.batch``): N runs execute as one
+numpy pass with bit-identical per-fault classes.  Results are independent of
 the worker count, of the lane count and of interruption/resume, and
 per-fault classes are independent of ``dead`` pruning -- see DESIGN.md.
 """
@@ -59,9 +59,9 @@ RESUME_HELP = (
 
 LANES_HELP = (
     "vectorized fault lanes per campaign (repro.batch): N > 1 executes "
-    "N faulty runs of the arch tier as one numpy pass; per-fault "
-    "classes are bit-identical to the scalar path.  Rejected for "
-    "scenarios targeting non-batchable levels (uarch/rtl)"
+    "N faulty runs of the arch or rtl tier as one numpy pass; "
+    "per-fault classes are bit-identical to the scalar path.  Rejected "
+    "for scenarios targeting non-batchable levels (uarch)"
 )
 
 PRUNE_HELP = (
@@ -347,9 +347,12 @@ def _cmd_list(_args):
 
     print("abstraction levels (targets.levels / sweep.level):")
     for spec in registry.levels():
-        print(f"  {spec.name:<14} {spec.description}")
+        sim_class = spec.simulator_class()
+        batchable = getattr(sim_class, "BATCHABLE", False)
+        tag = "  [lane-batchable]" if batchable else ""
+        print(f"  {spec.name:<14} {spec.description}{tag}")
         modes = sorted(spec.frontend_class().MODES)
-        structures = sorted(spec.simulator_class().INJECTABLE)
+        structures = sorted(sim_class.INJECTABLE)
         print(f"  {'':<14} modes: {', '.join(modes)}")
         print(f"  {'':<14} structures: {', '.join(structures)}")
     print()

@@ -135,7 +135,8 @@ class CampaignConfig:
         #: Vectorized lane count for the faulty phase (``repro.batch``):
         #: ``N > 1`` executes N same-segment faulty runs as one numpy
         #: pass on backends whose ``BATCHABLE`` flag allows it (the
-        #: arch tier).  Execution-only: records are bit-identical to
+        #: arch and rtl tiers).  Execution-only: records are
+        #: bit-identical to
         #: the scalar path, so it stays out of :meth:`identity`.
         self.batch_lanes = batch_lanes
 
@@ -227,6 +228,11 @@ class CampaignResult:
         #: the batch-speedup bench: N lanes sharing one global step
         #: make this ~``simulated_cycles / N`` for well-packed groups.
         self.batch_cycles = 0
+        #: High-water mark of private copy-on-write page bytes the lane
+        #: store materialized in-process (``0`` on the scalar path).
+        #: Sub-linear in lane count by design: lanes share the golden
+        #: image and pay only for pages they actually diverge on.
+        self.batch_lane_peak_bytes = 0
 
     def add(self, record):
         self.records.append(record)
@@ -389,6 +395,10 @@ class FaultRunner:
         #: the batched analogue of per-record replay+sim cycles,
         #: accumulated by :meth:`run_many` for the speedup bench.
         self.batch_cycles = 0
+        #: Peak private COW page bytes across lane-engine runs -- the
+        #: memory half of the bench (dense per-lane copies would be
+        #: ``lanes x footprint``; the paged store stays well under).
+        self.batch_lane_peak_bytes = 0
 
     def run_many(self, sim, specs, progress=None, on_batch=None):
         """Execute ``specs`` in fault-sample order, vectorized when
@@ -409,6 +419,8 @@ class FaultRunner:
             engine = LaneEngine(self, sim, cfg.batch_lanes)
             records = engine.run(specs)
             self.batch_cycles += engine.batch_cycles
+            self.batch_lane_peak_bytes = max(
+                self.batch_lane_peak_bytes, engine.peak_lane_bytes)
             for i, record in enumerate(records):
                 if on_batch is not None:
                     on_batch(i, [record])
@@ -893,6 +905,7 @@ class Campaign:
                                           on_batch=on_batch)
             result.jobs = jobs
             result.batch_cycles = runner.batch_cycles
+            result.batch_lane_peak_bytes = runner.batch_lane_peak_bytes
             # Merge by fault index: pruned classifications and stored
             # records fill the gaps around the simulated ones; every
             # index appears exactly once, in fault-sample order (the

@@ -222,7 +222,8 @@ class CellSpec:
     jobs: object            # int | None (auto)
     batch_size: object
     warm_start: bool
-    #: Vectorized lane count for the faulty phase (arch tier only).
+    #: Vectorized lane count for the faulty phase (lane-batchable
+    #: tiers: arch and rtl).
     lanes: int = 1
     #: Sweep coordinates of this cell: ``(axis, value)`` pairs in the
     #: sweep's declaration order (empty without a sweep).
@@ -549,8 +550,8 @@ class ScenarioSpec:
                     "execution.lanes",
                     f"lanes={self.lanes} needs a batchable backend, "
                     f"but level {level!r} is not",
-                    hint="the lane engine vectorizes only the arch "
-                         "tier; restrict targets.levels or use "
+                    hint="the lane engine vectorizes the arch and "
+                         "rtl tiers; restrict targets.levels or use "
                          "lanes = 1")
 
     def _level_combos(self):

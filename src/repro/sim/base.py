@@ -80,12 +80,12 @@ class SimulatorBase:
     #: the campaign engine's early-stop convergence check sound there.
     DRAIN_FREE = False
 
-    #: True when the batch-fault lane engine (``repro.batch``) can
-    #: vectorize this backend's faulty runs: the backend's whole
-    #: architectural state fits the lane-array model (registers, flags,
-    #: flat RAM) and its per-instruction semantics have numpy twins.
-    #: Only the arch emulator qualifies today; ``execution.lanes > 1``
-    #: is rejected for other tiers at scenario validation.
+    #: True when the batch-fault lane engine (``repro.batch``) has a
+    #: lane backend for this level: the arch emulator runs as a numpy
+    #: ISS lockstep, the rtl pipeline as lane arrays over its register
+    #: file/CPSR with drop-to-scalar fallback on control divergence.
+    #: ``execution.lanes > 1`` is rejected at scenario validation for
+    #: levels without a backend (today: uarch).
     BATCHABLE = False
 
     #: Tick-stamp convention of the access trace: True when a tick

@@ -159,8 +159,10 @@ def test_store_round_trip_across_lane_counts(tmp_path):
 # ----------------------------------------------------------------------
 
 def fig1_at_arch(lanes):
-    """The fig1 preset mapping retargeted onto the batchable tier (the
-    shipped preset's uarch/rtl cells reject ``lanes > 1`` by design)."""
+    """The fig1 preset mapping retargeted onto the arch tier (the
+    shipped preset's uarch cells reject ``lanes > 1`` by design; the
+    rtl cells batch since PR 7 and are pinned in
+    ``test_batch_rtl_equivalence.py``)."""
     mapping = load_mapping(preset_path("fig1"))
     mapping.pop("present", None)
     mapping["grid"] = [{"levels": ["arch"], "modes": ["pinout"]}]

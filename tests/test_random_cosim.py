@@ -8,7 +8,8 @@ forwarding, renaming or bypass behaviour fails here.
 
 The second half turns the same generator against the vectorized lane
 engine (``repro.batch``): random fault batches over random programs
-must classify bit-identically to the scalar campaign path.
+must classify bit-identically to the scalar campaign path, on both
+lane backends (arch numpy lockstep and rtl pipeline lanes).
 """
 
 from hypothesis import given, settings, strategies as st
@@ -92,14 +93,19 @@ def test_three_models_agree_on_random_programs(source):
 # randomized fault batches: lane engine vs scalar campaign
 # ----------------------------------------------------------------------
 
-def _campaign_keys(program, structure, samples, seed, lanes):
-    """One arch-tier campaign's records projected onto the bit-identity
-    contract (fault cell/bit/cycle draws come deterministically from
-    ``seed``, so both lane counts see the same batch)."""
+def _campaign_keys(program, structure, samples, seed, lanes,
+                   level="arch"):
+    """One campaign's records projected onto the bit-identity contract
+    (fault cell/bit/cycle draws come deterministically from ``seed``,
+    so both lane counts see the same batch)."""
+    if level == "rtl":
+        factory = lambda: RTLSim(program, FAST_RTL)  # noqa: E731
+    else:
+        factory = lambda: ArchSim(program)  # noqa: E731
     config = CampaignConfig(samples=samples, seed=seed, window=300,
                             checkpoint_interval=200, batch_lanes=lanes)
-    result = Campaign(lambda: ArchSim(program), structure, config,
-                      workload="random", level="arch").run()
+    result = Campaign(factory, structure, config,
+                      workload="random", level=level).run()
     return [(r.fault.bit, r.fault.cycle, r.fclass, r.detail,
              r.sim_cycles) for r in result.records]
 
@@ -119,4 +125,24 @@ def test_lane_engine_matches_scalar_on_random_batches(
     program = assemble(source)
     scalar = _campaign_keys(program, structure, samples, seed, lanes=1)
     batch = _campaign_keys(program, structure, samples, seed, lanes=lanes)
+    assert batch == scalar
+
+
+@settings(max_examples=8, deadline=None)
+@given(random_program(),
+       st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=2, max_value=10),
+       st.integers(min_value=2, max_value=6),
+       st.sampled_from(("regfile", "cpsr")))
+def test_rtl_lane_engine_matches_scalar_on_random_batches(
+        source, seed, samples, lanes, structure):
+    """The same net thrown over the rtl lane backend: random programs x
+    random fault batches classify bit-identically lanes=N vs the scalar
+    pipeline replay, exercising vectorized execution, enforce-point
+    drops and the scalar-fallback rerun path together."""
+    program = assemble(source)
+    scalar = _campaign_keys(program, structure, samples, seed, lanes=1,
+                            level="rtl")
+    batch = _campaign_keys(program, structure, samples, seed,
+                           lanes=lanes, level="rtl")
     assert batch == scalar

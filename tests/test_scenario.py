@@ -562,18 +562,21 @@ def test_lanes_knob_in_every_describe_header():
 
 
 def test_lanes_rejected_on_non_batchable_levels():
-    """The lane engine vectorizes only the arch tier: a spec asking for
-    ``lanes > 1`` on uarch/rtl fails validation naming the field."""
+    """The lane engine vectorizes the arch and rtl tiers: a spec asking
+    for ``lanes > 1`` on uarch fails validation naming the field."""
     with pytest.raises(ScenarioError) as err:
         make_spec(targets={"levels": ["uarch"],
                            "workloads": ["stringsearch"]},
                   execution={"lanes": 8})
     assert err.value.field == "execution.lanes"
     assert "uarch" in str(err.value)
-    # lanes=1 is fine anywhere, lanes=8 is fine on the batchable tier.
+    # lanes=1 is fine anywhere, lanes=8 is fine on the batchable tiers.
     make_spec(targets={"levels": ["uarch", "rtl"],
                        "workloads": ["stringsearch"]},
               execution={"lanes": 1})
+    make_spec(targets={"levels": ["rtl"],
+                       "workloads": ["stringsearch"]},
+              execution={"lanes": 8})
     make_spec(execution={"lanes": 8})
 
 

@@ -101,6 +101,10 @@ def parse_batch_speedup(text):
         "batched global stepped cycles":
             rf"batched \(lanes=\d+\):\s+{_FLOAT} global stepped",
         "cycle speedup x": rf"speedup: {_FLOAT}x simulated cycles",
+        "peak lane COW bytes":
+            rf"peak lane memory: {_FLOAT} COW bytes",
+        "peak lane vs dense x":
+            rf"dense \(\(lanes\+1\) x ram\) -> {_FLOAT}x",
     })
 
 
@@ -112,6 +116,9 @@ def parse_parallel_speedup(text):
     return _search_metrics(text, {
         "samples": rf"samples={_FLOAT}",
         "jobs": rf"jobs={_FLOAT}",
+        "modeled speedup x":
+            rf"modeled speedup \(cycle-weighted shard schedule\):"
+            rf" {_FLOAT}x",
     })
 
 
@@ -126,6 +133,7 @@ def parse_table2(text):
 #: Artifact basename -> extractor over the file's text.
 PARSERS = {
     "batch_speedup.txt": parse_batch_speedup,
+    "batch_rtl_speedup.txt": parse_batch_speedup,
     "prune_speedup.txt": parse_prune_speedup,
     "warmstart_speedup.txt": parse_warmstart_speedup,
     "decode_cache.txt": parse_decode_cache,
