@@ -11,7 +11,8 @@ help:
 	@echo "  bench       artifact-regenerating benches only (-> benchmarks/results/)"
 	@echo "  bench-smoke fig1 store+resume round trip, prune off/dead classification"
 	@echo "              diff, sweep-scenario store+resume round trip (+ CSV"
-	@echo "              artifact), arch lanes=8 and rtl lanes=4 vs lanes=1 class"
+	@echo "              artifact), binary vs jsonl store-format class diff,"
+	@echo "              arch lanes=8 and rtl lanes=4 vs lanes=1 class"
 	@echo "              diffs (repro.batch) + warm-start speedup artifact"
 	@echo "  bench-json  distill benchmarks/results/*.txt into BENCH_4.json"
 	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
@@ -35,7 +36,11 @@ bench:
 # cross-lane exactness contract, via the CLI path): arch at
 # execution.lanes=8 against the sweep store, rtl -- not part of the
 # sweep preset, so run scalar first -- at execution.lanes=4 (the spec
-# still rejects lanes>1 on the non-batchable uarch tier).  The
+# still rejects lanes>1 on the non-batchable uarch tier).  The jsonl
+# leg re-runs the sweep's arch cells with execution.store_format=jsonl
+# and diffs them against the (binary, format-2) sweep store -- the
+# cross-format exactness contract, read straight off the mmap on the
+# binary side.  The
 # warm-start speedup bench publishing
 # benchmarks/results/warmstart_speedup.txt runs only when `make test` /
 # `make bench` has not already written the artifact (CI runs `make
@@ -74,6 +79,17 @@ bench-smoke:
 	$(PYTHON) tools/diff_store_classes.py \
 	  benchmarks/results/smoke_sweep/uarch-stringsearch-regfile-pinout-prune=off \
 	  benchmarks/results/smoke_sweep/uarch-stringsearch-regfile-pinout-prune=dead
+	rm -rf benchmarks/results/smoke_jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set targets.levels=arch \
+	  --set execution.store=benchmarks/results/smoke_jsonl \
+	  --set execution.store_format=jsonl
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_jsonl/arch-stringsearch-regfile-pinout-prune=off \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=off
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_jsonl/arch-stringsearch-regfile-pinout-prune=dead \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=dead
 	rm -rf benchmarks/results/smoke_lanes
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
 	  --set targets.levels=arch --set execution.lanes=8 \

@@ -1,0 +1,154 @@
+"""Micro-benchmark: format-2 binary store vs the JSONL debug format.
+
+Writes the same synthetic 10^5-fault campaign (seeded, realistic field
+magnitudes: multi-million-cycle windows, per-fault detail strings on
+unsafe classifications, ``dead``-pruned masked faults) through both
+record formats and records two deterministic headline numbers into
+``benchmarks/results/store_codec.txt``:
+
+* **bytes/record** for each format and their ratio -- the acceptance
+  bar is >= 8x smaller on disk for the bitpacked format;
+* the **peak-allocation ratio** of an mmap class tally against a full
+  JSONL record load (tracemalloc): format 2 answers ``store`` /
+  ``diff`` queries off numpy lanes without materializing per-record
+  objects, so its footprint is a handful of lane arrays instead of
+  hundreds of thousands of FaultRecord/FaultSpec instances.
+
+Cross-format equivalence is asserted unconditionally: both stores must
+tally identically, class for class.  Wall clock is printed, never
+persisted (the artifact stability contract; see conftest.py).
+
+Knobs: ``REPRO_STORE_RECORDS`` (synthetic faults, default 100000).
+"""
+
+import os
+import random
+import time
+import tracemalloc
+
+from conftest import save_artifact
+
+from repro.injection.classify import FaultClass, FaultRecord
+from repro.injection.faults import FaultSpec
+from repro.injection.store import CampaignStore
+
+SEED = 2017
+
+STRUCTURES = ("regfile", "cpsr", "l1d")
+#: Unsafe classes carry a detail string, with campaign-realistic
+#: cardinality: classifier verdicts are fixed templates ("program
+#: output differs", "watchdog expired"); only DUE details vary, with
+#: the handful of abort addresses corrupted pointers actually land on.
+DETAILS = {
+    FaultClass.SDC: ("program output differs",),
+    FaultClass.HANG: ("watchdog expired",),
+    FaultClass.LATENT: ("hardware state differs",),
+    FaultClass.DUE: tuple(
+        f"data abort: unmapped load at {0x8000 + 4 * k:#010x}"
+        for k in range(192)),
+}
+
+
+def record_count():
+    return int(os.environ.get("REPRO_STORE_RECORDS", "100000"))
+
+
+def synthesize(n):
+    """A seeded synthetic campaign with campaign-shaped records."""
+    rng = random.Random(SEED)
+    out = []
+    for index in range(n):
+        original = rng.randrange(3_000_000)
+        accelerated = rng.random() < 0.3
+        cycle = original - rng.randrange(50_000) if accelerated else \
+            original
+        fclass = rng.choices(
+            (FaultClass.MASKED, FaultClass.SDC, FaultClass.DUE,
+             FaultClass.HANG, FaultClass.LATENT),
+            weights=(70, 12, 8, 4, 6))[0]
+        pool = DETAILS.get(fclass)
+        detail = rng.choice(pool) if pool else ""
+        pruned = "dead" if fclass is FaultClass.MASKED \
+            and rng.random() < 0.4 else ""
+        fault = FaultSpec(rng.choice(STRUCTURES), rng.randrange(4096),
+                          max(cycle, 0), original_cycle=original)
+        out.append(FaultRecord(
+            fault, fclass, detail,
+            sim_cycles=0 if pruned else rng.randrange(2_500_000),
+            wall_seconds=rng.random() * 4.0,
+            replay_cycles=0 if pruned else rng.randrange(500_000),
+            pruned=pruned))
+    return out
+
+
+def write_store(path, records, fmt):
+    store = CampaignStore(path, store_format=fmt)
+    store.begin({"bench": "store_codec", "seed": SEED})
+    for index, record in enumerate(records):
+        store.append(index, record)
+    store.close()
+    return store
+
+
+def store_bytes(store):
+    paths = (store.binary_path, store.strings_path, store.records_path)
+    return sum(p.stat().st_size for p in paths if p.exists())
+
+
+def peak_alloc(fn):
+    tracemalloc.start()
+    try:
+        fn()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def test_store_codec_size_and_query(benchmark, tmp_path):
+    n = record_count()
+    records = synthesize(n)
+    binary = write_store(tmp_path / "binary", records, "binary")
+    jsonl = write_store(tmp_path / "jsonl", records, "jsonl")
+
+    binary_bpr = store_bytes(binary) / n
+    jsonl_bpr = store_bytes(jsonl) / n
+    size_ratio = jsonl_bpr / binary_bpr
+    assert size_ratio >= 8.0, (
+        f"binary store only {size_ratio:.1f}x smaller than JSONL "
+        f"({binary_bpr:.1f} vs {jsonl_bpr:.1f} bytes/record)")
+
+    # The measured query: a full class tally off the mmap lanes.
+    started = time.perf_counter()
+    tally = benchmark.pedantic(binary.class_tally, rounds=1,
+                               iterations=1)
+    mmap_s = time.perf_counter() - started
+    started = time.perf_counter()
+    jsonl_tally = jsonl.class_tally()
+    jsonl_s = time.perf_counter() - started
+    assert tally == jsonl_tally  # cross-format exactness, class by class
+    assert tally["n"] == n
+
+    # Peak allocations: lane arrays vs materialized record objects.
+    mmap_peak = peak_alloc(CampaignStore(binary.path).class_tally)
+    load_peak = peak_alloc(CampaignStore(jsonl.path).records)
+    alloc_ratio = int(load_peak / mmap_peak) if mmap_peak else 0
+    assert alloc_ratio >= 2, (
+        f"mmap tally peak {mmap_peak} B not clearly below JSONL load "
+        f"peak {load_peak} B")
+
+    lines = [
+        f"store codec: synthetic campaign, records={n} seed={SEED}",
+        f"binary:  {binary_bpr:.2f} bytes/record"
+        f" (records.bin + strings.dat)",
+        f"jsonl:   {jsonl_bpr:.2f} bytes/record",
+        f"size ratio: {size_ratio:.1f}x smaller on disk"
+        f" (deterministic)",
+        f"mmap tally peak-alloc ratio: {alloc_ratio}x less than a"
+        f" JSONL record load",
+    ]
+    text = "\n".join(lines)
+    save_artifact("store_codec.txt", text)
+    print()
+    print(text)
+    print(f"wall clock (this host): mmap tally {mmap_s:.3f}s, jsonl"
+          f" load+tally {jsonl_s:.3f}s")

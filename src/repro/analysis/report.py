@@ -89,35 +89,37 @@ def speedup_table(results, title=None):
 def store_table(paths, title=None):
     """Summary of one or more on-disk campaign stores, merged.
 
-    Reads each store (manifest + intact JSONL records; see
+    Reads each store's manifest and intact records (see
     :mod:`repro.injection.store`) and renders the standard per-campaign
     columns plus completion, so an interrupted campaign's partial
-    tallies are inspectable before it is resumed.
+    tallies are inspectable before it is resumed.  Tallies come from
+    :meth:`CampaignStore.class_tally` -- binary stores (format 2) are
+    counted straight off the mmap lanes, so a million-fault store
+    summarizes without materializing a single record object.
     """
-    from repro.injection.store import load_stores
+    from repro.injection.store import CampaignStore
 
     headers = ("store", "workload", "level", "structure", "done",
                "of", "unsafe", "masked", "sdc", "due", "hang", "mism",
                "latent", "pruned", "git")
     rows = []
-    for path, (manifest, records) in zip(paths, load_stores(paths)):
+    for path in paths:
+        store = CampaignStore(path)
+        manifest = store.manifest()
+        tally = store.class_tally()
         identity = manifest.get("identity", {})
         config = identity.get("config", {})
-        unsafe = sum(1 for r in records.values() if r.fclass.unsafe)
-        by_class = {}
-        for r in records.values():
-            by_class[r.fclass.value] = by_class.get(r.fclass.value, 0) + 1
-        pruned = sum(1 for r in records.values() if r.pruned)
-        n = len(records)
+        by_class = tally["classes"]
+        n = tally["n"]
         rows.append((
             str(path), identity.get("workload", "?"),
             identity.get("level", "?"), identity.get("structure", "?"),
             n, config.get("samples", "?"),
-            f"{100 * unsafe / n:.1f}%" if n else "-",
+            f"{100 * tally['unsafe'] / n:.1f}%" if n else "-",
             by_class.get("masked", 0), by_class.get("sdc", 0),
             by_class.get("due", 0), by_class.get("hang", 0),
             by_class.get("mismatch", 0), by_class.get("latent", 0),
-            pruned,
+            tally["pruned"],
             manifest.get("git") or "-",
         ))
     return render_table(headers, rows, title=title)

@@ -17,7 +17,7 @@ paths::
     repro-study fig1|fig2|fig3 [--samples N] [--workloads ...] [--jobs N]
     repro-study headline [--samples N] [--jobs N]
     repro-study golden <workload> [--level arch|uarch|rtl]
-    repro-study store <dir> [<dir> ...]
+    repro-study store <dir> [<dir> ...] [--export jsonl]
 
 ``--level`` choices come from the backend registry
 (``repro.sim.registry``): the architectural emulator (``arch``), the
@@ -49,7 +49,15 @@ JOBS_HELP = (
 
 STORE_HELP = (
     "root directory for on-disk campaign stores (one subdirectory per "
-    "series: manifest + append-only JSONL records, flushed per fault)"
+    "series: manifest + append-only records, flushed per fault; fresh "
+    "stores use the compact binary format -- see --store-format)"
+)
+
+STORE_FORMAT_HELP = (
+    "record format for fresh stores: 'binary' (default; bitpacked "
+    "records.bin + strings.dat, mmap-queried) or 'jsonl' (one JSON "
+    "object per fault, human-greppable).  Existing stores keep their "
+    "format; `repro-study store <dir> --export jsonl` converts"
 )
 
 RESUME_HELP = (
@@ -138,11 +146,15 @@ examples:
 Summarizes one or more on-disk campaign stores (written by campaign
 subcommands with --store): per-store completion, class tallies and the
 recorded provenance.  Reads manifests and intact records only -- a
-store whose campaign was killed mid-fault is still summarized.
+store whose campaign was killed mid-fault is still summarized.  Binary
+stores (format 2, the default) are tallied straight off the mmap;
+JSONL stores (format 1) are parsed.  `--export jsonl` prints one
+store's records as JSONL on stdout -- the debug view of a binary store.
 
 examples:
   repro-study fig1 --samples 100 --store runs/fig1 --jobs 4
-  repro-study store runs/fig1/*""",
+  repro-study store runs/fig1/*
+  repro-study store runs/fig1/uarch-sha-regfile-pinout --export jsonl""",
 }
 
 
@@ -272,6 +284,8 @@ def _run_flag_overrides(args):
         # pre-split tuple: the path must reach the spec verbatim, not
         # through TOML-scalar coercion (see parse_overrides)
         overrides.append((("execution", "store"), args.store))
+    if getattr(args, "store_format", None) is not None:
+        overrides.append(f"execution.store_format={args.store_format}")
     if args.resume:
         overrides.append("execution.resume=true")
     return overrides
@@ -319,6 +333,9 @@ def _legacy_overrides(args):
         overrides.append(f"faults.samples={args.samples}")
     if args.store:
         overrides.append((("execution", "store"), args.store))
+        if getattr(args, "store_format", None) is not None:
+            overrides.append(
+                f"execution.store_format={args.store_format}")
         if args.resume:
             overrides.append("execution.resume=true")
     return overrides
@@ -401,6 +418,18 @@ def _cmd_headline(args):
 
 
 def _cmd_store(args):
+    if args.export:
+        from repro.injection.store import CampaignStore
+
+        if len(args.stores) != 1:
+            raise SystemExit(
+                "repro-study: --export takes exactly one store "
+                "directory")
+        store = CampaignStore(args.stores[0])
+        store.manifest()  # fail early on a non-store path
+        for line in store.export_jsonl():
+            print(line)
+        return
     from repro.analysis.report import store_table
 
     print(store_table(args.stores, title="Campaign stores"))
@@ -464,6 +493,8 @@ def main(argv=None):
     p_run.add_argument("--prune", choices=("off", "dead", "group"),
                        default=None, help=PRUNE_HELP)
     p_run.add_argument("--store", default=None, help=STORE_HELP)
+    p_run.add_argument("--store-format", choices=("binary", "jsonl"),
+                       default=None, help=STORE_FORMAT_HELP)
     p_run.add_argument("--resume", action="store_true", help=RESUME_HELP)
     _add_parser(sub, "list",
                 "valid scenario spec values (levels, workloads, ...)")
@@ -501,11 +532,18 @@ def main(argv=None):
         p.add_argument("--prune", choices=("off", "dead", "group"),
                        default="dead", help=PRUNE_HELP)
         p.add_argument("--store", default=None, help=STORE_HELP)
+        p.add_argument("--store-format", choices=("binary", "jsonl"),
+                       default=None, help=STORE_FORMAT_HELP)
         p.add_argument("--resume", action="store_true", help=RESUME_HELP)
     p_store = _add_parser(sub, "store",
                           "summarize on-disk campaign stores")
     p_store.add_argument("stores", nargs="+",
-                         help="store directories (manifest + JSONL)")
+                         help="store directories (manifest + binary or "
+                              "JSONL records)")
+    p_store.add_argument("--export", choices=("jsonl",), default=None,
+                         help="print one store's records as JSONL on "
+                              "stdout (debug export; exactly one "
+                              "store directory)")
     from repro.sim.registry import level_names
 
     p_golden = _add_parser(sub, "golden",

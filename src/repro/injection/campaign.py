@@ -849,7 +849,8 @@ class Campaign:
             if store is not None:
                 store.set_golden(result.golden_cycles, result.golden_insts,
                                  golden["end_cycle"], result.population,
-                                 golden["bits"])
+                                 golden["bits"],
+                                 trace=golden.get("trace"))
             self._check_stored_faults(stored, specs)
             pruned_records, eff_specs, member_of = self._prune_partition(
                 sim, golden, specs)

@@ -1,4 +1,4 @@
-"""Resumable on-disk campaign store: append-only JSONL + manifest.
+"""Resumable on-disk campaign store: durable fault records + manifest.
 
 A campaign store makes the faulty phase of a campaign durable and
 resumable.  One store directory holds one campaign:
@@ -6,12 +6,24 @@ resumable.  One store directory holds one campaign:
 * ``manifest.json`` -- the campaign's identity (workload, level,
   structure and every result-affecting
   :meth:`~repro.injection.campaign.CampaignConfig.identity` knob), the
-  repository's ``git describe`` at creation time, and -- once the
-  golden phase has run -- the golden summary that lets a fully
-  completed campaign resume without simulating anything at all;
-* ``records.jsonl`` -- one JSON object per completed fault, keyed by
-  the fault's sample index.  Append-only and flushed per record, so a
-  killed campaign loses at most the fault that was in flight.
+  record format, the repository's ``git describe`` at creation time,
+  and -- once the golden phase has run -- the golden summary that lets
+  a fully completed campaign resume without simulating anything at all;
+* the fault records, in one of two formats:
+
+  - **format 2 (binary, the default for fresh stores)** --
+    ``records.bin`` holds fixed-width bitpacked records
+    (:data:`~repro.injection.storefmt.RECORD_BYTES` bytes each),
+    ``strings.dat`` interns structure/detail strings, and ``trace.bin``
+    (optional) carries the run-length-encoded golden lifetime trace.
+    Reads are mmap-backed numpy lane views, so tallies and diffs over
+    10^6 faults never materialize per-record Python objects;
+  - **format 1 (JSONL)** -- ``records.jsonl``, one JSON object per
+    fault.  Kept as a human-greppable debug format
+    (``repro-study store <dir> --export jsonl`` converts either way).
+
+Both formats are append-only and flushed per record, so a killed
+campaign loses at most the fault that was in flight.
 
 Resume semantics: fault samples are a pure function of the manifest
 identity (same seed, same distribution), so a resumed campaign redraws
@@ -19,11 +31,14 @@ the identical sample list, skips every index already on disk and runs
 only the remainder.  Records from both sessions merge by index into a
 sequence whose classifications (class, detail, sim_cycles) are
 bit-identical to an uninterrupted run; only per-session accounting
-(``wall_seconds``, ``replay_cycles``) reflects how each session
-actually executed.  A half-written trailing
-line (the in-flight fault of a kill) is truncated away on open; any
-earlier corruption or an identity mismatch is an error, never a silent
-partial resume.
+(``wall_seconds`` -- microsecond-quantized in format 2 --  and
+``replay_cycles``) reflects how each session actually executed.  A
+half-written trailing record (the in-flight fault of a kill) is
+truncated away on open; any earlier corruption, a duplicated fault
+index, or an identity mismatch is an error, never a silent partial
+resume.  A records file without a manifest (a crash in the window
+between store creation and the manifest write, or a hand-deleted
+manifest) is *refused* on a fresh start rather than wiped.
 """
 
 import json
@@ -32,22 +47,43 @@ import pathlib
 import subprocess
 import time
 
+import numpy as np
+
+from repro.injection import storefmt
 from repro.injection.classify import FaultClass, FaultRecord
 from repro.injection.faults import FaultSpec
+from repro.injection.storefmt import StoreError, StoreMismatchError
 
-#: Manifest format; bump on incompatible layout changes.
-FORMAT = 1
+#: Manifest formats this code reads, and the default for fresh stores.
+FORMAT_JSONL = 1
+FORMAT_BINARY = 2
+FORMATS = (FORMAT_JSONL, FORMAT_BINARY)
+FORMAT = FORMAT_BINARY
 
 MANIFEST_NAME = "manifest.json"
 RECORDS_NAME = "records.jsonl"
+BINARY_RECORDS_NAME = "records.bin"
+STRINGS_NAME = "strings.dat"
+TRACE_NAME = "trace.bin"
+
+_FORMAT_NAMES = {"jsonl": FORMAT_JSONL, "binary": FORMAT_BINARY}
 
 
-class StoreError(Exception):
-    """A campaign store is unreadable or corrupt beyond recovery."""
+def normalize_format(store_format):
+    """A user-facing format name/number as a format code (or None)."""
+    if store_format is None or store_format in FORMATS:
+        return store_format
+    try:
+        return _FORMAT_NAMES[store_format]
+    except (KeyError, TypeError):
+        raise StoreError(
+            f"unknown store format {store_format!r} "
+            f"(choose 'binary' or 'jsonl')")
 
 
-class StoreMismatchError(StoreError):
-    """Resume rejected: the store was written by a different campaign."""
+def format_name(fmt):
+    return {FORMAT_JSONL: "jsonl", FORMAT_BINARY: "binary"}.get(
+        fmt, str(fmt))
 
 
 def git_describe():
@@ -106,13 +142,22 @@ class CampaignStore:
     Lifecycle: construct with a directory path, then :meth:`begin` with
     the campaign identity (creates or validates), :meth:`append` per
     completed fault, :meth:`set_golden` after the golden phase.  A
-    store can also be read standalone (reports, merging) through
-    :meth:`manifest`/:meth:`records` without :meth:`begin`.
+    store can also be read standalone (reports, merging, tallies)
+    through :meth:`manifest`/:meth:`records`/:meth:`class_tally`
+    without :meth:`begin`.
+
+    ``store_format`` picks the record format for *fresh* stores
+    (``"binary"``/``"jsonl"``, default binary); an existing store keeps
+    the format its manifest declares, and an explicit conflicting
+    request is an error rather than a silent rewrite.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, store_format=None):
         self.path = pathlib.Path(path)
+        self._requested_format = normalize_format(store_format)
+        self._format = None
         self._records_file = None
+        self._strings = None
 
     @property
     def manifest_path(self):
@@ -122,8 +167,52 @@ class CampaignStore:
     def records_path(self):
         return self.path / RECORDS_NAME
 
+    @property
+    def binary_path(self):
+        return self.path / BINARY_RECORDS_NAME
+
+    @property
+    def strings_path(self):
+        return self.path / STRINGS_NAME
+
+    @property
+    def trace_path(self):
+        return self.path / TRACE_NAME
+
     def exists(self):
         return self.manifest_path.exists()
+
+    def format(self):
+        """The store's resolved record format code.
+
+        The manifest's format when one exists, else whichever records
+        file is on disk, else the requested (or default) format for a
+        fresh store.  An explicit request that conflicts with an
+        existing store raises :class:`StoreError`.
+        """
+        if self.exists():
+            fmt = self.manifest()["format"]
+        elif self.binary_path.exists():
+            fmt = FORMAT_BINARY
+        elif self.records_path.exists():
+            fmt = FORMAT_JSONL
+        else:
+            return self._requested_format or FORMAT
+        if self._requested_format not in (None, fmt):
+            raise StoreError(
+                f"store at {self.path} is "
+                f"{format_name(fmt)} (format {fmt}) but "
+                f"{format_name(self._requested_format)} was requested; "
+                f"delete the directory to rewrite it")
+        return fmt
+
+    def _read_format(self):
+        # For read-only paths: never enforces the requested format.
+        if self.exists():
+            return self.manifest()["format"]
+        if self.binary_path.exists():
+            return FORMAT_BINARY
+        return FORMAT_JSONL
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -137,7 +226,8 @@ class CampaignStore:
         records is hours of simulation, so overwriting it without
         ``resume`` raises :class:`StoreError` instead of silently
         discarding them (delete the directory to really start over).
-        Resume: the stored identity must match exactly
+        That refusal also covers orphaned records files whose manifest
+        is missing.  Resume: the stored identity must match exactly
         (:class:`StoreMismatchError` otherwise) and a torn trailing
         record -- the footprint of a kill mid-write -- is truncated
         away.  Returns the records already on disk,
@@ -146,6 +236,7 @@ class CampaignStore:
         self.path.mkdir(parents=True, exist_ok=True)
         stored = {}
         if resume and self.exists():
+            fmt = self.format()
             manifest = self.manifest()
             if manifest.get("identity") != identity:
                 raise StoreMismatchError(
@@ -153,32 +244,71 @@ class CampaignStore:
                     f"campaign:\n  stored:  {manifest.get('identity')}"
                     f"\n  current: {identity}"
                 )
-            self._recover_records_tail()
+            self._recover_records_tail(fmt)
             stored = self.records()
         else:
-            existing = self.records() if self.exists() else {}
-            if existing:
-                raise StoreError(
-                    f"store at {self.path} already holds "
-                    f"{len(existing)} completed records; pass resume "
-                    f"(--resume) to continue it, or delete the "
-                    f"directory to start over"
-                )
+            if self.exists():
+                existing = self.records()
+                if existing:
+                    raise StoreError(
+                        f"store at {self.path} already holds "
+                        f"{len(existing)} completed records; pass "
+                        f"resume (--resume) to continue it, or delete "
+                        f"the directory to start over"
+                    )
+            else:
+                self._refuse_orphan_records()
+            fmt = self._requested_format or FORMAT
             self._write_manifest({
-                "format": FORMAT,
+                "format": fmt,
                 "identity": identity,
                 "git": git_describe(),
                 "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             })
-            self.records_path.write_text("")
-        self._records_file = open(self.records_path, "a",
-                                  encoding="utf-8")
+            self._init_records(fmt)
+        self._format = fmt
+        if fmt == FORMAT_BINARY:
+            self._strings = storefmt.StringTable(self.strings_path)
+            self._records_file = open(self.binary_path, "ab")
+        else:
+            self._records_file = open(self.records_path, "a",
+                                      encoding="utf-8")
         return stored
+
+    def _refuse_orphan_records(self):
+        # Satellite of the durability contract: a records file without
+        # a manifest is evidence of a crash (or a hand-deleted
+        # manifest), not a blank slate -- never wipe it.
+        for path, empty_size in (
+                (self.records_path, 0),
+                (self.binary_path, storefmt.RECORDS_HEADER_BYTES)):
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size > empty_size:
+                raise StoreError(
+                    f"{path} holds completed records but "
+                    f"{self.manifest_path} is missing; refusing to "
+                    f"overwrite them -- restore the manifest or delete "
+                    f"the store directory to start over")
+
+    def _init_records(self, fmt):
+        for stale in (self.records_path, self.binary_path,
+                      self.strings_path, self.trace_path):
+            stale.unlink(missing_ok=True)
+        if fmt == FORMAT_BINARY:
+            self.binary_path.write_bytes(storefmt.records_header())
+        else:
+            self.records_path.write_text("")
 
     def close(self):
         if self._records_file is not None:
             self._records_file.close()
             self._records_file = None
+        if self._strings is not None:
+            self._strings.close()
+            self._strings = None
 
     # ------------------------------------------------------------------
     # manifest
@@ -193,11 +323,11 @@ class CampaignStore:
             raise StoreError(
                 f"corrupt manifest at {self.manifest_path}: {exc}"
             )
-        if manifest.get("format") != FORMAT:
+        if manifest.get("format") not in FORMATS:
             raise StoreError(
                 f"store at {self.path} has format "
-                f"{manifest.get('format')!r}, this code reads format "
-                f"{FORMAT} -- re-run the campaign to rewrite it"
+                f"{manifest.get('format')!r}, this code reads formats "
+                f"{list(FORMATS)} -- re-run the campaign to rewrite it"
             )
         return manifest
 
@@ -209,10 +339,15 @@ class CampaignStore:
         os.replace(tmp, self.manifest_path)
 
     def set_golden(self, golden_cycles, golden_insts, end_cycle,
-                   population, bits):
+                   population, bits, trace=None):
         """Record the golden summary so a fully completed campaign can
         later resume into a result -- and redraw its fault samples for
-        cross-checking -- without simulating."""
+        cross-checking -- without simulating.
+
+        For binary stores, a golden lifetime ``trace`` is also
+        persisted (RLE-encoded, atomically) so prune decisions survive
+        alongside the records they explain.
+        """
         manifest = self.manifest()
         manifest["golden"] = {
             "cycles": golden_cycles,
@@ -222,10 +357,25 @@ class CampaignStore:
             "bits": bits,
         }
         self._write_manifest(manifest)
+        if trace is not None and manifest["format"] == FORMAT_BINARY:
+            tmp = self.trace_path.with_suffix(".tmp")
+            tmp.write_bytes(storefmt.encode_trace(trace.snapshot()))
+            os.replace(tmp, self.trace_path)
 
     def golden_info(self):
         """The recorded golden summary, or None before the golden phase."""
         return self.manifest().get("golden")
+
+    def golden_trace(self):
+        """The persisted golden lifetime trace, or None if absent."""
+        try:
+            blob = self.trace_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        from repro.prune.trace import LifetimeTrace
+        trace = LifetimeTrace()
+        trace.restore(storefmt.decode_trace(blob))
+        return trace
 
     # ------------------------------------------------------------------
     # records
@@ -235,17 +385,34 @@ class CampaignStore:
         """Durably append one completed fault (flushed per record)."""
         if self._records_file is None:
             raise StoreError("store not opened with begin()")
-        self._records_file.write(
-            json.dumps(record_to_json(index, record)) + "\n"
-        )
+        if self._format == FORMAT_BINARY:
+            # Interning flushes new strings before the record that
+            # references them hits the file, so an intact record never
+            # dangles (an orphan string after a kill is harmless).
+            sid = self._strings.intern(storefmt.KIND_STRUCTURE,
+                                       record.fault.structure)
+            did = self._strings.intern(storefmt.KIND_DETAIL,
+                                       record.detail)
+            self._records_file.write(
+                storefmt.pack_record(index, record, sid, did))
+        else:
+            self._records_file.write(
+                json.dumps(record_to_json(index, record)) + "\n"
+            )
         self._records_file.flush()
 
     def records(self):
         """All intact records on disk, ``{index: FaultRecord}``.
 
-        A torn final line (kill mid-append) is ignored; corruption
-        anywhere earlier raises :class:`StoreError`.
+        A torn final record (kill mid-append) is ignored; corruption
+        anywhere earlier, or a duplicated fault index (double-append),
+        raises :class:`StoreError`.
         """
+        if self._read_format() == FORMAT_BINARY:
+            return self._binary_records()
+        return self._jsonl_records()
+
+    def _jsonl_records(self):
         out = {}
         try:
             lines = self.records_path.read_text().split("\n")
@@ -265,11 +432,127 @@ class CampaignStore:
                     f"corrupt record at {self.records_path}:"
                     f"{lineno + 1}: {exc}"
                 )
+            if index in out:
+                raise StoreError(
+                    f"duplicate fault index #{index} at "
+                    f"{self.records_path}:{lineno + 1}: the store was "
+                    f"double-appended; delete it and re-run")
             out[index] = record
         return out
 
-    def _recover_records_tail(self):
-        """Truncate a half-written final line in place."""
+    def _reader(self):
+        return storefmt.PackedReader(self.binary_path,
+                                     self.strings_path)
+
+    def _binary_records(self):
+        reader = self._reader()
+        reader.check_duplicates()
+        out = {}
+        if not len(reader):
+            return out
+        index = reader.lane("index").tolist()
+        structure = reader.structure_names().tolist()
+        detail = reader.detail_names().tolist()
+        fclass = [storefmt.FCLASS_BY_CODE[c]
+                  for c in reader.fclass_codes().tolist()]
+        pruned = [storefmt.PRUNED_BY_CODE[c]
+                  for c in reader.pruned_tags().tolist()]
+        bit = reader.lane("bit").tolist()
+        cycle = reader.lane("cycle").tolist()
+        original = reader.lane("original_cycle").tolist()
+        sim = reader.lane("sim_cycles").tolist()
+        replay = reader.lane("replay_cycles").tolist()
+        wall = reader.lane("wall_us").tolist()
+        for k in range(len(index)):
+            fault = FaultSpec(structure[k], bit[k], cycle[k],
+                              original_cycle=original[k])
+            out[index[k]] = FaultRecord(
+                fault, fclass[k], detail[k], sim_cycles=sim[k],
+                wall_seconds=wall[k] / 1e6,
+                replay_cycles=replay[k], pruned=pruned[k])
+        return out
+
+    def class_tally(self):
+        """Per-class record counts without materializing records.
+
+        Returns ``{"n", "unsafe", "pruned", "classes": {value: count}}``.
+        Format 2 tallies numpy lanes straight off the mmap; format 1
+        falls back to parsing records.
+        """
+        if self._read_format() == FORMAT_BINARY:
+            reader = self._reader()
+            reader.check_duplicates()
+            return reader.class_tally()
+        records = self.records()
+        classes = {f.value: 0 for f in storefmt.FCLASS_BY_CODE}
+        for record in records.values():
+            classes[record.fclass.value] += 1
+        return {
+            "n": len(records),
+            "unsafe": sum(1 for r in records.values()
+                          if r.fclass is not FaultClass.MASKED),
+            "pruned": sum(1 for r in records.values() if r.pruned),
+            "classes": classes,
+        }
+
+    def sequence_arrays(self):
+        """The classification sequence as columnar numpy arrays.
+
+        ``{"index", "structure", "bit", "original_cycle", "fclass"}``
+        sorted by fault index -- the exact identity
+        ``tools/diff_store_classes.py`` compares.  Format 2 reads lanes
+        off the mmap (no per-record objects); format 1 falls back to
+        parsed records.
+        """
+        if self._read_format() == FORMAT_BINARY:
+            reader = self._reader()
+            reader.check_duplicates()
+            order = np.argsort(reader.lane("index"), kind="stable")
+            return {
+                "index": reader.lane("index")[order],
+                "structure": reader.structure_names()[order],
+                "bit": reader.lane("bit")[order],
+                "original_cycle":
+                    reader.lane("original_cycle")[order],
+                "fclass": reader.fclass_values()[order],
+            }
+        records = self.records()
+        idx = sorted(records)
+        return {
+            "index": np.asarray(idx, dtype=np.uint64),
+            "structure": np.asarray(
+                [records[i].fault.structure for i in idx],
+                dtype=object),
+            "bit": np.asarray(
+                [records[i].fault.bit for i in idx],
+                dtype=np.uint64),
+            "original_cycle": np.asarray(
+                [records[i].fault.original_cycle for i in idx],
+                dtype=np.uint64),
+            "fclass": np.asarray(
+                [records[i].fclass.value for i in idx], dtype=object),
+        }
+
+    def export_jsonl(self):
+        """Yield the store's records as JSONL lines, in index order.
+
+        The debug export: re-importing the lines with
+        :func:`record_from_json` reproduces the stored records exactly
+        (for binary stores, ``wall_seconds`` carries the store's
+        microsecond quantization).
+        """
+        records = self.records()
+        for index in sorted(records):
+            yield json.dumps(record_to_json(index, records[index]))
+
+    def _recover_records_tail(self, fmt=None):
+        """Truncate a half-written final record in place."""
+        if fmt is None:
+            fmt = self._read_format()
+        if fmt == FORMAT_BINARY:
+            storefmt.recover_records_tail(self.binary_path)
+            storefmt.recover_strings_tail(self.strings_path)
+            return
         try:
             blob = self.records_path.read_bytes()
         except FileNotFoundError:

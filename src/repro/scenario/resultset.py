@@ -134,16 +134,35 @@ class ResultSet:
         ``series_defs`` is an iterable of mappings with ``name``,
         ``level``, ``mode`` and optional ``structure`` -- the
         ``[[present.series]]`` blocks of a preset.  Workload order
-        within a series follows cell order.
+        within a series follows cell order.  A series definition must
+        narrow the set to at most one cell per workload: when a sweep
+        axis is left unpinned, several cells would collapse onto one
+        chart point, so the ambiguity raises instead of silently
+        charting whichever cell came first.
         """
+        from repro.scenario.spec import ScenarioError
+
         shaped = {}
         for definition in series_defs:
             coords = {axis: definition[axis]
                       for axis in ("level", "mode", "structure")
                       if axis in definition}
+            matched = self.where(**coords)
             by_workload = {}
-            for cell, result in self.where(**coords):
-                by_workload.setdefault(cell.workload, result)
+            for cell, result in matched:
+                if cell.workload in by_workload:
+                    colliding = [c.label() for c, _ in matched
+                                 if c.workload == cell.workload]
+                    raise ScenarioError(
+                        "present.series",
+                        f"series {definition['name']!r} matches "
+                        f"{len(colliding)} cells for workload "
+                        f"{cell.workload!r}: {', '.join(colliding)}",
+                        hint="pin the sweep axis in the series "
+                             "definition or filter the ResultSet "
+                             "before shaping",
+                    )
+                by_workload[cell.workload] = result
             shaped[definition["name"]] = by_workload
         return shaped
 

@@ -105,6 +105,7 @@ class ScenarioRunner:
                 batch_lanes=cell.lanes,
                 prune_mode=cell.prune, warm_start=cell.warm_start,
                 store=self._cell_store(cell), resume=self.spec.resume,
+                store_format=self.spec.store_format,
                 golden_pool=self._golden_pool,
             )
         self._cell_cache[identity] = result

@@ -37,6 +37,7 @@ File layout (all sections optional unless noted)::
     jobs = 1                    # or "auto" (one per CPU)
     prune = "dead"
     store = "runs/fig1"
+    store_format = "binary"     # fresh-store record format (default)
     resume = true
 
     [sweep]                     # extra grid axes (cartesian product)
@@ -287,13 +288,15 @@ class ScenarioSpec:
     _FAULT_KEYS = ("samples", "seed", "window", "distribution",
                    "seed_policy")
     _EXECUTION_KEYS = ("jobs", "batch_size", "lanes", "prune", "store",
-                       "resume", "warm_start", "same_binaries")
+                       "store_format", "resume", "warm_start",
+                       "same_binaries")
 
     def __init__(self, *, name="scenario", title="", blocks=(),
                  workloads=None, samples=None, seed=2017,
                  window="scaled", distribution="normal",
                  seed_policy="shared", jobs=1, batch_size=None, lanes=1,
-                 prune="dead", store=None, resume=False, warm_start=True,
+                 prune="dead", store=None, store_format=None,
+                 resume=False, warm_start=True,
                  same_binaries=False, sweep=(), present=None,
                  _explicit=frozenset()):
         self.name = name
@@ -311,6 +314,10 @@ class ScenarioSpec:
         self.lanes = lanes
         self.prune = prune
         self.store = store
+        #: Record format for *fresh* stores: "binary" | "jsonl" | None
+        #: (None = binary for new stores, keep the existing format on
+        #: resume).
+        self.store_format = store_format
         self.resume = resume
         self.warm_start = warm_start
         self.same_binaries = same_binaries
@@ -428,6 +435,7 @@ class ScenarioSpec:
                              execution.get("lanes", 1), minimum=1),
             prune=execution.get("prune", "dead"),
             store=execution.get("store"),
+            store_format=execution.get("store_format"),
             resume=_bool_field("execution.resume",
                                execution.get("resume", False)),
             warm_start=_bool_field("execution.warm_start",
@@ -471,6 +479,14 @@ class ScenarioSpec:
         if self.store is not None and not isinstance(self.store, str):
             raise ScenarioError("execution.store",
                                 "must be a directory path string")
+        if self.store_format not in (None, "binary", "jsonl"):
+            raise ScenarioError(
+                "execution.store_format",
+                f"unknown store format {self.store_format!r}",
+                hint=_suggest(self.store_format, ("binary", "jsonl")))
+        if self.store_format is not None and self.store is None:
+            raise ScenarioError("execution.store_format",
+                                "requires execution.store")
         if self.resume and self.store is None:
             raise ScenarioError("execution.resume",
                                 "requires execution.store")

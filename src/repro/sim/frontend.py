@@ -89,7 +89,7 @@ class Frontend:
     def campaign(self, structure, mode="pinout", samples=100, seed=2017,
                  window=USE_SCALED_WINDOW, distribution="normal", *,
                  accelerate=None, progress=None, store=None, resume=False,
-                 golden_pool=None, **extra):
+                 store_format=None, golden_pool=None, **extra):
         """Run one campaign.  ``structure`` is e.g. ``regfile`` or
         ``l1d.data``.
 
@@ -99,7 +99,9 @@ class Frontend:
         are identical for any worker count.  ``store`` (a directory
         path or :class:`~repro.injection.store.CampaignStore`) makes
         the campaign durable; ``resume=True`` skips faults already on
-        disk.  ``golden_pool`` (a caller-owned dict) lets compatible
+        disk; ``store_format`` picks the record format for fresh
+        stores (``"binary"``/``"jsonl"``, default binary).
+        ``golden_pool`` (a caller-owned dict) lets compatible
         campaigns share one golden capture -- see
         :meth:`repro.injection.campaign.Campaign.run`; pool sharers
         must agree on toolchain and simulator configuration, which any
@@ -119,7 +121,7 @@ class Frontend:
             workload=self.workload, level=self.LEVEL,
         )
         if store is not None and not isinstance(store, CampaignStore):
-            store = CampaignStore(store)
+            store = CampaignStore(store, store_format=store_format)
         return runner.run(progress=progress, store=store, resume=resume,
                           golden_pool=golden_pool)
 

@@ -6,6 +6,32 @@ collected in one run -- so this lives under a unique basename.)
 """
 
 
+def truncate_records(store_dir, keep, partial_bytes=0):
+    """Chop a campaign store's record stream after ``keep`` records --
+    the footprint of a kill -- regardless of record format.
+
+    ``partial_bytes`` additionally keeps that many bytes of the next
+    record: a torn tail the store must truncate away on resume.
+    """
+    import pathlib
+
+    from repro.injection import storefmt
+
+    store_dir = pathlib.Path(store_dir)
+    binary = store_dir / "records.bin"
+    if binary.exists():
+        end = (storefmt.RECORDS_HEADER_BYTES
+               + keep * storefmt.RECORD_BYTES + partial_bytes)
+        binary.write_bytes(binary.read_bytes()[:end])
+        return
+    jsonl = store_dir / "records.jsonl"
+    lines = jsonl.read_text().splitlines(True)
+    text = "".join(lines[:keep])
+    if partial_bytes:
+        text += lines[keep][:partial_bytes]
+    jsonl.write_text(text)
+
+
 def record_keys(result):
     """One campaign's records projected onto the bit-identity contract.
 

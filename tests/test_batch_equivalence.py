@@ -31,7 +31,7 @@ from repro.scenario.runner import ScenarioRunner
 from repro.scenario.spec import ScenarioSpec, load_mapping
 from repro.scenario.presets import preset_path
 from repro.sim import registry
-from support import record_keys
+from support import record_keys, truncate_records
 
 SAMPLES = 8
 SEED = 13
@@ -136,9 +136,7 @@ def test_store_round_trip_across_lane_counts(tmp_path):
     # Interrupt the scalar store after 3 faults; finish under lanes=4.
     partial = tmp_path / "partial"
     shutil.copytree(tmp_path / "scalar", partial)
-    records_path = partial / "records.jsonl"
-    lines = records_path.read_text().splitlines(True)
-    records_path.write_text("".join(lines[:3]))
+    truncate_records(partial, 3)
     resumed = run_campaign(factory, "stringsearch", batch_lanes=LANES,
                            store=CampaignStore(partial), resume=True)
     assert resumed.resumed == 3

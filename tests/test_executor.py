@@ -10,7 +10,7 @@ from repro.injection.campaign import Campaign, CampaignConfig
 from repro.isa import assemble
 from repro.isa.toolchain import Toolchain
 from repro.uarch import CortexA9Config, MicroArchSim
-from support import record_keys
+from support import record_keys, truncate_records
 
 #: Same tiny workload as test_campaign.py: fast enough that a campaign
 #: can run several times (serial + parallel) inside one test.
@@ -244,8 +244,7 @@ def test_resumed_progress_counts_only_remaining(tiny_program, tmp_path):
     store = CampaignStore(tmp_path / "s")
     campaign().run(store=store)
     # Drop all but 4 records; the resumed run re-runs the other 9.
-    lines = store.records_path.read_text().splitlines(True)
-    store.records_path.write_text("".join(lines[:4]))
+    truncate_records(store.path, 4)
     seen = []
     resumed = campaign(jobs=2, batch_size=5).run(
         store=CampaignStore(tmp_path / "s"), resume=True,

@@ -300,6 +300,19 @@ def test_jobs_rejects_booleans():
     assert err.value.field == "execution.jobs"
 
 
+def test_store_format_validated():
+    spec = make_spec(execution={"store": "out/stores",
+                                "store_format": "jsonl"})
+    assert spec.store_format == "jsonl"
+    with pytest.raises(ScenarioError) as err:
+        make_spec(execution={"store": "out/stores",
+                             "store_format": "msgpack"})
+    assert err.value.field == "execution.store_format"
+    with pytest.raises(ScenarioError) as err:
+        make_spec(execution={"store_format": "binary"})
+    assert err.value.field == "execution.store_format"
+
+
 def test_zero_cell_grid_is_an_error():
     empty = ScenarioSpec(name="empty", blocks=(), workloads=("sha",))
     empty.blocks = (dataclasses.replace(empty.blocks[0], levels=()),)
@@ -360,6 +373,22 @@ def test_resultset_export_surfaces(sweep_results):
     assert "speedup" in results.speedup_table()
     assert 0.0 <= results.mean_unsafeness() <= 1.0
     assert results.total_simulated() >= 6  # prune=off simulated all
+
+
+def test_series_rejects_ambiguous_cells(sweep_results):
+    """Regression: an unpinned sweep axis used to chart whichever cell
+    matched first (``setdefault``), silently dropping the rest."""
+    _, results = sweep_results
+    definition = [{"name": "S", "level": "arch", "mode": "pinout"}]
+    with pytest.raises(ScenarioError) as err:
+        results.series(definition)
+    assert err.value.field == "present.series"
+    # The error names every colliding cell, so the fix is findable.
+    assert "prune=off" in str(err.value)
+    assert "prune=dead" in str(err.value)
+    # Narrowing the set (or pinning the axis) resolves it.
+    shaped = results.where(prune="off").series(definition)
+    assert shaped["S"]["stringsearch"].n == 6
 
 
 def test_golden_pool_drained_after_run(sweep_results):

@@ -1,15 +1,25 @@
 """The on-disk campaign store: round trips, crash recovery, rejection.
 
-Covers the durability contract of :mod:`repro.injection.store`:
+Covers the durability contract of :mod:`repro.injection.store`, for
+both record formats (bitpacked binary, format 2 and the default; JSONL,
+format 1):
 
 * record/manifest round-trip fidelity;
-* resume-after-kill -- a JSONL truncated mid-record recovers cleanly
-  and the resumed campaign is bit-identical to an uninterrupted one;
+* resume-after-kill -- a record stream truncated mid-record recovers
+  cleanly and the resumed campaign is bit-identical to an
+  uninterrupted one;
 * identity mismatches (different seed/samples/structure) are rejected
-  instead of silently merging incompatible results.
+  instead of silently merging incompatible results;
+* corruption that recovery cannot explain -- a mid-file parse error, a
+  duplicated fault index, an orphaned records file whose manifest is
+  gone -- is an error, never a silent wipe or merge.
+
+(The byte-level codec -- packing, string table, RLE traces, torn-tail
+offsets -- is fuzzed in ``test_storefmt.py``.)
 """
 
 import json
+import shutil
 
 import pytest
 
@@ -25,9 +35,11 @@ from repro.injection.store import (
     record_to_json,
 )
 from repro.sim import registry
-from support import record_keys
+from support import record_keys, truncate_records
 
 WORKLOAD = "stringsearch"
+
+FORMATS = ("binary", "jsonl")
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +52,13 @@ def make_campaign(factory, samples=8, seed=13, jobs=1):
                             jobs=jobs)
     return Campaign(factory, "regfile", config,
                     workload=WORKLOAD, level="uarch")
+
+
+@pytest.fixture(scope="module")
+def reference(factory):
+    """The uninterrupted in-memory campaign every store run must
+    reproduce bit for bit."""
+    return make_campaign(factory).run()
 
 
 # ----------------------------------------------------------------------
@@ -64,8 +83,9 @@ def test_record_json_round_trip():
     assert clone.replay_cycles == 1200
 
 
-def test_store_round_trip(tmp_path):
-    store = CampaignStore(tmp_path / "s")
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_store_round_trip(tmp_path, fmt):
+    store = CampaignStore(tmp_path / "s", store_format=fmt)
     identity = {"workload": "w", "config": {"seed": 1}}
     assert store.begin(identity) == {}
     fault = FaultSpec("regfile", 5, 100)
@@ -74,9 +94,19 @@ def test_store_round_trip(tmp_path):
     store.close()
     manifest, records = load_store(tmp_path / "s")
     assert manifest["identity"] == identity
-    assert manifest["format"] == 1
+    assert manifest["format"] == (2 if fmt == "binary" else 1)
     assert set(records) == {0, 2}
     assert records[2].fclass is FaultClass.HANG
+    assert records[2].detail == "watchdog"
+
+
+def test_fresh_stores_default_to_binary(tmp_path):
+    store = CampaignStore(tmp_path / "s")
+    store.begin({"a": 1})
+    store.close()
+    assert store.manifest()["format"] == 2
+    assert store.binary_path.exists()
+    assert not store.records_path.exists()
 
 
 def test_store_golden_info(tmp_path):
@@ -91,14 +121,32 @@ def test_store_golden_info(tmp_path):
     store.close()
 
 
+def test_format_conflict_rejected(tmp_path):
+    """An existing store never silently changes format: an explicit
+    conflicting request errors on resume."""
+    store = CampaignStore(tmp_path / "s", store_format="binary")
+    store.begin({"a": 1})
+    store.append(0, FaultRecord(FaultSpec("regfile", 5, 100),
+                                FaultClass.MASKED))
+    store.close()
+    with pytest.raises(StoreError, match="jsonl was requested"):
+        CampaignStore(tmp_path / "s", store_format="jsonl").begin(
+            {"a": 1}, resume=True)
+    # No request = keep the store's own format.
+    resumed = CampaignStore(tmp_path / "s")
+    assert len(resumed.begin({"a": 1}, resume=True)) == 1
+    resumed.close()
+
+
 # ----------------------------------------------------------------------
 # campaign integration: persist, interrupt, resume
 # ----------------------------------------------------------------------
 
-def test_campaign_persists_and_fully_resumes(tmp_path, factory):
-    reference = make_campaign(factory).run()
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_campaign_persists_and_fully_resumes(tmp_path, factory,
+                                             reference, fmt):
     stored = make_campaign(factory).run(
-        store=CampaignStore(tmp_path / "c"))
+        store=CampaignStore(tmp_path / "c", store_format=fmt))
     assert record_keys(stored) == record_keys(reference)
     # Second run resumes everything: no simulation, same records.
     resumed = make_campaign(factory).run(
@@ -110,15 +158,16 @@ def test_campaign_persists_and_fully_resumes(tmp_path, factory):
     assert resumed.golden_cycles == reference.golden_cycles
 
 
-def test_resume_after_kill_truncated_record(tmp_path, factory):
-    """Chop the JSONL mid-record (a kill's footprint) and resume."""
-    reference = make_campaign(factory).run()
-    store = CampaignStore(tmp_path / "c")
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_resume_after_kill_truncated_record(tmp_path, factory,
+                                            reference, fmt):
+    """Chop the record stream mid-record (a kill's footprint) and
+    resume: classifications must be bit-identical to the
+    uninterrupted run."""
+    store = CampaignStore(tmp_path / "c", store_format=fmt)
     make_campaign(factory).run(store=store)
-    blob = store.records_path.read_text().splitlines(True)
-    assert len(blob) == reference.n
-    # Keep 3 intact records plus half of the 4th: the in-flight fault.
-    store.records_path.write_text("".join(blob[:3]) + blob[3][:20])
+    # Keep 3 intact records plus part of the 4th: the in-flight fault.
+    truncate_records(store.path, 3, partial_bytes=20)
     resumed = make_campaign(factory, jobs=2).run(
         store=CampaignStore(tmp_path / "c"), resume=True)
     assert resumed.resumed == 3
@@ -128,8 +177,20 @@ def test_resume_after_kill_truncated_record(tmp_path, factory):
     assert sorted(records) == list(range(reference.n))
 
 
+def test_binary_store_persists_golden_trace(tmp_path, factory,
+                                            reference):
+    """Binary stores carry the golden lifetime trace (RLE-encoded)
+    alongside the records its prune decisions explain."""
+    store = CampaignStore(tmp_path / "c")
+    make_campaign(factory).run(store=store)
+    trace = CampaignStore(tmp_path / "c").golden_trace()
+    assert trace is not None
+    assert trace.event_count() > 0
+    assert "regfile" in trace.structures()
+
+
 def test_mid_file_corruption_is_an_error(tmp_path):
-    store = CampaignStore(tmp_path / "s")
+    store = CampaignStore(tmp_path / "s", store_format="jsonl")
     store.begin({"a": 1})
     fault = FaultSpec("regfile", 5, 100)
     store.append(0, FaultRecord(fault, FaultClass.MASKED))
@@ -139,6 +200,22 @@ def test_mid_file_corruption_is_an_error(tmp_path):
     store.records_path.write_text("garbage\n" + lines[1])
     with pytest.raises(StoreError, match="corrupt record"):
         store.records()
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_duplicate_fault_index_is_an_error(tmp_path, fmt):
+    """A double-appended index is corruption, not a quiet overwrite:
+    silently keeping the last record would under-run resumes."""
+    store = CampaignStore(tmp_path / "s", store_format=fmt)
+    store.begin({"a": 1})
+    fault = FaultSpec("regfile", 5, 100)
+    store.append(1, FaultRecord(fault, FaultClass.MASKED))
+    store.append(1, FaultRecord(fault, FaultClass.HANG, "watchdog"))
+    store.close()
+    with pytest.raises(StoreError, match="duplicate fault index #1"):
+        store.records()
+    with pytest.raises(StoreError, match="duplicate fault index #1"):
+        store.class_tally()
 
 
 def test_resume_rejects_identity_mismatch(tmp_path, factory):
@@ -155,7 +232,7 @@ def test_resume_rejects_foreign_fault_records(tmp_path, factory):
     """Stored faults must match the redrawn samples index-for-index:
     a record whose fault differs (e.g. the store predates a sampling
     change the identity cannot see) fails loudly, never merges."""
-    store = CampaignStore(tmp_path / "c")
+    store = CampaignStore(tmp_path / "c", store_format="jsonl")
     make_campaign(factory).run(store=store)
     lines = store.records_path.read_text().splitlines(True)
     tampered = json.loads(lines[2])
@@ -172,7 +249,7 @@ def test_fully_complete_resume_also_cross_checks_faults(tmp_path,
                                                         factory):
     """The golden-skipping fast path must reject foreign faults too,
     not just the partial-resume merge path."""
-    store = CampaignStore(tmp_path / "c")
+    store = CampaignStore(tmp_path / "c", store_format="jsonl")
     make_campaign(factory).run(store=store)
     lines = store.records_path.read_text().splitlines(True)
     tampered = json.loads(lines[2])
@@ -206,14 +283,29 @@ def test_fresh_start_refuses_to_destroy_records(tmp_path, factory):
     _, records = load_store(store_path)
     assert sorted(records) == [0, 1, 2, 3]
     # Deleting the directory is the explicit start-over path.
-    import shutil
-
     shutil.rmtree(store_path)
     fresh = make_campaign(factory, samples=4, seed=99).run(
         store=CampaignStore(store_path))
     assert fresh.n == 4
     manifest, _ = load_store(store_path)
     assert manifest["identity"]["config"]["seed"] == 99
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_missing_manifest_refuses_fresh_start(tmp_path, fmt):
+    """A records file without a manifest (crash before the manifest
+    write, or a hand-deleted manifest) must refuse a fresh start --
+    the old behaviour wiped the orphaned records."""
+    store = CampaignStore(tmp_path / "s", store_format=fmt)
+    store.begin({"a": 1})
+    store.append(0, FaultRecord(FaultSpec("regfile", 5, 100),
+                                FaultClass.MASKED))
+    store.close()
+    store.manifest_path.unlink()
+    with pytest.raises(StoreError, match="manifest.json is missing"):
+        CampaignStore(tmp_path / "s", store_format=fmt).begin({"a": 1})
+    # The orphaned records survived the refusal.
+    assert len(CampaignStore(tmp_path / "s").records()) == 1
 
 
 def test_missing_store_raises(tmp_path):
@@ -239,7 +331,7 @@ def test_store_table_reads_merged_stores(tmp_path, factory):
     b = tmp_path / "b"
     make_campaign(factory, samples=4).run(store=CampaignStore(a))
     make_campaign(factory, samples=4, seed=99).run(
-        store=CampaignStore(b))
+        store=CampaignStore(b, store_format="jsonl"))
     text = store_table([a, b], title="merged")
     assert "merged" in text
     assert str(a) in text and str(b) in text

@@ -1,0 +1,412 @@
+"""The format-2 codec, byte by byte: packing, strings, traces, mmap.
+
+``test_store.py`` covers the store's durability *policy* (what resume
+and refusal must do); this suite fuzzes the *mechanism* underneath --
+the bitpacked record layout, the interned string table, the RLE trace
+codec and the vectorized mmap read path of
+:mod:`repro.injection.storefmt`:
+
+* property-based record round trips (hypothesis): random fields
+  including lane-width extremes and unicode details survive
+  pack -> file -> mmap -> record bit for bit;
+* torn-tail recovery at *every* byte offset of a final record and of a
+  final string-table entry -- a kill can land anywhere;
+* the mmap no-object guarantee: tallies and classification sequences
+  off a binary store construct zero FaultRecord/FaultSpec objects;
+* JSONL export round trips and cross-format equivalence.
+"""
+
+import itertools
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.injection import storefmt
+from repro.injection import store as store_mod
+from repro.injection.classify import FaultClass, FaultRecord
+from repro.injection.faults import FaultSpec
+from repro.injection.store import CampaignStore, StoreError
+from repro.prune.trace import LifetimeTrace
+
+CYCLE_MAX = (1 << 28) - 1
+BIT_MAX = (1 << 24) - 1
+
+#: <= 16 names (the structure-id lane is 4 bits wide), unicode-heavy.
+STRUCTURES = ("regfile", "cpsr", "l1d", "pc", "Σ-unit", "файл")
+
+
+def make_record(structure="regfile", bit=0, cycle=0, original_cycle=None,
+                fclass=FaultClass.MASKED, detail="", sim_cycles=0,
+                wall_seconds=0.0, replay_cycles=0, pruned=""):
+    fault = FaultSpec(structure, bit, cycle,
+                      original_cycle=original_cycle)
+    return FaultRecord(fault, fclass, detail, sim_cycles=sim_cycles,
+                       wall_seconds=wall_seconds,
+                       replay_cycles=replay_cycles, pruned=pruned)
+
+
+def record_fields(r):
+    """Everything a format-2 record stores, for exact comparison."""
+    return (r.fault.structure, r.fault.bit, r.fault.cycle,
+            r.fault.original_cycle, r.fclass, r.detail, r.sim_cycles,
+            r.replay_cycles, r.pruned,
+            storefmt.wall_to_us(r.wall_seconds))
+
+
+def write_store(path, records, fmt="binary"):
+    store = CampaignStore(path, store_format=fmt)
+    store.begin({"suite": "storefmt"})
+    for index, record in records:
+        store.append(index, record)
+    store.close()
+    return store
+
+
+# ----------------------------------------------------------------------
+# property-based round trips
+# ----------------------------------------------------------------------
+
+record_strategy = st.builds(
+    make_record,
+    structure=st.sampled_from(STRUCTURES),
+    bit=st.integers(0, BIT_MAX),
+    cycle=st.integers(0, CYCLE_MAX),
+    original_cycle=st.integers(0, CYCLE_MAX),
+    fclass=st.sampled_from(sorted(FaultClass, key=lambda f: f.value)),
+    detail=st.text(max_size=80),
+    sim_cycles=st.integers(0, CYCLE_MAX),
+    # Whole microseconds so the quantization is exact.
+    wall_seconds=st.integers(0, storefmt.WALL_US_MAX).map(
+        lambda us: us / 1e6),
+    replay_cycles=st.integers(0, CYCLE_MAX),
+    pruned=st.sampled_from(("", "dead", "group")),
+)
+
+
+@pytest.fixture(scope="module")
+def scratch(tmp_path_factory):
+    """Fresh store directories for hypothesis examples (function-scoped
+    tmp_path is off limits inside ``@given``)."""
+    root = tmp_path_factory.mktemp("storefmt")
+    counter = itertools.count()
+    return lambda: root / f"s{next(counter)}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=st.lists(record_strategy, max_size=8))
+def test_binary_round_trip_random_records(scratch, records):
+    indexed = list(enumerate(records))
+    path = scratch()
+    write_store(path, indexed)
+    loaded = CampaignStore(path).records()
+    assert sorted(loaded) == list(range(len(records)))
+    for index, record in indexed:
+        assert record_fields(loaded[index]) == record_fields(record)
+
+
+@settings(max_examples=40, deadline=None)
+@given(record=record_strategy, index=st.integers(0, (1 << 24) - 1))
+def test_binary_matches_jsonl_reference(scratch, record, index):
+    """The two formats agree field for field on the same record (wall
+    clock up to format 2's microsecond quantization)."""
+    binary = scratch()
+    jsonl = scratch()
+    write_store(binary, [(index, record)], fmt="binary")
+    write_store(jsonl, [(index, record)], fmt="jsonl")
+    b = CampaignStore(binary).records()[index]
+    j = CampaignStore(jsonl).records()[index]
+    assert record_fields(b) == record_fields(j)
+
+
+def test_round_trip_at_lane_extremes(tmp_path):
+    """Every lane at its maximum simultaneously."""
+    record = make_record(
+        structure=STRUCTURES[-1], bit=BIT_MAX, cycle=CYCLE_MAX,
+        original_cycle=CYCLE_MAX, fclass=FaultClass.LATENT,
+        detail="węird ☃ detail", sim_cycles=CYCLE_MAX,
+        wall_seconds=storefmt.WALL_US_MAX / 1e6,
+        replay_cycles=CYCLE_MAX, pruned="group")
+    index = (1 << 24) - 1
+    write_store(tmp_path / "s", [(index, record)])
+    loaded = CampaignStore(tmp_path / "s").records()
+    assert record_fields(loaded[index]) == record_fields(record)
+
+
+def test_pack_rejects_overflow():
+    record = make_record(cycle=CYCLE_MAX + 1)
+    with pytest.raises(StoreError, match="cycle=268435456 does not fit"):
+        storefmt.pack_record(0, record, 0, 0)
+    with pytest.raises(StoreError, match="index"):
+        storefmt.pack_record(1 << 24, make_record(), 0, 0)
+
+
+def test_pack_rejects_unknown_pruned_tag():
+    with pytest.raises(StoreError, match="pruned tag"):
+        storefmt.pack_record(0, make_record(pruned="vestigial"), 0, 0)
+
+
+def test_string_table_limits(tmp_path):
+    table = storefmt.StringTable(tmp_path / "strings.dat")
+    for i in range(16):
+        assert table.intern(storefmt.KIND_STRUCTURE, f"s{i}") == i
+    assert table.intern(storefmt.KIND_STRUCTURE, "s3") == 3  # reuse
+    with pytest.raises(StoreError, match="limit of 16"):
+        table.intern(storefmt.KIND_STRUCTURE, "one-too-many")
+    with pytest.raises(StoreError, match="65535"):
+        table.intern(storefmt.KIND_DETAIL, "x" * 70_000)
+    table.close()
+
+
+# ----------------------------------------------------------------------
+# torn-tail recovery: a kill can land on any byte
+# ----------------------------------------------------------------------
+
+def torn_store(tmp_path_factory_or_path, keep_bytes):
+    path = tmp_path_factory_or_path
+    records = [(i, make_record(bit=i, cycle=10 * i + 1,
+                               fclass=FaultClass.SDC, detail=f"d{i}"))
+               for i in range(3)]
+    store = write_store(path, records)
+    blob = store.binary_path.read_bytes()
+    full = storefmt.RECORDS_HEADER_BYTES + 3 * storefmt.RECORD_BYTES
+    assert len(blob) == full
+    store.binary_path.write_bytes(
+        blob[:full - storefmt.RECORD_BYTES + keep_bytes])
+    return store
+
+
+@pytest.mark.parametrize("keep_bytes",
+                         range(storefmt.RECORD_BYTES))
+def test_torn_final_record_at_every_offset(tmp_path, keep_bytes):
+    """Truncate the final record after each possible byte count: the
+    reader ignores the stump, resume truncates it, and the store
+    appends cleanly afterwards."""
+    store = torn_store(tmp_path / "s", keep_bytes)
+    loaded = store.records()
+    assert sorted(loaded) == [0, 1]  # the torn third record is gone
+    survivors = CampaignStore(store.path)
+    assert sorted(survivors.begin({"suite": "storefmt"},
+                                  resume=True)) == [0, 1]
+    # Recovery left a whole number of records on disk.
+    size = store.binary_path.stat().st_size
+    assert (size - storefmt.RECORDS_HEADER_BYTES) \
+        % storefmt.RECORD_BYTES == 0
+    survivors.append(2, make_record(bit=2, cycle=21,
+                                    fclass=FaultClass.SDC, detail="d2"))
+    survivors.close()
+    assert sorted(store.records()) == [0, 1, 2]
+    assert store.records()[2].detail == "d2"
+
+
+def test_torn_header_recovers_to_empty(tmp_path):
+    store = torn_store(tmp_path / "s", 0)
+    store.binary_path.write_bytes(b"RPRO")  # killed mid-header write
+    assert store.records() == {}
+    fresh = CampaignStore(store.path)
+    assert fresh.begin({"suite": "storefmt"}, resume=True) == {}
+    fresh.close()
+
+
+def test_foreign_record_file_rejected(tmp_path):
+    store = torn_store(tmp_path / "s", 0)
+    blob = store.binary_path.read_bytes()
+    store.binary_path.write_bytes(b"NOTRPROx" + blob[8:])
+    with pytest.raises(StoreError, match="bad magic"):
+        store.records()
+
+
+def test_torn_string_entry_at_every_offset(tmp_path):
+    """strings.dat tolerates a torn trailing entry anywhere; an orphan
+    intact entry (string flushed, record lost) is reused, not leaked."""
+    path = tmp_path / "strings.dat"
+    table = storefmt.StringTable(path)
+    table.intern(storefmt.KIND_STRUCTURE, "regfile")
+    table.intern(storefmt.KIND_DETAIL, "détail")
+    table.close()
+    blob = path.read_bytes()
+    entry = storefmt._ENTRY_HEADER.size + len("détail".encode())
+    for keep in range(entry):
+        path.write_bytes(blob[:len(blob) - entry + keep])
+        structures, details, _ = storefmt.load_strings(path)
+        assert structures == ["regfile"] and details == []
+        reopened = storefmt.StringTable(path)
+        assert reopened.intern(storefmt.KIND_STRUCTURE, "regfile") == 0
+        assert reopened.intern(storefmt.KIND_DETAIL, "détail") == 0
+        reopened.close()
+        structures, details, _ = storefmt.load_strings(path)
+        assert details == ["détail"]
+
+
+def test_corrupt_string_table_is_an_error(tmp_path):
+    path = tmp_path / "strings.dat"
+    path.write_bytes(storefmt.STRINGS_MAGIC
+                     + storefmt._ENTRY_HEADER.pack(7, 1) + b"x")
+    with pytest.raises(StoreError, match="unknown kind 7"):
+        storefmt.load_strings(path)
+    path.write_bytes(b"WRONGMAG")
+    with pytest.raises(StoreError, match="bad magic"):
+        storefmt.load_strings(path)
+
+
+# ----------------------------------------------------------------------
+# RLE lifetime-trace codec
+# ----------------------------------------------------------------------
+
+def make_trace():
+    trace = LifetimeTrace()
+    trace.register("regfile", 32)
+    trace.register("l1d", 8, reachable_cells=range(12))
+    trace.register("untouched", 1)
+    # Dense run-heavy stream (delta-RLE's best case) ...
+    for cycle in range(0, 400, 4):
+        trace.record("regfile", 3, cycle, write=cycle % 8 == 0)
+    # ... a huge delta that forces the 8-byte lane ...
+    trace.record("regfile", 3, 1 << 33, write=True)
+    # ... and deltas straddling the 1/2/4-byte width boundaries.
+    cycle = 0
+    for delta in (1, 255, 256, 65535, 65536, (1 << 31)):
+        cycle += delta
+        trace.record("l1d", 11, cycle, write=False)
+    # Same-cycle write-then-read: the encoded (cycle<<1)|write stream
+    # steps back by 1 here, which the codec must accept (rtl golden
+    # traces do this on every forwarding write/read pair).
+    trace.record("l1d", 2, 7, write=True)
+    trace.record("l1d", 2, 7, write=False)
+    trace.record("l1d", 2, 7, write=True)
+    trace.record("l1d", 2, 9, write=False)
+    return trace
+
+
+def test_trace_round_trip():
+    trace = make_trace()
+    blob = storefmt.encode_trace(trace.snapshot())
+    clone = LifetimeTrace()
+    clone.restore(storefmt.decode_trace(blob))
+    assert clone.snapshot() == trace.snapshot()
+    assert clone.events("regfile", 3) == trace.events("regfile", 3)
+    assert clone.reachable("l1d", 11) and not clone.reachable("l1d", 12)
+    assert clone.reachable("untouched", 999)  # None = all reachable
+    assert clone.cells("untouched") == ()
+
+
+def test_rtl_golden_trace_round_trips():
+    """Regression: the rtl pipeline emits same-cycle write-then-read
+    pairs (forwarding), whose ``(cycle << 1) | is_write`` encoding
+    steps backwards by one; the codec must round-trip a real rtl
+    golden trace, not reject it as unsorted."""
+    from repro.sim import registry
+    sim = registry.create_frontend("rtl", "stringsearch").sim_factory()
+    sim.enable_access_trace()
+    sim.run()
+    sim.seal_access_trace()
+    snap = sim.access_trace().snapshot()
+    clone = LifetimeTrace()
+    clone.restore(storefmt.decode_trace(storefmt.encode_trace(snap)))
+    assert clone.snapshot() == snap
+
+
+def test_trace_rejects_unsorted_stream():
+    trace = LifetimeTrace()
+    trace.register("regfile", 32)
+    trace.record("regfile", 0, 100, write=True)
+    trace.record("regfile", 0, 50, write=True)  # out of order
+    with pytest.raises(StoreError, match="not sorted"):
+        storefmt.encode_trace(trace.snapshot())
+
+
+def test_trace_rejects_corrupt_blob():
+    blob = storefmt.encode_trace(make_trace().snapshot())
+    with pytest.raises(StoreError, match="trace"):
+        storefmt.decode_trace(blob[:len(blob) // 2])
+    with pytest.raises(StoreError, match="trace"):
+        storefmt.decode_trace(b"WRONGMAG" + blob[8:])
+
+
+# ----------------------------------------------------------------------
+# the mmap guarantee: queries build no per-record objects
+# ----------------------------------------------------------------------
+
+class _Counting:
+    instances = 0
+
+    def __init__(self, *args, **kwargs):
+        _Counting.instances += 1
+        super().__init__(*args, **kwargs)
+
+
+def test_queries_never_materialize_records(tmp_path, monkeypatch):
+    """class_tally / sequence_arrays on a binary store run entirely on
+    numpy lanes: zero FaultRecord/FaultSpec constructions."""
+    records = [(i, make_record(structure=STRUCTURES[i % 3], bit=i,
+                               cycle=i + 1,
+                               fclass=list(FaultClass)[i % 6],
+                               detail=f"d{i % 4}",
+                               pruned=("dead" if i % 5 == 0 else "")))
+               for i in range(64)]
+    store = write_store(tmp_path / "s", records)
+
+    class CountingRecord(_Counting, FaultRecord):
+        pass
+
+    class CountingSpec(_Counting, FaultSpec):
+        pass
+
+    monkeypatch.setattr(store_mod, "FaultRecord", CountingRecord)
+    monkeypatch.setattr(store_mod, "FaultSpec", CountingSpec)
+    _Counting.instances = 0
+
+    tally = store.class_tally()
+    arrays = store.sequence_arrays()
+    assert _Counting.instances == 0, (
+        "mmap queries constructed per-record objects")
+    # Probe sanity: the full read path *does* go through these names.
+    loaded = store.records()
+    assert _Counting.instances == 2 * len(records)
+
+    # And the lane math agrees with the materialized records.
+    assert tally["n"] == len(records)
+    assert tally["unsafe"] == sum(
+        1 for r in loaded.values() if r.fclass is not FaultClass.MASKED)
+    assert tally["pruned"] == sum(
+        1 for r in loaded.values() if r.pruned)
+    for fclass in FaultClass:
+        assert tally["classes"][fclass.value] == sum(
+            1 for r in loaded.values() if r.fclass is fclass)
+    assert list(arrays["index"]) == sorted(loaded)
+    assert [str(s) for s in arrays["structure"]] == [
+        loaded[i].fault.structure for i in sorted(loaded)]
+    assert [str(f) for f in arrays["fclass"]] == [
+        loaded[i].fclass.value for i in sorted(loaded)]
+
+
+def test_duplicate_index_detected_on_lanes(tmp_path):
+    store = write_store(tmp_path / "s",
+                        [(4, make_record()), (4, make_record())])
+    reader = storefmt.PackedReader(store.binary_path,
+                                   store.strings_path)
+    with pytest.raises(StoreError, match="duplicate fault index #4"):
+        reader.check_duplicates()
+
+
+# ----------------------------------------------------------------------
+# JSONL export
+# ----------------------------------------------------------------------
+
+def test_export_jsonl_round_trips(tmp_path):
+    records = [(i, make_record(bit=i, cycle=i + 1, detail=f"d{i}",
+                               fclass=FaultClass.SDC))
+               for i in range(5)]
+    store = write_store(tmp_path / "bin", records)
+    lines = list(store.export_jsonl())
+    assert len(lines) == 5
+    # The export is loadable as a JSONL store's record stream.
+    clone = CampaignStore(tmp_path / "json", store_format="jsonl")
+    clone.begin({"suite": "storefmt"})
+    clone.close()
+    clone.records_path.write_text("".join(line + "\n" for line in lines))
+    loaded = clone.records()
+    for index, record in records:
+        assert record_fields(loaded[index]) == record_fields(record)
+    # Export order is by fault index, and the stream is valid JSON.
+    assert [json.loads(line)["i"] for line in lines] == list(range(5))

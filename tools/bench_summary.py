@@ -122,6 +122,17 @@ def parse_parallel_speedup(text):
     })
 
 
+def parse_store_codec(text):
+    return _search_metrics(text, {
+        "records": rf"records={_FLOAT}",
+        "binary bytes/record": rf"binary:\s+{_FLOAT} bytes/record",
+        "jsonl bytes/record": rf"jsonl:\s+{_FLOAT} bytes/record",
+        "size ratio x": rf"size ratio: {_FLOAT}x smaller",
+        "mmap tally peak-alloc reduction x":
+            rf"peak-alloc ratio: {_FLOAT}x less",
+    })
+
+
 def parse_table2(text):
     out = {}
     match = re.search(rf"Average\s*\|[^|]*\|[^|]*\|\s*{_FLOAT}", text)
@@ -138,6 +149,7 @@ PARSERS = {
     "warmstart_speedup.txt": parse_warmstart_speedup,
     "decode_cache.txt": parse_decode_cache,
     "parallel_speedup.txt": parse_parallel_speedup,
+    "store_codec.txt": parse_store_codec,
     "table2.txt": parse_table2,
     "table2_arch_tier.txt": parse_table2,
     "fig1_regfile.txt": _chart_series_means,

@@ -3,12 +3,18 @@
 
 Usage: python tools/diff_store_classes.py STORE_A STORE_B
 
-Reads both stores' ``records.jsonl`` and compares, index by index, the
-fault identity (structure, bit, original cycle) and the classification
-class.  Accounting fields -- detail, sim_cycles, wall clock, the
-``pruned`` tag -- are deliberately ignored: this is exactly the
-equivalence ``--prune dead`` promises against ``--prune off``, and the
-CI smoke uses this tool to hold it on every push.
+Reads both stores' record streams (bitpacked ``records.bin`` or JSONL,
+in any combination) and compares, index by index, the fault identity
+(structure, bit, original cycle) and the classification class.
+Accounting fields -- detail, sim_cycles, wall clock, the ``pruned``
+tag -- are deliberately ignored: this is exactly the equivalence
+``--prune dead`` promises against ``--prune off``, and the CI smoke
+uses this tool to hold it on every push.
+
+The comparison is columnar (``CampaignStore.sequence_arrays``): binary
+stores diff as numpy array equality straight off the mmap, so two
+million-fault stores compare without materializing records; the
+per-index report is built only on mismatch.
 
 Exit status 0 when the sequences match; 1 with a per-index report
 otherwise.
@@ -20,15 +26,25 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                        / "src"))
 
+import numpy as np  # noqa: E402
+
 from repro.injection.store import CampaignStore  # noqa: E402
 
+_COLUMNS = ("index", "structure", "bit", "original_cycle", "fclass")
 
-def classification_sequence(path):
-    records = CampaignStore(path).records()
+
+def sequence_columns(path):
+    return CampaignStore(path).sequence_arrays()
+
+
+def _as_map(columns):
+    """index -> (structure, bit, original_cycle, fclass), for the
+    mismatch report only."""
     return {
-        index: (r.fault.structure, r.fault.bit, r.fault.original_cycle,
-                r.fclass.value)
-        for index, r in records.items()
+        int(i): (s, int(bit), int(oc), f)
+        for i, s, bit, oc, f in zip(
+            columns["index"], columns["structure"], columns["bit"],
+            columns["original_cycle"], columns["fclass"])
     }
 
 
@@ -37,22 +53,24 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     a_path, b_path = argv[1], argv[2]
-    a = classification_sequence(a_path)
-    b = classification_sequence(b_path)
+    a = sequence_columns(a_path)
+    b = sequence_columns(b_path)
+    if (len(a["index"]) == len(b["index"])
+            and all(np.array_equal(a[c], b[c]) for c in _COLUMNS)):
+        print(f"classification sequences identical: "
+              f"{len(a['index'])} faults ({a_path} vs {b_path})")
+        return 0
+    a_map, b_map = _as_map(a), _as_map(b)
     problems = []
-    for index in sorted(set(a) | set(b)):
-        left, right = a.get(index), b.get(index)
+    for index in sorted(set(a_map) | set(b_map)):
+        left, right = a_map.get(index), b_map.get(index)
         if left != right:
             problems.append(f"  fault #{index}: {a_path}={left}  "
                             f"{b_path}={right}")
-    if problems:
-        print(f"classification sequences differ "
-              f"({len(problems)} of {max(len(a), len(b))} faults):")
-        print("\n".join(problems))
-        return 1
-    print(f"classification sequences identical: {len(a)} faults"
-          f" ({a_path} vs {b_path})")
-    return 0
+    print(f"classification sequences differ "
+          f"({len(problems)} of {max(len(a_map), len(b_map))} faults):")
+    print("\n".join(problems))
+    return 1
 
 
 if __name__ == "__main__":
