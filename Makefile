@@ -13,7 +13,9 @@ help:
 	@echo "              diff, sweep-scenario store+resume round trip (+ CSV"
 	@echo "              artifact), binary vs jsonl store-format class diff,"
 	@echo "              arch lanes=8 and rtl lanes=4 vs lanes=1 class"
-	@echo "              diffs (repro.batch) + warm-start speedup artifact"
+	@echo "              diffs (repro.batch), REPRO_CHAOS degraded-completion"
+	@echo "              leg (crash+hang injection, quarantine, no-op resume)"
+	@echo "              + warm-start speedup artifact"
 	@echo "  bench-json  distill benchmarks/results/*.txt into BENCH_4.json"
 	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
 
@@ -41,6 +43,14 @@ bench:
 # and diffs them against the (binary, format-2) sweep store -- the
 # cross-format exactness contract, read straight off the mmap on the
 # binary side.  The
+# chaos leg re-runs the sweep's arch cells under deterministic fault
+# injection into the *executor* (REPRO_CHAOS: one transient worker
+# crash at fault #2, one persistent hang at fault #5): the campaign
+# must complete degraded (assert_store_incidents.py requires at least
+# one quarantined incident), a chaos-free resume must re-run nothing,
+# and the surviving classifications must diff clean against the
+# undisturbed sweep store (diff_store_classes.py masks quarantined
+# indices out of both sides).  The
 # warm-start speedup bench publishing
 # benchmarks/results/warmstart_speedup.txt runs only when `make test` /
 # `make bench` has not already written the artifact (CI runs `make
@@ -113,6 +123,27 @@ bench-smoke:
 	$(PYTHON) tools/diff_store_classes.py \
 	  benchmarks/results/smoke_rtl_lanes/rtl-stringsearch-regfile-pinout-prune=dead \
 	  benchmarks/results/smoke_rtl/rtl-stringsearch-regfile-pinout-prune=dead
+	rm -rf benchmarks/results/smoke_chaos
+	REPRO_CHAOS='segv@2,hang*@5' \
+	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set targets.levels=arch \
+	  --set execution.batch_size=1 --set execution.batch_timeout=5 \
+	  --set execution.store=benchmarks/results/smoke_chaos
+	$(PYTHON) tools/assert_store_incidents.py \
+	  benchmarks/results/smoke_chaos 1
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli store \
+	  benchmarks/results/smoke_chaos/*
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set targets.levels=arch \
+	  --set execution.batch_size=1 \
+	  --set execution.store=benchmarks/results/smoke_chaos \
+	  --set execution.resume=true
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_chaos/arch-stringsearch-regfile-pinout-prune=off \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=off
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_chaos/arch-stringsearch-regfile-pinout-prune=dead \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=dead
 	test -f benchmarks/results/warmstart_speedup.txt || \
 	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 	    benchmarks/test_warmstart_speedup.py -q

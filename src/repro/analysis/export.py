@@ -8,7 +8,7 @@ _FIELDS = (
     "ci95_high", "masked", "sdc", "due", "hang", "mismatch", "latent",
     "golden_cycles", "s_per_run", "population", "recommended_samples",
     "achieved_margin", "jobs", "pruned", "simulated", "resumed",
-    "total_s", "speedup",
+    "incidents", "retried", "total_s", "speedup",
 )
 
 

@@ -101,7 +101,7 @@ def store_table(paths, title=None):
 
     headers = ("store", "workload", "level", "structure", "done",
                "of", "unsafe", "masked", "sdc", "due", "hang", "mism",
-               "latent", "pruned", "git")
+               "latent", "pruned", "incid", "git")
     rows = []
     for path in paths:
         store = CampaignStore(path)
@@ -120,6 +120,7 @@ def store_table(paths, title=None):
             by_class.get("due", 0), by_class.get("hang", 0),
             by_class.get("mismatch", 0), by_class.get("latent", 0),
             tally["pruned"],
+            store.incident_count(),
             manifest.get("git") or "-",
         ))
     return render_table(headers, rows, title=title)
@@ -135,7 +136,7 @@ def scenario_table(resultset, title=None):
     clock stays in :func:`speedup_table`.
     """
     headers = ("cell", "n", "unsafe", "masked", "sdc", "due", "hang",
-               "mism", "latent", "pruned", "sim", "golden_kcyc")
+               "mism", "latent", "pruned", "incid", "sim", "golden_kcyc")
     rows = []
     for cell, r in resultset:
         s = r.summary()
@@ -143,7 +144,8 @@ def scenario_table(resultset, title=None):
             cell.label(), s["n"],
             f"{100 * s['unsafeness']:.1f}%" if s["n"] else "-",
             s["masked"], s["sdc"], s["due"], s["hang"], s["mismatch"],
-            s["latent"], s["pruned"], s["simulated"],
+            s["latent"], s["pruned"], s.get("incidents", 0),
+            s["simulated"],
             f"{s['golden_cycles'] / 1000.0:.1f}",
         ))
     return render_table(headers, rows, title=title)

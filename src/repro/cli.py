@@ -35,6 +35,15 @@ arch- and rtl-tier campaigns (``repro.batch``): N runs execute as one
 numpy pass with bit-identical per-fault classes.  Results are independent of
 the worker count, of the lane count and of interruption/resume, and
 per-fault classes are independent of ``dead`` pruning -- see DESIGN.md.
+
+Campaigns run supervised: a crashed or hung worker is respawned and its
+batch retried; a fault that keeps killing workers is quarantined after
+``--retries`` attempts (recorded in the store's ``incidents.jsonl``)
+and the campaign completes *degraded* instead of dying.  The first
+SIGINT/SIGTERM drains in-flight faults and flushes the store so
+``--resume`` continues exactly where the run stopped (exit status 130);
+a second signal hard-kills.  See DESIGN.md's "Failure model & recovery
+semantics".
 """
 
 import argparse
@@ -70,6 +79,14 @@ LANES_HELP = (
     "N faulty runs of the arch or rtl tier as one numpy pass; "
     "per-fault classes are bit-identical to the scalar path.  Rejected "
     "for scenarios targeting non-batchable levels (uarch)"
+)
+
+RETRIES_HELP = (
+    "failed-batch attempts per fault before quarantine (default: 2): a "
+    "fault whose batch crashes, hangs past its deadline or raises this "
+    "many times is recorded as an incident in the store's "
+    "incidents.jsonl sidecar and the campaign completes degraded; "
+    "every other fault's class is unaffected"
 )
 
 PRUNE_HELP = (
@@ -167,6 +184,15 @@ def _positive_jobs(text):
     return value
 
 
+def _positive_retries(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive attempt count, got {value}"
+        )
+    return value
+
+
 def _parse_workloads(text):
     from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -205,7 +231,20 @@ def _run_scenario(spec):
     from repro.scenario.runner import ScenarioRunner
 
     print(f"# {spec.describe()}", file=sys.stderr)
-    return ScenarioRunner(spec, progress=_progress_cell).run()
+    resultset = ScenarioRunner(spec, progress=_progress_cell).run()
+    _warn_degraded(resultset)
+    return resultset
+
+
+def _warn_degraded(resultset):
+    """One stderr line per degraded campaign: quarantined faults are
+    excluded from the statistics, which the tables alone don't shout."""
+    for cell, result in resultset:
+        if getattr(result, "degraded", False):
+            print(f"# DEGRADED {cell.label()}: "
+                  f"{len(result.incidents)} fault(s) quarantined "
+                  f"(see incidents.jsonl in the cell's store)",
+                  file=sys.stderr)
 
 
 def _render_headline(spec, resultset):
@@ -280,6 +319,8 @@ def _run_flag_overrides(args):
         overrides.append(f"execution.lanes={args.lanes}")
     if args.prune is not None:
         overrides.append(f"execution.prune={args.prune}")
+    if args.retries is not None:
+        overrides.append(f"execution.retries={args.retries}")
     if args.store is not None:
         # pre-split tuple: the path must reach the spec verbatim, not
         # through TOML-scalar coercion (see parse_overrides)
@@ -326,6 +367,8 @@ def _legacy_overrides(args):
                  f"faults.seed={args.seed}"]
     if args.lanes is not None and args.lanes != 1:
         overrides.append(f"execution.lanes={args.lanes}")
+    if getattr(args, "retries", None) is not None:
+        overrides.append(f"execution.retries={args.retries}")
     if args.workloads:
         overrides.append("targets.workloads="
                          + ",".join(_parse_workloads(args.workloads)))
@@ -492,6 +535,8 @@ def main(argv=None):
                             "execution.lanes)")
     p_run.add_argument("--prune", choices=("off", "dead", "group"),
                        default=None, help=PRUNE_HELP)
+    p_run.add_argument("--retries", type=_positive_retries, default=None,
+                       help=RETRIES_HELP)
     p_run.add_argument("--store", default=None, help=STORE_HELP)
     p_run.add_argument("--store-format", choices=("binary", "jsonl"),
                        default=None, help=STORE_FORMAT_HELP)
@@ -531,6 +576,8 @@ def main(argv=None):
                        help=LANES_HELP)
         p.add_argument("--prune", choices=("off", "dead", "group"),
                        default="dead", help=PRUNE_HELP)
+        p.add_argument("--retries", type=_positive_retries, default=None,
+                       help=RETRIES_HELP)
         p.add_argument("--store", default=None, help=STORE_HELP)
         p.add_argument("--store-format", choices=("binary", "jsonl"),
                        default=None, help=STORE_FORMAT_HELP)
@@ -554,6 +601,7 @@ def main(argv=None):
                           help="abstraction level to simulate at "
                                "(default: uarch)")
     args = parser.parse_args(argv)
+    from repro.errors import CampaignInterrupted, ExecutionError
     from repro.injection.store import StoreError
     from repro.scenario.spec import ScenarioError
 
@@ -578,11 +626,17 @@ def main(argv=None):
             _cmd_golden(args)
         elif args.command == "store":
             _cmd_store(args)
-    except (StoreError, ScenarioError) as exc:
-        # Spec and store problems (bad field, unknown preset, refusal
-        # to overwrite completed records, identity mismatch) are
-        # user-facing conditions, not tracebacks.
+    except (StoreError, ScenarioError, ExecutionError) as exc:
+        # Spec, store and execution-knob problems (bad field, unknown
+        # preset, refusal to overwrite completed records, identity
+        # mismatch, misspelled start method) are user-facing
+        # conditions, not tracebacks.
         raise SystemExit(f"repro-study: {exc}")
+    except CampaignInterrupted as exc:
+        # Graceful shutdown: the store (if any) was flushed and is
+        # resumable.  128 + SIGINT, the conventional interrupt status.
+        print(f"repro-study: interrupted -- {exc}", file=sys.stderr)
+        return 130
     return 0
 
 

@@ -32,3 +32,37 @@ class SimTimeout(Exception):
     def __init__(self, limit, what="cycles"):
         self.limit = limit
         super().__init__(f"watchdog expired after {limit} {what}")
+
+
+class ExecutionError(ValueError):
+    """A campaign execution knob is invalid (start method, chaos spec,
+    retry budget...).
+
+    Subclasses :class:`ValueError` so callers that historically caught
+    ``ValueError`` from :func:`repro.injection.executor
+    .resolve_start_method` keep working; the CLI catches it to print a
+    friendly one-liner instead of a traceback.
+    """
+
+
+class CampaignInterrupted(RuntimeError):
+    """A campaign was stopped by SIGINT/SIGTERM after a graceful drain.
+
+    Raised *after* every in-flight fault has been flushed to the
+    campaign store (when one is attached), so the store is guaranteed
+    resumable.  ``done``/``total`` count fault indices persisted vs.
+    sampled; ``signame`` is the signal that triggered the drain.
+    """
+
+    def __init__(self, done, total, signame="SIGINT", stored=False):
+        self.done = done
+        self.total = total
+        self.signame = signame
+        #: Whether a campaign store holds the drained records.
+        self.stored = stored
+        hint = ("; resume with --resume" if stored
+                else "; no store attached, progress was not persisted")
+        super().__init__(
+            f"campaign interrupted by {signame}: {done}/{total} faults "
+            f"completed{hint}"
+        )

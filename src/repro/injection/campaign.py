@@ -34,9 +34,15 @@ merges records in fault-sample order, so for a fixed seed its
 import bisect
 import time
 
+from repro.errors import CampaignInterrupted
 from repro.injection import faults as fault_mod
 from repro.injection.checkpoint_cache import CheckpointCache
-from repro.injection.classify import FaultClass, FaultRecord, compare_traces
+from repro.injection.classify import (
+    FaultClass,
+    FaultRecord,
+    Incident,
+    compare_traces,
+)
 from repro.injection.distributions import make_distribution, make_rng
 from repro.injection.observation import hardware_state_digest
 from repro.injection.sampling import (
@@ -65,7 +71,9 @@ class CampaignConfig:
                  warm_start=True, early_stop=True, prune_mode="dead",
                  accelerate=False, accelerate_lead=32, hang_factor=3.0,
                  error_margin=0.02, confidence=0.99, jobs=1,
-                 batch_size=None, start_method=None, batch_lanes=1):
+                 batch_size=None, start_method=None, batch_lanes=1,
+                 retries=None, batch_timeout=None, chaos=None):
+        from repro.injection import supervisor
         from repro.prune import PRUNE_MODES
 
         if observation not in ("pinout", "software", "arch"):
@@ -80,10 +88,18 @@ class CampaignConfig:
                 "the arch (HVF) observation point compares end-of-run "
                 "state; use window=None"
             )
-        if jobs is not None and jobs < 1:
-            raise ValueError(f"jobs must be >= 1 or None (auto), got {jobs}")
-        if batch_size is not None and batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if samples is None or isinstance(samples, bool) \
+                or not isinstance(samples, int) or samples < 0:
+            raise ValueError(
+                f"samples must be a non-negative integer, got {samples!r}"
+            )
+        if jobs is not None and (isinstance(jobs, bool)
+                                 or not isinstance(jobs, int) or jobs < 1):
+            raise ValueError(f"jobs must be >= 1 or None (auto), got {jobs!r}")
+        if batch_size is not None and (isinstance(batch_size, bool)
+                                       or not isinstance(batch_size, int)
+                                       or batch_size < 1):
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
         if batch_lanes is None or batch_lanes < 1:
             raise ValueError(f"batch_lanes must be >= 1, got {batch_lanes}")
         if checkpoint_bound is not None and checkpoint_bound < 1:
@@ -91,6 +107,25 @@ class CampaignConfig:
                 f"checkpoint_bound must be >= 1 or None, got "
                 f"{checkpoint_bound}"
             )
+        if retries is not None and (isinstance(retries, bool)
+                                    or not isinstance(retries, int)
+                                    or retries < 1):
+            raise ValueError(
+                f"retries must be >= 1 or None (default), got {retries!r}"
+            )
+        if batch_timeout is not None and not (
+                isinstance(batch_timeout, (int, float))
+                and not isinstance(batch_timeout, bool)
+                and batch_timeout > 0):
+            raise ValueError(
+                f"batch_timeout must be a positive number of seconds or "
+                f"None (derived), got {batch_timeout!r}"
+            )
+        if start_method is not None:
+            # Validate eagerly (raises ExecutionError, a ValueError,
+            # with a did-you-mean hint) -- a typo should fail at config
+            # time, not as a traceback out of the first worker spawn.
+            supervisor.resolve_start_method(start_method)
         self.samples = samples
         self.window = window
         self.observation = observation
@@ -139,6 +174,23 @@ class CampaignConfig:
         #: bit-identical to
         #: the scalar path, so it stays out of :meth:`identity`.
         self.batch_lanes = batch_lanes
+        #: Failed executions one fault may spend (worker crash, hung
+        #: batch, in-run exception) before it is quarantined as an
+        #: :class:`~repro.injection.classify.Incident`.  ``None`` =
+        #: the supervisor default (2).  Execution-only.
+        self.retries = retries
+        #: Wall-clock budget (seconds) for one worker batch; an
+        #: overrunning batch's worker is killed and the batch retried.
+        #: ``None`` derives a budget from the golden run's wall cost x
+        #: ``hang_factor``.  Execution-only.
+        self.batch_timeout = batch_timeout
+        #: Deterministic execution-failure injection (test hook): a
+        #: chaos spec string / :class:`~repro.injection.supervisor
+        #: .ChaosSpec` making workers segfault, hang or raise at chosen
+        #: fault indices.  ``None`` also consults ``REPRO_CHAOS`` at
+        #: run time.  Execution-only: classifications are unaffected,
+        #: so it stays out of :meth:`identity`.
+        self.chaos = supervisor.ChaosSpec.parse(chaos)
 
     def identity(self):
         """The result-affecting configuration, as a plain dict.
@@ -148,8 +200,8 @@ class CampaignConfig:
         equal workload/level/structure) produce identical fault samples
         and classification sequences (class, detail, sim_cycles), so
         their stores are interchangeable.  Execution-only knobs (jobs,
-        batch_size, start_method, checkpoint_bound, batch_lanes) are
-        excluded --
+        batch_size, start_method, checkpoint_bound, batch_lanes,
+        retries, batch_timeout, chaos) are excluded --
         classifications are proven independent of them.  Per-session
         *accounting* fields of a record (``wall_seconds``,
         ``replay_cycles``) are outside the identity contract: they
@@ -198,6 +250,9 @@ class CampaignConfig:
             "prune": self.prune_mode,
             "parallel": (self.jobs, self.batch_size, self.start_method),
             "lanes": self.batch_lanes,
+            "retries": self.retries,
+            "batch_timeout": self.batch_timeout,
+            "chaos": self.chaos,
         })
 
 
@@ -233,9 +288,24 @@ class CampaignResult:
         #: Sub-linear in lane count by design: lanes share the golden
         #: image and pay only for pages they actually diverge on.
         self.batch_lane_peak_bytes = 0
+        #: Quarantined faults (:class:`~repro.injection.classify
+        #: .Incident`): sampled but never classified -- they spent
+        #: their retry budget killing, stalling or crashing their runs.
+        #: Excluded from every statistic (``n`` counts records only);
+        #: a non-empty list makes the campaign :attr:`degraded`.
+        self.incidents = []
+        #: Fault executions the supervisor re-dispatched after a worker
+        #: crash, deadline kill or in-run exception.  ``0`` on an
+        #: undisturbed campaign.
+        self.retried_count = 0
 
     def add(self, record):
         self.records.append(record)
+
+    @property
+    def degraded(self):
+        """True when the campaign completed but quarantined faults."""
+        return bool(self.incidents)
 
     @property
     def n(self):
@@ -336,6 +406,8 @@ class CampaignResult:
             "pruned": self.pruned_count,
             "simulated": self.simulated_count,
             "resumed": self.resumed,
+            "incidents": len(self.incidents),
+            "retried": self.retried_count,
             "total_s": self.total_seconds,
             "speedup": self.speedup,
             "population": self.population,
@@ -812,124 +884,199 @@ class Campaign:
         are unaffected -- the key covers every capture-shaping knob,
         and warm-start ``seek`` restores bit-identical pre-injection
         states from any checkpoint-cache residency pattern.
+
+        Failure model (see DESIGN.md, "Failure model & recovery
+        semantics"): a fault that keeps killing, stalling or crashing
+        its runs is quarantined as an :class:`~repro.injection.classify
+        .Incident` after ``retries`` failed executions -- the campaign
+        then completes *degraded* (``result.incidents`` non-empty)
+        while every other fault classifies bit-identically.  The first
+        SIGINT/SIGTERM drains in-flight work, flushes the store and
+        raises :class:`~repro.errors.CampaignInterrupted` (resumable);
+        a second signal hard-kills.
         """
+        from repro.injection import supervisor
+
         cfg = self.config
         result = CampaignResult(self.workload, self.level, self.structure,
                                 cfg)
         total_start = time.perf_counter()
         stored = {}
+        stored_incidents = {}
         if store is not None:
             stored = store.begin(self.identity(), resume=resume)
+            stored_incidents = store.incidents()
+        chaos = supervisor.resolve_chaos(cfg.chaos)
+        retries = cfg.retries or supervisor.DEFAULT_RETRIES
         try:
-            if store is not None and self._resume_complete(result, stored,
-                                                           store):
+            with supervisor.GracefulShutdown() as shutdown:
+                if store is not None and self._resume_complete(
+                        result, stored, stored_incidents, store):
+                    result.total_seconds = (time.perf_counter()
+                                            - total_start)
+                    return result
+                shared = None
+                if golden_pool is not None:
+                    shared = golden_pool.get(self.golden_key())
+                if shared is None:
+                    sim = self.sim_factory()
+                    golden = self._golden_phase(sim, result)
+                    if golden_pool is not None:
+                        golden_pool[self.golden_key()] = SharedGolden(
+                            sim, golden, result.golden_cycles,
+                            result.golden_insts, result.golden_seconds)
+                else:
+                    sim, golden = shared.sim, shared.golden
+                    result.golden_cycles = shared.cycles
+                    result.golden_insts = shared.insts
+                    # This session spent nothing capturing the golden
+                    # run -- the original capture's cost stays with the
+                    # campaign that paid it, so the serial estimate (and
+                    # hence speedup, ~1.0 at jobs=1) reflects only work
+                    # actually done here, exactly like resumed records.
+                    result.golden_seconds = 0.0
+                specs = self._sample(sim, golden, result)
+                if store is not None:
+                    store.set_golden(result.golden_cycles,
+                                     result.golden_insts,
+                                     golden["end_cycle"],
+                                     result.population,
+                                     golden["bits"],
+                                     trace=golden.get("trace"))
+                self._check_stored_faults(stored, specs)
+                self._check_stored_faults(stored_incidents, specs)
+                pruned_records, eff_specs, member_of = \
+                    self._prune_partition(sim, golden, specs)
+                if store is not None:
+                    for i in sorted(pruned_records):
+                        if i not in stored and i not in stored_incidents:
+                            store.append(i, pruned_records[i])
+                remaining = [
+                    (i, eff_specs[i]) for i in range(len(specs))
+                    if i not in stored and i not in pruned_records
+                    and i not in member_of and i not in stored_incidents
+                ]
+                result.resumed = len(stored)
+                result.resumed_seconds = sum(
+                    stored[i].wall_seconds for i in range(len(specs))
+                    if i in stored
+                )
+                on_record = None
+                if store is not None:
+                    def on_record(index, record):
+                        store.append(index, record)
+
+                def on_incident(incident):
+                    if store is not None:
+                        store.append_incident(incident)
+                hang_deadline = int(
+                    golden["end_cycle"] * cfg.hang_factor
+                    + (cfg.window or 0) + 20_000
+                )
+                # Per-fault wall budget feeding derived batch deadlines:
+                # a faulty run costs at most ~a golden run's wall time
+                # scaled by the watchdog factor; the supervisor applies
+                # a generous floor on top (adopted goldens report 0.0s
+                # here and fall straight to the floor).
+                fault_timeout_hint = (
+                    result.golden_seconds * cfg.hang_factor * 4
+                )
+                # Only what the faulty phase reads travels to workers --
+                # the access log (and hw_state outside arch mode) stays
+                # local.  The checkpoint cache ships whole, so workers
+                # share the same (bounded) restart points and boundary
+                # digests.
+                runner_golden = {
+                    key: golden[key]
+                    for key in ("cache", "pinout_keys", "output")
+                }
+                if cfg.observation == "arch":
+                    runner_golden["hw_state"] = golden["hw_state"]
+                runner = FaultRunner(cfg, runner_golden, hang_deadline)
+                jobs = cfg.resolved_jobs(len(remaining))
+                stop = shutdown.requested
+                if jobs > 1:
+                    from repro.injection import executor
+
+                    (records_map, incidents, requeued, _,
+                     jobs) = executor.run_parallel(
+                        self.sim_factory, runner, remaining, jobs=jobs,
+                        batch_size=cfg.batch_size,
+                        start_method=cfg.start_method,
+                        progress=progress, fallback_sim=sim,
+                        on_record=on_record, on_incident=on_incident,
+                        stop=stop, retries=retries,
+                        batch_timeout=cfg.batch_timeout,
+                        fault_timeout_hint=fault_timeout_hint,
+                        chaos=chaos,
+                    )
+                else:
+                    records_map, incidents, requeued, _ = \
+                        supervisor.run_in_process(
+                            sim, runner, remaining, retries=retries,
+                            chaos=chaos, progress=progress,
+                            on_record=on_record, on_incident=on_incident,
+                            stop=stop,
+                        )
+                    jobs = 1
+                result.jobs = jobs
+                result.retried_count = requeued
+                result.batch_cycles = runner.batch_cycles
+                result.batch_lane_peak_bytes = runner.batch_lane_peak_bytes
+                # Merge by fault index: pruned classifications and
+                # stored records fill the gaps around the simulated
+                # ones; every index appears exactly once, in
+                # fault-sample order (the store stays authoritative for
+                # anything it already holds).
+                merged = dict(pruned_records)
+                merged.update(records_map)
+                merged.update(stored)
+                all_incidents = dict(stored_incidents)
+                for incident in incidents:
+                    all_incidents[incident.index] = incident
+                # Group members inherit their representative's verdict
+                # (the representative is in ``merged``: simulated this
+                # session or loaded from the store) -- unless the
+                # representative was quarantined, in which case the
+                # member has no verdict to inherit and is quarantined
+                # with it.
+                for m in sorted(member_of):
+                    if m in merged or m in all_incidents:
+                        continue  # resumed from the store
+                    rep = member_of[m]
+                    if rep in all_incidents:
+                        member = Incident(
+                            m, specs[m], "exception",
+                            f"equivalence-group representative #{rep} "
+                            f"was quarantined", attempts=0)
+                        all_incidents[m] = member
+                        on_incident(member)
+                        continue
+                    rep_record = merged[rep]
+                    member = FaultRecord(specs[m], rep_record.fclass,
+                                         rep_record.detail,
+                                         pruned="group")
+                    merged[m] = member
+                    if store is not None:
+                        store.append(m, member)
+                resolved = set(merged) | set(all_incidents)
+                if len(resolved) < len(specs):
+                    # A drain request stopped the faulty phase early.
+                    # Everything completed so far is flushed (the store
+                    # appends per record), so the store resumes exactly
+                    # where this run stopped.
+                    raise CampaignInterrupted(
+                        len(resolved), len(specs),
+                        signame=shutdown.signame or "signal",
+                        stored=store is not None,
+                    )
+                for i in range(len(specs)):
+                    if i in all_incidents:
+                        result.incidents.append(all_incidents[i])
+                    else:
+                        result.add(merged[i])
                 result.total_seconds = time.perf_counter() - total_start
                 return result
-            shared = None
-            if golden_pool is not None:
-                shared = golden_pool.get(self.golden_key())
-            if shared is None:
-                sim = self.sim_factory()
-                golden = self._golden_phase(sim, result)
-                if golden_pool is not None:
-                    golden_pool[self.golden_key()] = SharedGolden(
-                        sim, golden, result.golden_cycles,
-                        result.golden_insts, result.golden_seconds)
-            else:
-                sim, golden = shared.sim, shared.golden
-                result.golden_cycles = shared.cycles
-                result.golden_insts = shared.insts
-                # This session spent nothing capturing the golden run
-                # -- the original capture's cost stays with the
-                # campaign that paid it, so the serial estimate (and
-                # hence speedup, ~1.0 at jobs=1) reflects only work
-                # actually done here, exactly like resumed records.
-                result.golden_seconds = 0.0
-            specs = self._sample(sim, golden, result)
-            if store is not None:
-                store.set_golden(result.golden_cycles, result.golden_insts,
-                                 golden["end_cycle"], result.population,
-                                 golden["bits"],
-                                 trace=golden.get("trace"))
-            self._check_stored_faults(stored, specs)
-            pruned_records, eff_specs, member_of = self._prune_partition(
-                sim, golden, specs)
-            if store is not None:
-                for i in sorted(pruned_records):
-                    if i not in stored:
-                        store.append(i, pruned_records[i])
-            remaining = [
-                (i, eff_specs[i]) for i in range(len(specs))
-                if i not in stored and i not in pruned_records
-                and i not in member_of
-            ]
-            result.resumed = len(stored)
-            result.resumed_seconds = sum(
-                stored[i].wall_seconds for i in range(len(specs))
-                if i in stored
-            )
-            rem_index = [i for i, _ in remaining]
-            rem_specs = [spec for _, spec in remaining]
-            on_batch = None
-            if store is not None:
-                def on_batch(start, batch_records):
-                    for offset, record in enumerate(batch_records):
-                        store.append(rem_index[start + offset], record)
-            hang_deadline = int(
-                golden["end_cycle"] * cfg.hang_factor
-                + (cfg.window or 0) + 20_000
-            )
-            # Only what the faulty phase reads travels to workers -- the
-            # access log (and hw_state outside arch mode) stays local.
-            # The checkpoint cache ships whole, so workers share the
-            # same (bounded) restart points and boundary digests.
-            runner_golden = {
-                key: golden[key]
-                for key in ("cache", "pinout_keys", "output")
-            }
-            if cfg.observation == "arch":
-                runner_golden["hw_state"] = golden["hw_state"]
-            runner = FaultRunner(cfg, runner_golden, hang_deadline)
-            jobs = cfg.resolved_jobs(len(rem_specs))
-            if jobs > 1:
-                from repro.injection import executor
-
-                records, jobs = executor.run_parallel(
-                    self.sim_factory, runner, rem_specs, jobs=jobs,
-                    batch_size=cfg.batch_size,
-                    start_method=cfg.start_method,
-                    progress=progress, fallback_sim=sim,
-                    on_batch=on_batch,
-                )
-            else:
-                records = runner.run_many(sim, rem_specs, progress,
-                                          on_batch=on_batch)
-            result.jobs = jobs
-            result.batch_cycles = runner.batch_cycles
-            result.batch_lane_peak_bytes = runner.batch_lane_peak_bytes
-            # Merge by fault index: pruned classifications and stored
-            # records fill the gaps around the simulated ones; every
-            # index appears exactly once, in fault-sample order (the
-            # store stays authoritative for anything it already holds).
-            merged = dict(pruned_records)
-            merged.update(zip(rem_index, records))
-            merged.update(stored)
-            # Group members inherit their representative's verdict (the
-            # representative is always in ``merged``: simulated this
-            # session or loaded from the store).
-            for m in sorted(member_of):
-                if m in merged:
-                    continue  # resumed from the store
-                rep_record = merged[member_of[m]]
-                member = FaultRecord(specs[m], rep_record.fclass,
-                                     rep_record.detail, pruned="group")
-                merged[m] = member
-                if store is not None:
-                    store.append(m, member)
-            for i in range(len(specs)):
-                result.add(merged[i])
-            result.total_seconds = time.perf_counter() - total_start
-            return result
         finally:
             if store is not None:
                 store.close()
@@ -941,10 +1088,10 @@ class Campaign:
         The manifest identity covers every config knob, but a code
         change to the sampling itself would redraw different faults
         under an identical identity -- and the index merge would then
-        silently mix two incompatible sample lists.  Records carry
-        their fault, so verify it matches the spec at the same index
-        (on ``original_cycle``, which is invariant under the
-        inject-near-consumption acceleration).
+        silently mix two incompatible sample lists.  Records (and
+        quarantined incidents) carry their fault, so verify it matches
+        the spec at the same index (on ``original_cycle``, which is
+        invariant under the inject-near-consumption acceleration).
         """
         from repro.injection.store import StoreMismatchError
 
@@ -963,30 +1110,36 @@ class Campaign:
                     f"a sampling change -- delete it and re-run"
                 )
 
-    def _resume_complete(self, result, stored, store):
-        """Fast path: every fault is on disk and the golden summary is
-        recorded -- rebuild the result without simulating anything.
-        The stored faults are still cross-checked against a redraw of
-        the sample list (cheap: the manifest carries the golden run's
-        bit count and end cycle), so a store predating a sampling
-        change fails loudly here too."""
+    def _resume_complete(self, result, stored, stored_incidents, store):
+        """Fast path: every fault is on disk (classified record *or*
+        quarantined incident) and the golden summary is recorded --
+        rebuild the result without simulating anything.  The stored
+        faults are still cross-checked against a redraw of the sample
+        list (cheap: the manifest carries the golden run's bit count
+        and end cycle), so a store predating a sampling change fails
+        loudly here too.  Quarantined faults stay quarantined: a
+        resume never re-runs a poison fault, which is what makes
+        resuming a degraded campaign a no-op."""
         samples = self.config.samples
-        if not all(i in stored for i in range(samples)):
+        if not all(i in stored or i in stored_incidents
+                   for i in range(samples)):
             return False
         golden_info = store.golden_info()
         if golden_info is None or "bits" not in golden_info:
             return False
-        self._check_stored_faults(
-            stored,
-            self._draw_specs(golden_info["bits"],
-                             golden_info["end_cycle"]),
-        )
+        redrawn = self._draw_specs(golden_info["bits"],
+                                   golden_info["end_cycle"])
+        self._check_stored_faults(stored, redrawn)
+        self._check_stored_faults(stored_incidents, redrawn)
         result.golden_cycles = golden_info["cycles"]
         result.golden_insts = golden_info["insts"]
         result.population = golden_info["population"]
-        result.resumed = samples
         for i in range(samples):
-            result.add(stored[i])
+            if i in stored_incidents:
+                result.incidents.append(stored_incidents[i])
+            else:
+                result.add(stored[i])
+        result.resumed = len(result.records)
         result.resumed_seconds = sum(r.wall_seconds
                                      for r in result.records)
         return True

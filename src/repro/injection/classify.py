@@ -78,6 +78,43 @@ class FaultRecord:
         return f"FaultRecord({self.fault!r} -> {self.fclass.value}{tag})"
 
 
+class Incident:
+    """A fault that could not be classified: quarantined, not counted.
+
+    Produced by the supervised executor when one fault keeps killing or
+    stalling its worker (or keeps raising in-process) after the retry
+    budget is spent.  Incidents are *not* :class:`FaultRecord`\\ s -- they
+    carry no classification and stay out of every statistic; they
+    persist in the store's ``incidents.jsonl`` sidecar with
+    ``disposition="error"`` so a resumed campaign skips the poison
+    fault instead of re-dying on it.
+
+    ``kind`` is how the fault failed: ``"crash"`` (worker process
+    died), ``"hang"`` (batch deadline expired, worker killed) or
+    ``"exception"`` (the run raised).  ``attempts`` counts executions
+    spent on the fault before giving up.
+    """
+
+    __slots__ = ("index", "fault", "kind", "detail", "attempts")
+
+    #: Every incident shares one disposition -- the store column that
+    #: distinguishes quarantined faults from classified records.
+    disposition = "error"
+
+    def __init__(self, index, fault, kind, detail="", attempts=1):
+        self.index = index
+        self.fault = fault
+        self.kind = kind
+        self.detail = detail
+        self.attempts = attempts
+
+    def __repr__(self):
+        return (
+            f"Incident(#{self.index} {self.fault!r} {self.kind}"
+            f" after {self.attempts} attempts)"
+        )
+
+
 def compare_traces(golden_keys, faulty_keys, limit=None):
     """Content+order pinout comparison.
 

@@ -1,15 +1,14 @@
-"""Parallel faulty-run execution: the campaign engine's process pool.
+"""Parallel faulty-run execution: sharding and the supervised pool.
 
 A campaign's step 2 (the faulty simulations) is embarrassingly
 parallel: every run restores a golden checkpoint, injects one bit and
 compares against read-only golden data.  This module shards the sampled
-faults into contiguous batches and fans them out over a
-``multiprocessing`` pool:
+faults into contiguous batches and fans them out over the supervised
+worker set of :mod:`repro.injection.supervisor`:
 
 * the golden payload (trace keys, output, checkpoints) and the
   simulator factory are **serialized once** and shipped to each worker
-  through the pool initializer -- workers never recompute the golden
-  run;
+  at spawn -- workers never recompute the golden run;
 * each worker builds one simulator and reuses it across all its
   batches, exactly like the serial loop reuses one simulator across
   faults (``restore`` rebuilds the machine, so no state leaks between
@@ -17,9 +16,15 @@ faults into contiguous batches and fans them out over a
 * batches complete in any order, but records are merged back by fault
   index, so the resulting sequence -- classes, details, cycle counts --
   is identical to what ``jobs=1`` produces for the same seed.  Only the
-  ``wall_seconds`` timings differ.
+  ``wall_seconds`` timings differ;
+* unlike the fire-and-forget pool this replaced, worker death, hung
+  batches and poison faults are survivable: the supervisor respawns,
+  re-shards with backoff, bisects repeated failures down to the
+  offending fault and quarantines it as an
+  :class:`~repro.injection.classify.Incident` (see DESIGN.md, "Failure
+  model & recovery semantics").
 
-The pool start method defaults to ``fork`` on Linux (cheapest: the
+The worker start method defaults to ``fork`` on Linux (cheapest: the
 ~100s-of-kB payload still transfers explicitly, but the interpreter
 and imports come for free) and to ``spawn`` elsewhere.  Both are
 supported; ``REPRO_MP_START`` or ``CampaignConfig(start_method=...)``
@@ -27,14 +32,13 @@ override the choice.
 """
 
 import math
-import multiprocessing
 import os
-import pickle
-import sys
 
-#: Per-process worker state: ``(simulator, FaultRunner)``.  Set by
-#: :func:`_init_worker` in each pool process, never in the parent.
-_WORKER = None
+from repro.injection import supervisor
+from repro.injection.supervisor import (  # noqa: F401  (re-exports)
+    DEFAULT_RETRIES,
+    resolve_start_method,
+)
 
 
 def default_jobs():
@@ -49,35 +53,14 @@ def default_jobs():
     return os.cpu_count() or 1
 
 
-def resolve_start_method(name=None):
-    """Pick the ``multiprocessing`` start method.
-
-    Priority: explicit ``name`` argument, then the ``REPRO_MP_START``
-    environment variable, then ``fork`` where available (Linux/macOS
-    CPython builds that offer it), else ``spawn``.
-    """
-    name = name or os.environ.get("REPRO_MP_START")
-    available = multiprocessing.get_all_start_methods()
-    if name:
-        if name not in available:
-            raise ValueError(
-                f"start method {name!r} not available (have {available})"
-            )
-        return name
-    # fork is the cheap path but is only reliably safe on Linux --
-    # macOS offers it yet made spawn its default for a reason
-    # (post-initialization forks can abort in system frameworks).
-    if sys.platform.startswith("linux") and "fork" in available:
-        return "fork"
-    return "spawn"
-
-
 def shard(specs, jobs, batch_size=None):
     """Split ``specs`` into contiguous ``(start_index, faults)`` batches.
 
     The default batch size aims at ~4 batches per worker so a slow batch
     (hangs cost ``hang_factor`` times a normal run) cannot straggle the
-    whole pool, without paying per-fault IPC overhead.
+    whole pool, without paying per-fault IPC overhead.  Smaller batches
+    also shrink the blast radius of a worker crash: only the dead
+    worker's batch is re-sharded and retried.
     """
     if batch_size is None:
         batch_size = max(1, math.ceil(len(specs) / (jobs * 4)))
@@ -87,59 +70,69 @@ def shard(specs, jobs, batch_size=None):
     ]
 
 
-def _init_worker(payload):
-    """Pool initializer: unpack the campaign context, build one sim."""
-    global _WORKER
-    sim_factory, runner = pickle.loads(payload)
-    _WORKER = (sim_factory(), runner)
-
-
-def _run_batch(batch):
-    """Execute one batch of faults on this worker's simulator."""
-    start, faults = batch
-    sim, runner = _WORKER
-    return start, runner.run_many(sim, faults)
-
-
-def run_parallel(sim_factory, runner, specs, jobs, batch_size=None,
+def run_parallel(sim_factory, runner, items, jobs, batch_size=None,
                  start_method=None, progress=None, fallback_sim=None,
-                 on_batch=None):
-    """Execute ``specs`` on a pool of up to ``jobs`` workers.
+                 on_record=None, on_incident=None, stop=None,
+                 retries=DEFAULT_RETRIES, batch_timeout=None,
+                 fault_timeout_hint=None, chaos=None):
+    """Execute ``items`` (``(fault_index, spec)`` pairs) on up to
+    ``jobs`` supervised workers.
 
-    Returns ``(records, jobs_used)``: the
-    :class:`~repro.injection.classify.FaultRecord` list in fault-sample
-    order (deterministic merge) plus the worker count actually used,
-    which may be lower than requested when there are fewer batches than
-    workers (``1`` means no pool was built).  ``progress``, if given,
-    is called as ``progress(done, total, record)`` after each batch
-    with the batch's last record; ``done`` counts each fault exactly
-    once regardless of how the batch boundaries fall.  ``on_batch``, if
-    given, is called as ``on_batch(start_index, batch_records)`` as
-    each batch lands (completion order, not merge order) -- the
-    campaign-store append hook.  ``fallback_sim``, if given, serves
-    the degenerate single-batch case instead of building a fresh
-    simulator.
+    Returns ``(records, incidents, requeued, drained, jobs_used)``:
+
+    * ``records`` -- fault index -> :class:`~repro.injection.classify
+      .FaultRecord` for every fault that classified (deterministic:
+      bit-identical to the serial loop for a fixed seed, whatever
+      crashes or retries happened along the way);
+    * ``incidents`` -- quarantined faults (:class:`~repro.injection
+      .classify.Incident`), each after ``retries`` failed executions;
+    * ``requeued`` -- fault executions re-dispatched after a crash,
+      deadline kill or exception;
+    * ``drained`` -- True when ``stop()`` requested a graceful drain;
+    * ``jobs_used`` -- may be lower than requested when there are fewer
+      batches than workers (``1`` means everything ran in-process).
+
+    ``progress(done, total, record)`` fires as each batch lands;
+    ``done`` counts each fault exactly once regardless of batch
+    boundaries or retries (a quarantined fault counts as done with
+    ``record=None``).  ``on_record(index, record)`` is the
+    campaign-store append hook -- called exactly once per classified
+    fault, in completion order.  ``fallback_sim``, if given, serves the
+    degenerate single-batch case instead of building a fresh simulator.
     """
+    specs = [spec for _, spec in items]
     batches = shard(specs, jobs, batch_size)
     jobs = min(jobs, len(batches))
     if jobs <= 1:
-        # Degenerate shard (e.g. one batch): stay in-process.
+        # Degenerate shard (e.g. one batch): stay in-process -- no
+        # context, no queues, no payload pickling.
         sim = fallback_sim if fallback_sim is not None else sim_factory()
-        return runner.run_many(sim, specs, progress,
-                               on_batch=on_batch), 1
-    payload = pickle.dumps((sim_factory, runner),
-                           protocol=pickle.HIGHEST_PROTOCOL)
-    ctx = multiprocessing.get_context(resolve_start_method(start_method))
-    records = [None] * len(specs)
-    done = 0
-    with ctx.Pool(jobs, initializer=_init_worker,
-                  initargs=(payload,)) as pool:
-        for start, batch_records in pool.imap_unordered(_run_batch,
-                                                        batches):
-            records[start:start + len(batch_records)] = batch_records
-            done += len(batch_records)
-            if on_batch is not None:
-                on_batch(start, batch_records)
-            if progress is not None:
-                progress(done, len(specs), batch_records[-1])
-    return records, jobs
+        records, incidents, requeued, drained = supervisor.run_in_process(
+            sim, runner, items, retries=retries, chaos=chaos,
+            progress=progress, on_record=on_record,
+            on_incident=on_incident, stop=stop,
+        )
+        return records, incidents, requeued, drained, 1
+    entry_batches = []
+    offset = 0
+    for _, faults in batches:
+        entry_batches.append([
+            (items[offset + k][0], spec, 0)
+            for k, spec in enumerate(faults)
+        ])
+        offset += len(faults)
+    pool = supervisor.WorkerSupervisor(
+        sim_factory, runner, jobs, start_method=start_method,
+        retries=retries, batch_timeout=batch_timeout,
+        fault_timeout_hint=fault_timeout_hint, chaos=chaos,
+    )
+    records, incidents, requeued, drained = pool.run(
+        entry_batches, progress=progress, on_record=on_record,
+        on_incident=on_incident, stop=stop,
+    )
+    # Lane-engine accounting flows back from the workers (the old pool
+    # dropped it for jobs>1).
+    runner.batch_cycles += pool.batch_cycles
+    runner.batch_lane_peak_bytes = max(runner.batch_lane_peak_bytes,
+                                       pool.batch_lane_peak_bytes)
+    return records, incidents, requeued, drained, jobs

@@ -25,6 +25,17 @@ resumable.  One store directory holds one campaign:
 Both formats are append-only and flushed per record, so a killed
 campaign loses at most the fault that was in flight.
 
+Quarantined faults -- sampled faults that spent their retry budget
+killing, stalling or crashing their runs (:class:`~repro.injection
+.classify.Incident`, ``disposition="error"``) -- persist in an
+``incidents.jsonl`` sidecar next to the records file, whatever the
+record format.  Keeping them out of ``records.bin`` keeps the
+fixed-width format 2 layout untouched (an incident has no class, no
+cycle counts -- packing it would poison every columnar lane read) while
+staying human-greppable at the moment a human most wants to grep.  On
+resume, incident indices count as *done*: a poison fault is never
+re-run, so resuming a degraded campaign is a no-op.
+
 Resume semantics: fault samples are a pure function of the manifest
 identity (same seed, same distribution), so a resumed campaign redraws
 the identical sample list, skips every index already on disk and runs
@@ -50,7 +61,7 @@ import time
 import numpy as np
 
 from repro.injection import storefmt
-from repro.injection.classify import FaultClass, FaultRecord
+from repro.injection.classify import FaultClass, FaultRecord, Incident
 from repro.injection.faults import FaultSpec
 from repro.injection.storefmt import StoreError, StoreMismatchError
 
@@ -65,6 +76,8 @@ RECORDS_NAME = "records.jsonl"
 BINARY_RECORDS_NAME = "records.bin"
 STRINGS_NAME = "strings.dat"
 TRACE_NAME = "trace.bin"
+#: Quarantined-fault sidecar (JSONL in both record formats).
+INCIDENTS_NAME = "incidents.jsonl"
 
 _FORMAT_NAMES = {"jsonl": FORMAT_JSONL, "binary": FORMAT_BINARY}
 
@@ -136,6 +149,31 @@ def record_from_json(blob):
     return blob["i"], record
 
 
+def incident_to_json(incident):
+    """One :class:`Incident` as a JSONL-ready dict."""
+    return {
+        "i": incident.index,
+        "disposition": incident.disposition,
+        "structure": incident.fault.structure,
+        "bit": incident.fault.bit,
+        "cycle": incident.fault.cycle,
+        "original_cycle": incident.fault.original_cycle,
+        "kind": incident.kind,
+        "detail": incident.detail,
+        "attempts": incident.attempts,
+    }
+
+
+def incident_from_json(blob):
+    """Inverse of :func:`incident_to_json`; returns ``(index, incident)``."""
+    fault = FaultSpec(blob["structure"], blob["bit"], blob["cycle"],
+                      original_cycle=blob["original_cycle"])
+    incident = Incident(blob["i"], fault, blob["kind"],
+                        detail=blob.get("detail", ""),
+                        attempts=blob.get("attempts", 1))
+    return blob["i"], incident
+
+
 class CampaignStore:
     """One campaign's on-disk record set.
 
@@ -158,6 +196,7 @@ class CampaignStore:
         self._format = None
         self._records_file = None
         self._strings = None
+        self._incidents_file = None
 
     @property
     def manifest_path(self):
@@ -178,6 +217,10 @@ class CampaignStore:
     @property
     def trace_path(self):
         return self.path / TRACE_NAME
+
+    @property
+    def incidents_path(self):
+        return self.path / INCIDENTS_NAME
 
     def exists(self):
         return self.manifest_path.exists()
@@ -281,6 +324,7 @@ class CampaignStore:
         # manifest), not a blank slate -- never wipe it.
         for path, empty_size in (
                 (self.records_path, 0),
+                (self.incidents_path, 0),
                 (self.binary_path, storefmt.RECORDS_HEADER_BYTES)):
             try:
                 size = os.path.getsize(path)
@@ -295,7 +339,8 @@ class CampaignStore:
 
     def _init_records(self, fmt):
         for stale in (self.records_path, self.binary_path,
-                      self.strings_path, self.trace_path):
+                      self.strings_path, self.trace_path,
+                      self.incidents_path):
             stale.unlink(missing_ok=True)
         if fmt == FORMAT_BINARY:
             self.binary_path.write_bytes(storefmt.records_header())
@@ -309,6 +354,9 @@ class CampaignStore:
         if self._strings is not None:
             self._strings.close()
             self._strings = None
+        if self._incidents_file is not None:
+            self._incidents_file.close()
+            self._incidents_file = None
 
     # ------------------------------------------------------------------
     # manifest
@@ -472,6 +520,60 @@ class CampaignStore:
                 replay_cycles=replay[k], pruned=pruned[k])
         return out
 
+    def append_incident(self, incident):
+        """Durably append one quarantined fault to the sidecar.
+
+        Lazily creates ``incidents.jsonl`` on the first incident, so a
+        clean campaign's store has no sidecar at all -- the file's very
+        existence means "this campaign degraded at least once".
+        Flushed per incident, same durability as :meth:`append`.
+        """
+        if self._records_file is None:
+            raise StoreError("store not opened with begin()")
+        if self._incidents_file is None:
+            self._incidents_file = open(self.incidents_path, "a",
+                                        encoding="utf-8")
+        self._incidents_file.write(
+            json.dumps(incident_to_json(incident)) + "\n")
+        self._incidents_file.flush()
+
+    def incidents(self):
+        """All intact quarantined faults, ``{index: Incident}``.
+
+        Same tail contract as :meth:`records`: a torn final line (kill
+        mid-append) is ignored, earlier corruption or a duplicated
+        index raises :class:`StoreError`.  An absent sidecar is simply
+        an incident-free campaign.
+        """
+        out = {}
+        try:
+            lines = self.incidents_path.read_text().split("\n")
+        except FileNotFoundError:
+            return out
+        for lineno, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                index, incident = incident_from_json(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                if lineno == len(lines) - 1:
+                    continue  # torn tail: the in-flight quarantine
+                raise StoreError(
+                    f"corrupt incident at {self.incidents_path}:"
+                    f"{lineno + 1}: {exc}"
+                )
+            if index in out:
+                raise StoreError(
+                    f"duplicate fault index #{index} at "
+                    f"{self.incidents_path}:{lineno + 1}: the sidecar "
+                    f"was double-appended; delete the store and re-run")
+            out[index] = incident
+        return out
+
+    def incident_count(self):
+        """How many faults this campaign quarantined (0 = clean)."""
+        return len(self.incidents())
+
     def class_tally(self):
         """Per-class record counts without materializing records.
 
@@ -549,18 +651,24 @@ class CampaignStore:
         """Truncate a half-written final record in place."""
         if fmt is None:
             fmt = self._read_format()
+        self._recover_jsonl_tail(self.incidents_path, create=False)
         if fmt == FORMAT_BINARY:
             storefmt.recover_records_tail(self.binary_path)
             storefmt.recover_strings_tail(self.strings_path)
             return
+        self._recover_jsonl_tail(self.records_path, create=True)
+
+    @staticmethod
+    def _recover_jsonl_tail(path, create):
         try:
-            blob = self.records_path.read_bytes()
+            blob = path.read_bytes()
         except FileNotFoundError:
-            self.records_path.write_text("")
+            if create:
+                path.write_text("")
             return
         if blob and not blob.endswith(b"\n"):
             keep = blob.rfind(b"\n") + 1
-            self.records_path.write_bytes(blob[:keep])
+            path.write_bytes(blob[:keep])
 
     def __repr__(self):
         return f"CampaignStore({str(self.path)!r})"

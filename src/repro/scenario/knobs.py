@@ -47,14 +47,18 @@ _RENDERERS = {
     "prune": lambda v: [] if v == "dead" else [f"prune={v}"],
     "parallel": _parallel,
     "lanes": lambda v: [] if v in (1, None) else [f"lanes={v}"],
+    "retries": lambda v: [] if v in (None, 2) else [f"retries={v}"],
+    "batch_timeout": lambda v: [] if v is None
+    else [f"batch_timeout={v:g}s"],
+    "chaos": lambda v: [f"chaos={v}"] if v else [],
     "store": lambda v: [] if v is None else [f"store={v}"],
     "resume": lambda v: ["resume"] if v else [],
 }
 
 #: Fixed header order.  Configs pass only the knobs they carry.
 KNOB_ORDER = ("window", "observation", "distribution", "seed",
-              "warm_start", "prune", "parallel", "lanes", "store",
-              "resume")
+              "warm_start", "prune", "parallel", "lanes", "retries",
+              "batch_timeout", "chaos", "store", "resume")
 
 #: ``CampaignConfig.__init__`` parameters that deliberately stay out of
 #: run headers: pure accounting/statistics knobs plus cache-residency

@@ -103,6 +103,7 @@ class ScenarioRunner:
                 distribution=cell.distribution,
                 jobs=cell.jobs, batch_size=cell.batch_size,
                 batch_lanes=cell.lanes,
+                retries=cell.retries, batch_timeout=cell.batch_timeout,
                 prune_mode=cell.prune, warm_start=cell.warm_start,
                 store=self._cell_store(cell), resume=self.spec.resume,
                 store_format=self.spec.store_format,

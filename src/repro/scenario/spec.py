@@ -141,6 +141,16 @@ def _jobs_field(field, value):
     return _int_field(field, value, minimum=1)
 
 
+def _timeout_field(field, value):
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) \
+            or value <= 0:
+        raise ScenarioError(
+            field, f"must be a positive number of seconds, got {value!r}")
+    return value
+
+
 #: Sweepable knob axes (beyond the four target axes), with their
 #: per-value validators.
 _SCALAR_AXES = {
@@ -223,6 +233,12 @@ class CellSpec:
     jobs: object            # int | None (auto)
     batch_size: object
     warm_start: bool
+    #: Failed executions one fault may spend before quarantine
+    #: (``[execution] retries``; supervised executor).
+    retries: int = 2
+    #: Per-batch wall-clock budget in seconds (``None`` = derived from
+    #: the golden run's wall cost x hang_factor).
+    batch_timeout: object = None
     #: Vectorized lane count for the faulty phase (lane-batchable
     #: tiers: arch and rtl).
     lanes: int = 1
@@ -270,7 +286,7 @@ class CellSpec:
         return (self.level, self.workload, self.structure, self.mode,
                 self.samples, self.seed, self.window, self.distribution,
                 self.prune, self.jobs, self.batch_size, self.warm_start,
-                self.lanes)
+                self.retries, self.batch_timeout, self.lanes)
 
 
 def _derive_seed(base_seed, cell_key):
@@ -287,7 +303,8 @@ class ScenarioSpec:
     _TARGET_KEYS = ("levels", "workloads", "structures", "modes")
     _FAULT_KEYS = ("samples", "seed", "window", "distribution",
                    "seed_policy")
-    _EXECUTION_KEYS = ("jobs", "batch_size", "lanes", "prune", "store",
+    _EXECUTION_KEYS = ("jobs", "batch_size", "lanes", "retries",
+                       "batch_timeout", "prune", "store",
                        "store_format", "resume", "warm_start",
                        "same_binaries")
 
@@ -295,6 +312,7 @@ class ScenarioSpec:
                  workloads=None, samples=None, seed=2017,
                  window="scaled", distribution="normal",
                  seed_policy="shared", jobs=1, batch_size=None, lanes=1,
+                 retries=2, batch_timeout=None,
                  prune="dead", store=None, store_format=None,
                  resume=False, warm_start=True,
                  same_binaries=False, sweep=(), present=None,
@@ -312,6 +330,8 @@ class ScenarioSpec:
         self.jobs = jobs
         self.batch_size = batch_size
         self.lanes = lanes
+        self.retries = retries
+        self.batch_timeout = batch_timeout
         self.prune = prune
         self.store = store
         #: Record format for *fresh* stores: "binary" | "jsonl" | None
@@ -433,6 +453,10 @@ class ScenarioSpec:
                                    execution["batch_size"], minimum=1)),
             lanes=_int_field("execution.lanes",
                              execution.get("lanes", 1), minimum=1),
+            retries=_int_field("execution.retries",
+                               execution.get("retries", 2), minimum=1),
+            batch_timeout=_timeout_field("execution.batch_timeout",
+                                         execution.get("batch_timeout")),
             prune=execution.get("prune", "dead"),
             store=execution.get("store"),
             store_format=execution.get("store_format"),
@@ -472,6 +496,8 @@ class ScenarioSpec:
                 f"unknown policy {self.seed_policy!r}",
                 hint=_suggest(self.seed_policy, _SEED_POLICIES))
         _int_field("execution.lanes", self.lanes, minimum=1)
+        _int_field("execution.retries", self.retries, minimum=1)
+        _timeout_field("execution.batch_timeout", self.batch_timeout)
         if self.prune not in _PRUNE_MODES:
             raise ScenarioError("execution.prune",
                                 f"unknown prune mode {self.prune!r}",
@@ -761,6 +787,8 @@ class ScenarioSpec:
                         batch_size=self.batch_size,
                         warm_start=coords.get("warm_start",
                                               self.warm_start),
+                        retries=self.retries,
+                        batch_timeout=self.batch_timeout,
                         lanes=self.lanes,
                         axes=axes,
                     )
@@ -776,6 +804,7 @@ class ScenarioSpec:
             window=self.window, distribution=self.distribution,
             prune=self.prune, jobs=self.jobs,
             batch_size=self.batch_size, warm_start=self.warm_start,
+            retries=self.retries, batch_timeout=self.batch_timeout,
             lanes=self.lanes,
         )
         base.update(overrides)
@@ -809,6 +838,8 @@ class ScenarioSpec:
             "prune": self.prune,
             "parallel": (self.jobs, self.batch_size, None),
             "lanes": self.lanes,
+            "retries": self.retries,
+            "batch_timeout": self.batch_timeout,
             "store": self.store,
             "resume": self.resume,
         })

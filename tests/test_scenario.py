@@ -590,6 +590,34 @@ def test_lanes_knob_in_every_describe_header():
     assert "lanes" not in make_spec().describe()
 
 
+def test_retries_and_batch_timeout_validated():
+    """[execution] retries/batch_timeout: parsed, validated (positive),
+    threaded into every cell and rendered in the header at non-default
+    values."""
+    spec = make_spec(execution={"retries": 5, "batch_timeout": 2.5})
+    assert spec.retries == 5 and spec.batch_timeout == 2.5
+    assert all(c.retries == 5 and c.batch_timeout == 2.5
+               for c in spec.cells())
+    assert "retries=5" in spec.describe()
+    assert "batch_timeout=2.5s" in spec.describe()
+    # Defaults elide from the header.
+    plain = make_spec()
+    assert all(c.retries == 2 and c.batch_timeout is None
+               for c in plain.cells())
+    assert "retries" not in plain.describe()
+    assert "batch_timeout" not in plain.describe()
+    for bad in ({"retries": 0}, {"retries": -1}, {"retries": 1.5},
+                {"retries": False}):
+        with pytest.raises(ScenarioError) as err:
+            make_spec(execution=bad)
+        assert err.value.field == "execution.retries"
+    for bad in ({"batch_timeout": 0}, {"batch_timeout": -2},
+                {"batch_timeout": "5s"}, {"batch_timeout": True}):
+        with pytest.raises(ScenarioError) as err:
+            make_spec(execution=bad)
+        assert err.value.field == "execution.batch_timeout"
+
+
 def test_lanes_rejected_on_non_batchable_levels():
     """The lane engine vectorizes the arch and rtl tiers: a spec asking
     for ``lanes > 1`` on uarch fails validation naming the field."""

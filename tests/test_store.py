@@ -338,3 +338,209 @@ def test_store_table_reads_merged_stores(tmp_path, factory):
     assert WORKLOAD in text
     # Both stores are complete: done == of == 4.
     assert text.count(" 4 ") >= 4
+
+
+# ----------------------------------------------------------------------
+# the incidents.jsonl sidecar (quarantined faults)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_incidents_sidecar_round_trip(tmp_path, fmt):
+    from repro.injection.classify import Incident
+
+    store = CampaignStore(tmp_path / "s", store_format=fmt)
+    store.begin({"a": 1})
+    assert store.incidents() == {}
+    assert store.incident_count() == 0
+    fault = FaultSpec("regfile", 5, 100, original_cycle=90)
+    store.append_incident(Incident(3, fault, "crash",
+                                   "worker died (exit code -11)",
+                                   attempts=2))
+    store.close()
+    loaded = CampaignStore(tmp_path / "s").incidents()
+    assert set(loaded) == {3}
+    incident = loaded[3]
+    assert incident.disposition == "error"
+    assert incident.kind == "crash"
+    assert incident.detail == "worker died (exit code -11)"
+    assert incident.attempts == 2
+    assert (incident.fault.structure, incident.fault.bit,
+            incident.fault.original_cycle) == ("regfile", 5, 90)
+
+
+def test_incident_append_requires_begin(tmp_path):
+    from repro.injection.classify import Incident
+
+    store = CampaignStore(tmp_path / "s")
+    with pytest.raises(StoreError, match="begin"):
+        store.append_incident(Incident(0, FaultSpec("regfile", 5, 100),
+                                       "hang"))
+
+
+def test_incidents_torn_tail_recovered_on_resume(tmp_path):
+    from repro.injection.classify import Incident
+
+    store = CampaignStore(tmp_path / "s")
+    store.begin({"a": 1})
+    fault = FaultSpec("regfile", 5, 100)
+    store.append_incident(Incident(0, fault, "hang", attempts=2))
+    store.append_incident(Incident(4, fault, "crash", attempts=3))
+    store.close()
+    path = store.incidents_path
+    torn = path.read_bytes()[:-7]  # a kill mid-append
+    path.write_bytes(torn)
+    resumed = CampaignStore(tmp_path / "s")
+    resumed.begin({"a": 1}, resume=True)
+    assert set(resumed.incidents()) == {0}
+    resumed.close()
+    assert b"crash" not in path.read_bytes()
+
+
+def test_duplicate_incident_index_is_an_error(tmp_path):
+    from repro.injection.classify import Incident
+
+    store = CampaignStore(tmp_path / "s")
+    store.begin({"a": 1})
+    fault = FaultSpec("regfile", 5, 100)
+    store.append_incident(Incident(2, fault, "hang"))
+    store.append_incident(Incident(2, fault, "crash"))
+    store.close()
+    with pytest.raises(StoreError, match="duplicate"):
+        CampaignStore(tmp_path / "s").incidents()
+
+
+def test_degraded_campaign_resume_is_a_noop(tmp_path, factory):
+    """A campaign with a quarantined poison fault persists the incident;
+    a chaos-free resume counts it as done (no re-run) and reproduces the
+    degraded result exactly."""
+    reference = make_campaign_chaos(factory, chaos=None).run()
+    first = make_campaign_chaos(factory, chaos="raise*@3").run(
+        store=CampaignStore(tmp_path / "c"))
+    assert [i.index for i in first.incidents] == [3]
+    assert first.degraded
+    store = CampaignStore(tmp_path / "c")
+    assert store.incident_count() == 1
+    resumed = make_campaign_chaos(factory, chaos=None).run(
+        store=CampaignStore(tmp_path / "c"), resume=True)
+    assert resumed.resumed == first.n
+    assert [i.index for i in resumed.incidents] == [3]
+    assert resumed.incidents[0].attempts == first.incidents[0].attempts
+    assert record_keys(resumed) == record_keys(first)
+    survivors = [k for i, k in enumerate(record_keys(reference))
+                 if i != 3]
+    assert record_keys(first) == survivors
+
+
+def make_campaign_chaos(factory, chaos, samples=8, seed=13):
+    config = CampaignConfig(samples=samples, window=800, seed=seed,
+                            prune_mode="off", chaos=chaos)
+    return Campaign(factory, "regfile", config,
+                    workload=WORKLOAD, level="uarch")
+
+
+# ----------------------------------------------------------------------
+# signal-safe shutdown: real SIGTERM against a real campaign process
+# ----------------------------------------------------------------------
+
+SIGTERM_SCENARIO = """\
+[scenario]
+name = "sigterm-smoke"
+
+[targets]
+levels = ["arch"]
+workloads = ["stringsearch"]
+structures = ["regfile"]
+modes = ["pinout"]
+
+[faults]
+samples = 12
+seed = 13
+
+[execution]
+jobs = {jobs}
+prune = "off"
+"""
+
+
+def _spawn_cli(toml, store_root, chaos=None, resume=False):
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = str(repo / "src")
+    env.pop("REPRO_CHAOS", None)
+    if chaos:
+        env["REPRO_CHAOS"] = chaos
+    argv = [sys.executable, "-m", "repro.cli", "run", str(toml),
+            "--set", f"execution.store={store_root}"]
+    if resume:
+        argv += ["--set", "execution.resume=true"]
+    return subprocess.Popen(argv, cwd=repo, env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE)
+
+
+def _stored_record_count(cell_dir):
+    from repro.injection import storefmt
+
+    binary = cell_dir / "records.bin"
+    if not binary.exists():
+        return 0
+    payload = binary.stat().st_size - storefmt.RECORDS_HEADER_BYTES
+    return max(0, payload) // storefmt.RECORD_BYTES
+
+
+def _class_sequence(cell_dir):
+    _, records = load_store(cell_dir)
+    return [(i, records[i].fault.bit, records[i].fault.original_cycle,
+             records[i].fclass, records[i].detail)
+            for i in sorted(records)]
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "pooled"])
+def test_sigterm_drains_then_resume_completes_exact_tally(tmp_path, jobs):
+    """SIGTERM mid-campaign (a real child process, serial and pooled):
+    the run drains, flushes and exits 130; --resume completes the store
+    to the exact class sequence of an uninterrupted run."""
+    import signal as signal_module
+    import time
+
+    toml = tmp_path / "scenario.toml"
+    toml.write_text(SIGTERM_SCENARIO.format(jobs=jobs))
+    cell = "arch-stringsearch-regfile-pinout"
+    interrupted_root = tmp_path / "interrupted"
+    # sleep@* paces every fault to >= 0.25 s so the signal reliably
+    # lands mid-faulty-phase.
+    proc = _spawn_cli(toml, interrupted_root, chaos="sleep@*")
+    try:
+        deadline = time.monotonic() + 120
+        while _stored_record_count(interrupted_root / cell) < 2:
+            assert proc.poll() is None, (
+                f"campaign exited before the signal: "
+                f"{proc.stderr.read().decode()}")
+            assert time.monotonic() < deadline, "no records appeared"
+            time.sleep(0.05)
+        proc.send_signal(signal_module.SIGTERM)
+        stderr = proc.communicate(timeout=120)[1].decode()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == 130, stderr
+    assert "interrupted" in stderr and "--resume" in stderr
+    partial = _stored_record_count(interrupted_root / cell)
+    assert 0 < partial < 12
+    # Resume (chaos-free) must complete with status 0...
+    resume = _spawn_cli(toml, interrupted_root, resume=True)
+    stderr = resume.communicate(timeout=240)[1].decode()
+    assert resume.returncode == 0, stderr
+    # ...to the exact class sequence of an uninterrupted run.
+    clean_root = tmp_path / "clean"
+    clean = _spawn_cli(toml, clean_root)
+    stderr = clean.communicate(timeout=240)[1].decode()
+    assert clean.returncode == 0, stderr
+    assert _class_sequence(interrupted_root / cell) == \
+        _class_sequence(clean_root / cell)

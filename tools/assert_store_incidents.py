@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Assert a store root holds at least N quarantined incidents.
+
+Usage: python tools/assert_store_incidents.py ROOT MIN_TOTAL
+
+``make bench-smoke``'s chaos leg uses this to prove that the
+``REPRO_CHAOS`` run really completed *degraded* -- at least one fault
+was quarantined into an ``incidents.jsonl`` sidecar -- rather than the
+chaos silently not firing (which would make the subsequent
+classification diff vacuous).
+
+Exit status 0 when the incident total across every store under ROOT
+is >= MIN_TOTAL; 1 otherwise.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.injection.store import CampaignStore  # noqa: E402
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    root, minimum = pathlib.Path(argv[1]), int(argv[2])
+    total = 0
+    for path in sorted(p for p in root.iterdir() if p.is_dir()):
+        count = CampaignStore(path).incident_count()
+        total += count
+        print(f"{path}: {count} incident(s)")
+    print(f"total: {total} (required >= {minimum})")
+    return 0 if total >= minimum else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,6 +16,13 @@ stores diff as numpy array equality straight off the mmap, so two
 million-fault stores compare without materializing records; the
 per-index report is built only on mismatch.
 
+Quarantined faults (the ``incidents.jsonl`` sidecar of a degraded
+campaign) are masked out of *both* sides symmetrically: a chaos run
+that quarantined fault #7 still compares clean against an undisturbed
+run, because every fault the two stores both classified must agree.
+The masked count is reported so a diff can't silently pass on an
+empty intersection.
+
 Exit status 0 when the sequences match; 1 with a per-index report
 otherwise.
 """
@@ -34,7 +41,17 @@ _COLUMNS = ("index", "structure", "bit", "original_cycle", "fclass")
 
 
 def sequence_columns(path):
-    return CampaignStore(path).sequence_arrays()
+    store = CampaignStore(path)
+    return store.sequence_arrays(), frozenset(store.incidents())
+
+
+def _drop_indices(columns, quarantined):
+    """Mask the union of both stores' quarantined fault indices out of
+    one store's columnar view."""
+    if not quarantined:
+        return columns
+    keep = ~np.isin(columns["index"], sorted(quarantined))
+    return {name: values[keep] for name, values in columns.items()}
 
 
 def _as_map(columns):
@@ -53,12 +70,18 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     a_path, b_path = argv[1], argv[2]
-    a = sequence_columns(a_path)
-    b = sequence_columns(b_path)
+    a, a_quarantined = sequence_columns(a_path)
+    b, b_quarantined = sequence_columns(b_path)
+    quarantined = a_quarantined | b_quarantined
+    a = _drop_indices(a, quarantined)
+    b = _drop_indices(b, quarantined)
+    ignored = (f", {len(quarantined)} quarantined fault(s) ignored"
+               if quarantined else "")
     if (len(a["index"]) == len(b["index"])
             and all(np.array_equal(a[c], b[c]) for c in _COLUMNS)):
         print(f"classification sequences identical: "
-              f"{len(a['index'])} faults ({a_path} vs {b_path})")
+              f"{len(a['index'])} faults ({a_path} vs {b_path})"
+              f"{ignored}")
         return 0
     a_map, b_map = _as_map(a), _as_map(b)
     problems = []
