@@ -3,24 +3,47 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: help test bench bench-smoke bench-json docs-check
+.PHONY: help test bench bench-smoke bench-json docs-check typecheck lint
 
 help:
 	@echo "targets:"
 	@echo "  test        tier-1 suite (tests/ + benchmarks/, what CI gates on)"
 	@echo "  bench       artifact-regenerating benches only (-> benchmarks/results/)"
 	@echo "  bench-smoke fig1 store+resume round trip, prune off/dead classification"
-	@echo "              diff, sweep-scenario store+resume round trip (+ CSV"
-	@echo "              artifact), binary vs jsonl store-format class diff,"
-	@echo "              arch lanes=8 and rtl lanes=4 vs lanes=1 class"
-	@echo "              diffs (repro.batch), REPRO_CHAOS degraded-completion"
-	@echo "              leg (crash+hang injection, quarantine, no-op resume)"
-	@echo "              + warm-start speedup artifact"
+	@echo "              diff, prune static (capture-free dataflow pruning,"
+	@echo "              REPRO_STATIC_XCHECK sanitizer on) vs off class diffs"
+	@echo "              at all three tiers, sweep-scenario store+resume round"
+	@echo "              trip (+ CSV artifact), binary vs jsonl store-format"
+	@echo "              class diff, arch lanes=8 and rtl lanes=4 vs lanes=1"
+	@echo "              class diffs (repro.batch), REPRO_CHAOS"
+	@echo "              degraded-completion leg (crash+hang injection,"
+	@echo "              quarantine, no-op resume) + warm-start speedup artifact"
 	@echo "  bench-json  distill benchmarks/results/*.txt into BENCH_4.json"
 	@echo "  docs-check  fail on dangling file references in README.md / DESIGN.md"
+	@echo "  typecheck   mypy --strict over the typed surface (mypy.ini files=)"
+	@echo "  lint        repro-study staticcheck --all + ruff (pyflakes, isort)"
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Both tooling gates degrade politely when the tool is absent (the
+# container images bake in only the runtime deps); CI installs
+# mypy/ruff and runs them for real.  The workload linter needs no
+# third-party tool and always runs.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+	  $(PYTHON) -m mypy --config-file mypy.ini; \
+	else \
+	  echo "typecheck: mypy not installed, skipping (CI runs it)"; \
+	fi
+
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli staticcheck --all
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+	  $(PYTHON) -m ruff check .; \
+	else \
+	  echo "lint: ruff not installed, skipping (CI runs it)"; \
+	fi
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
@@ -28,7 +51,10 @@ bench:
 # The resumable-campaign smoke: the same fig1 command twice -- the first
 # populates a fresh store (a --resume of an empty store is a fresh
 # start), the second resumes it and must re-run nothing -- then the
-# store summary.  The sweep-smoke scenario (2 levels x 2 prune modes)
+# store summary.  The static legs re-run fig1's cells (and, below, the
+# sweep's arch cell) with prune=static -- capture-free dataflow
+# pruning, sanitizer cross-check live -- and diff classes against the
+# prune=off stores: the static exactness contract at all three tiers.  The sweep-smoke scenario (2 levels x 2 prune modes)
 # then exercises the scenario layer end to end the same way: run twice
 # with store+resume, export the ResultSet CSV (a CI artifact), and diff
 # each level's prune=off vs prune=dead store class-by-class (the
@@ -74,6 +100,17 @@ bench-smoke:
 	$(PYTHON) tools/diff_store_classes.py \
 	  benchmarks/results/smoke_store/rtl-stringsearch-regfile-pinout \
 	  benchmarks/results/smoke_prune/rtl-stringsearch-regfile-pinout
+	rm -rf benchmarks/results/smoke_static
+	REPRO_STATIC_XCHECK=1 \
+	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fig1 \
+	  --workloads stringsearch --faults 20 --jobs 2 --prune static \
+	  --store benchmarks/results/smoke_static
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_static/uarch-stringsearch-regfile-pinout \
+	  benchmarks/results/smoke_prune/uarch-stringsearch-regfile-pinout
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_static/rtl-stringsearch-regfile-pinout \
+	  benchmarks/results/smoke_prune/rtl-stringsearch-regfile-pinout
 	rm -rf benchmarks/results/smoke_sweep
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
 	  --set execution.store=benchmarks/results/smoke_sweep \
@@ -89,6 +126,14 @@ bench-smoke:
 	$(PYTHON) tools/diff_store_classes.py \
 	  benchmarks/results/smoke_sweep/uarch-stringsearch-regfile-pinout-prune=off \
 	  benchmarks/results/smoke_sweep/uarch-stringsearch-regfile-pinout-prune=dead
+	rm -rf benchmarks/results/smoke_static_arch
+	REPRO_STATIC_XCHECK=1 \
+	  PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
+	  --set targets.levels=arch --set sweep.prune=static \
+	  --set execution.store=benchmarks/results/smoke_static_arch
+	$(PYTHON) tools/diff_store_classes.py \
+	  benchmarks/results/smoke_static_arch/arch-stringsearch-regfile-pinout-prune=static \
+	  benchmarks/results/smoke_sweep/arch-stringsearch-regfile-pinout-prune=off
 	rm -rf benchmarks/results/smoke_jsonl
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli run sweep-smoke \
 	  --set targets.levels=arch \

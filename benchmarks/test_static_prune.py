@@ -1,0 +1,95 @@
+"""Micro-benchmark: capture-free static pruning (``--prune static``).
+
+Runs the Fig. 1 register-file configuration (pinout OP, scaled window,
+seed 2017) at both statically-modeled tiers -- the architectural
+emulator and the Safety Verifier (rtl) -- twice each:
+``prune_mode="off"`` (simulate every sampled fault) and
+``prune_mode="static"`` (faults whose cells are provably overwritten /
+never read / unaddressable classified from the program text plus the
+retired-PC stream, no access trace and no simulation).  The soundness
+sanitizer (``REPRO_STATIC_XCHECK=1``) stays armed throughout, so every
+static verdict in the measured runs is audited against the dynamic
+trace as it lands.
+
+Asserted unconditionally:
+
+* **exactness** -- per-fault classifications are bit-identical between
+  the two modes at both tiers (the matrix in tests/test_staticcheck.py
+  pins the same promise per backend; this re-checks it at bench scale);
+* **coverage** -- the static engine prunes at least one fault at each
+  tier, a deterministic count (no wall clock involved).
+
+The artifact (``static_prune.txt``, parsed into BENCH_4.json as the
+``static_prune_rate`` series) is fully deterministic for a fixed seed.
+
+Knobs: ``REPRO_SFI_SAMPLES`` (faults, floor 20 here so the rate is
+meaningful under CI's reduced sample counts).
+"""
+
+from conftest import bench_samples, save_artifact
+
+from repro.injection.arch_emu import ArchEmu
+from repro.injection.safety_verifier import SafetyVerifier
+
+WORKLOAD = "stringsearch"
+#: The statically-modeled tiers: (label, front-end class).
+SERIES = (("ArchEmu", ArchEmu), ("RTL", SafetyVerifier))
+
+
+def run_series(front, prune_mode, samples):
+    return front.campaign(
+        "regfile", mode="pinout", samples=samples, seed=2017, jobs=1,
+        prune_mode=prune_mode,
+    )
+
+
+def test_static_prune_rate(benchmark, monkeypatch):
+    monkeypatch.setenv("REPRO_STATIC_XCHECK", "1")
+    samples = max(bench_samples(default=60), 20)
+    fronts = {label: cls(WORKLOAD) for label, cls in SERIES}
+    baseline = {
+        label: run_series(front, "off", samples)
+        for label, front in fronts.items()
+    }
+
+    def measure():
+        return {
+            label: run_series(front, "static", samples)
+            for label, front in fronts.items()
+        }
+
+    static = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        f"workload={WORKLOAD} structure=regfile mode=pinout"
+        f" samples={samples} seed=2017 (fig1 config, xcheck armed)",
+    ]
+    total_pruned = 0
+    for label, _ in SERIES:
+        off, pruned = baseline[label], static[label]
+        # Exactness first: static pruning never changes a class.
+        assert [r.fclass for r in off.records] == \
+            [r.fclass for r in pruned.records], label
+        assert pruned.pruned_count > 0, label
+        assert all(r.pruned == "static"
+                   for r in pruned.records if r.pruned), label
+        total_pruned += pruned.pruned_count
+        rate = 100.0 * pruned.pruned_count / pruned.n
+        lines.append(
+            f"{label:<7} prune=off   : {off.simulated_count:>4}"
+            f" simulated runs of {off.n}"
+        )
+        lines.append(
+            f"{label:<7} prune=static: {pruned.simulated_count:>4}"
+            f" simulated runs of {pruned.n} ({pruned.pruned_count}"
+            f" pruned, static_prune_rate {rate:.1f}%)"
+        )
+    combined = 100.0 * total_pruned / (samples * len(SERIES))
+    lines.append(
+        f"combined static_prune_rate: {combined:.1f}% (deterministic)"
+    )
+    lines.append("classifications identical: True")
+    text = "\n".join(lines)
+    save_artifact("static_prune.txt", text)
+    print()
+    print(text)

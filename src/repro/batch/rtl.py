@@ -62,7 +62,7 @@ from repro.isa.instructions import (
     UNARY_OPS,
 )
 from repro.isa.syscalls import SyscallEmulator, SyscallError
-from repro.rtl.core import _PC, RTLCore
+from repro.rtl.core import RTLCore, _PC
 from repro.sim.base import RunStatus
 
 MASK32 = 0xFFFFFFFF

@@ -18,6 +18,7 @@ paths::
     repro-study headline [--samples N] [--jobs N]
     repro-study golden <workload> [--level arch|uarch|rtl]
     repro-study store <dir> [<dir> ...] [--export jsonl]
+    repro-study staticcheck [<workload>] [--all]
 
 ``--level`` choices come from the backend registry
 (``repro.sim.registry``): the architectural emulator (``arch``), the
@@ -26,8 +27,11 @@ microarchitectural model (``uarch``) and the RT-level model (``rtl``).
 Campaign-running subcommands (``run``, ``fig1``..``fig3``,
 ``headline``) accept ``--jobs`` to fan the faulty runs of each campaign
 out over a process pool (default: one worker per CPU; ``--jobs 1``
-forces the serial path), ``--prune {off,dead,group}`` to control
-lifetime-aware fault pruning (default ``dead``), plus ``--store DIR``
+forces the serial path), ``--prune {off,dead,group,static}`` to control
+fault pruning -- lifetime-aware from the golden access trace
+(``dead``/``group``) or capture-free from static dataflow analysis of
+the program text (``static``, :mod:`repro.staticcheck`; arch and rtl
+tiers) -- plus ``--store DIR``
 to persist every completed fault to an on-disk campaign store and
 ``--resume`` to continue an interrupted run without repeating finished
 faults.  ``--lanes N`` additionally vectorizes the faulty runs of
@@ -90,13 +94,18 @@ RETRIES_HELP = (
 )
 
 PRUNE_HELP = (
-    "lifetime-aware fault pruning (repro.prune): 'dead' (default) "
-    "classifies faults whose bit is overwritten before its next read "
-    "as Masked without simulating them -- per-fault classes are "
+    "fault pruning: 'dead' (default) classifies faults whose bit is "
+    "overwritten before its next read as Masked without simulating "
+    "them (repro.prune, golden access trace) -- per-fault classes are "
     "identical to 'off', only cheaper; 'group' additionally collapses "
     "faults sharing a live interval onto one representative "
-    "(approximate windows, opt-in)"
+    "(approximate windows, opt-in); 'static' proves the same "
+    "dead-interval verdicts from dataflow analysis of the program "
+    "text alone (repro.staticcheck, no access trace captured; arch "
+    "and rtl tiers -- elsewhere every fault simulates)"
 )
+
+PRUNE_CHOICES = ("off", "dead", "group", "static")
 
 _EPILOGS = {
     "run": """\
@@ -172,6 +181,18 @@ examples:
   repro-study fig1 --samples 100 --store runs/fig1 --jobs 4
   repro-study store runs/fig1/*
   repro-study store runs/fig1/uarch-sha-regfile-pinout --export jsonl""",
+    "staticcheck": """\
+Lints workload binaries with the static dataflow engine
+(repro.staticcheck): registers read before any path defines them,
+blocks unreachable from the entry point, and stores no path ever
+reads.  Known-intentional findings (the calling-convention prologue
+pushes) are waived inline and marked; anything unwaived fails the
+command (exit 1), which makes it a CI gate over the workload registry.
+Static -- assembles each workload, runs no simulation.
+
+examples:
+  repro-study staticcheck --all
+  repro-study staticcheck stringsearch""",
 }
 
 
@@ -400,6 +421,7 @@ def _cmd_list(_args):
     from repro.scenario.presets import preset_names, preset_path
     from repro.scenario.spec import SWEEP_AXES, load_mapping
     from repro.sim import registry
+    from repro.staticcheck import static_prune_available
     from repro.workloads.registry import (
         WORKLOAD_DESCRIPTIONS,
         WORKLOAD_NAMES,
@@ -410,6 +432,8 @@ def _cmd_list(_args):
         sim_class = spec.simulator_class()
         batchable = getattr(sim_class, "BATCHABLE", False)
         tag = "  [lane-batchable]" if batchable else ""
+        if static_prune_available(spec.name):
+            tag += "  [static-prunable]"
         print(f"  {spec.name:<14} {spec.description}{tag}")
         modes = sorted(spec.frontend_class().MODES)
         structures = sorted(sim_class.INJECTABLE)
@@ -478,6 +502,32 @@ def _cmd_store(args):
     print(store_table(args.stores, title="Campaign stores"))
 
 
+def _cmd_staticcheck(args):
+    from repro.staticcheck import lint_workload
+    from repro.workloads.registry import WORKLOAD_NAMES
+
+    if args.workload is None and not args.all:
+        raise SystemExit(
+            "repro-study: staticcheck needs a workload name or --all")
+    names = WORKLOAD_NAMES if args.all else (args.workload,)
+    unwaived = 0
+    for name in names:
+        findings = lint_workload(name)
+        shown = findings if args.waived else \
+            [f for f in findings if not f.waived]
+        tally = (f"{len(findings)} finding(s), "
+                 f"{sum(1 for f in findings if f.waived)} waived")
+        print(f"{name}: {tally}" if findings else f"{name}: clean")
+        for finding in shown:
+            tag = " [waived]" if finding.waived else ""
+            print(f"  {finding.addr:#06x} {finding.kind} "
+                  f"{finding.subject}: {finding.message}{tag}")
+        unwaived += sum(1 for f in findings if not f.waived)
+    if unwaived:
+        raise SystemExit(
+            f"repro-study: {unwaived} unwaived finding(s)")
+
+
 def _cmd_golden(args):
     from repro.sim import registry
 
@@ -533,7 +583,7 @@ def main(argv=None):
     p_run.add_argument("--lanes", type=_positive_jobs, default=None,
                        help=LANES_HELP + " (default: the spec's "
                             "execution.lanes)")
-    p_run.add_argument("--prune", choices=("off", "dead", "group"),
+    p_run.add_argument("--prune", choices=PRUNE_CHOICES,
                        default=None, help=PRUNE_HELP)
     p_run.add_argument("--retries", type=_positive_retries, default=None,
                        help=RETRIES_HELP)
@@ -574,7 +624,7 @@ def main(argv=None):
                        default=default_jobs(), help=JOBS_HELP)
         p.add_argument("--lanes", type=_positive_jobs, default=None,
                        help=LANES_HELP)
-        p.add_argument("--prune", choices=("off", "dead", "group"),
+        p.add_argument("--prune", choices=PRUNE_CHOICES,
                        default="dead", help=PRUNE_HELP)
         p.add_argument("--retries", type=_positive_retries, default=None,
                        help=RETRIES_HELP)
@@ -600,6 +650,16 @@ def main(argv=None):
                           default="uarch",
                           help="abstraction level to simulate at "
                                "(default: uarch)")
+    p_static = _add_parser(sub, "staticcheck",
+                           "lint workload binaries with the static "
+                           "dataflow engine")
+    p_static.add_argument("workload", nargs="?", default=None,
+                          help="workload name (see `repro-study list`)")
+    p_static.add_argument("--all", action="store_true",
+                          help="lint every registered workload")
+    p_static.add_argument("--waived", action="store_true",
+                          help="also print findings covered by the "
+                               "inline waiver list")
     args = parser.parse_args(argv)
     from repro.errors import CampaignInterrupted, ExecutionError
     from repro.injection.store import StoreError
@@ -626,6 +686,8 @@ def main(argv=None):
             _cmd_golden(args)
         elif args.command == "store":
             _cmd_store(args)
+        elif args.command == "staticcheck":
+            _cmd_staticcheck(args)
     except (StoreError, ScenarioError, ExecutionError) as exc:
         # Spec, store and execution-knob problems (bad field, unknown
         # preset, refusal to overwrite completed records, identity

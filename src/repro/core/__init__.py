@@ -6,9 +6,9 @@ same observation points and termination rules) and regenerates every
 table and figure of the paper's evaluation.
 """
 
+from repro.core.figures import figure_series
 from repro.core.study import CrossLevelStudy, StudyConfig
 from repro.core.tables import table1_rows, table2_rows
-from repro.core.figures import figure_series
 
 __all__ = [
     "CrossLevelStudy",

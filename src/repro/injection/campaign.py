@@ -146,14 +146,19 @@ class CampaignConfig:
         #: protocol flag makes the comparison exact, so the
         #: classification sequence never changes -- only wall clock.
         self.early_stop = early_stop
-        #: Lifetime-aware fault pruning (:mod:`repro.prune`):
-        #: ``"off"`` simulates every sampled fault; ``"dead"`` (default)
-        #: classifies faults whose bit is overwritten before its next
-        #: read -- or never read again -- as Masked without simulation
-        #: (exact: the per-fault classes match ``"off"`` fault for
-        #: fault); ``"group"`` additionally collapses faults sharing a
-        #: live interval onto one representative injected just before
-        #: the consuming read (approximate windows; opt-in).
+        #: Fault pruning: ``"off"`` simulates every sampled fault;
+        #: ``"dead"`` (default) classifies faults whose bit is
+        #: overwritten before its next read -- or never read again -- as
+        #: Masked without simulation, from the golden lifetime trace
+        #: (:mod:`repro.prune`; exact: the per-fault classes match
+        #: ``"off"`` fault for fault); ``"group"`` additionally
+        #: collapses faults sharing a live interval onto one
+        #: representative injected just before the consuming read
+        #: (approximate windows; opt-in); ``"static"`` proves the same
+        #: dead-interval verdicts from dataflow analysis of the program
+        #: text plus the golden retired-PC stream, with no access trace
+        #: captured at all (:mod:`repro.staticcheck`; arch and rtl
+        #: tiers -- tiers without a static model simulate every fault).
         self.prune_mode = prune_mode
         self.accelerate = accelerate
         self.accelerate_lead = accelerate_lead
@@ -636,6 +641,60 @@ def run_serial(sim, runner, specs, progress=None, on_batch=None):
     return records
 
 
+def _assert_static_verdict(trace, fault, detail, events_at_stop_executed):
+    """Sanitizer check: a static verdict must agree with the dynamic
+    lifetime trace (``REPRO_STATIC_XCHECK=1``).
+
+    Static verdicts are whole-run claims about the golden trajectory
+    (the retired-PC stream is architectural and drain-invariant), so
+    the check is horizon-free on every tier:
+
+    * *overwritten* -- the first golden event on the cell at/after the
+      injection instant must exist and be a write;
+    * *never read again* -- there must be no post-injection event at
+      all, or the first one must be a write (a statically-silent bit
+      may still be dynamically overwritten: silence is the weaker
+      claim only about reads);
+    * *unreachable* -- the cell must be untouched across the whole run.
+
+    A violation means the dataflow model claimed a dead interval the
+    machine actually read -- a soundness bug, raised immediately.
+    """
+    from repro.staticcheck import (
+        STATIC_OVERWRITE_DETAIL,
+        STATIC_SILENT_DETAIL,
+        STATIC_UNREACHABLE_DETAIL,
+        StaticCrossCheckError,
+    )
+
+    if not trace.traces(fault.structure):
+        return
+    cell = trace.cell_of(fault.structure, fault.bit)
+    if detail == STATIC_UNREACHABLE_DETAIL:
+        if trace.reachable(fault.structure, cell):
+            raise StaticCrossCheckError(
+                f"static analysis called {fault.structure}[{cell}] "
+                f"unreachable but the golden run touched it"
+            )
+        return
+    threshold = fault.cycle + (1 if events_at_stop_executed else 0)
+    event = trace.next_event(fault.structure, cell, threshold)
+    if detail == STATIC_OVERWRITE_DETAIL:
+        ok = event is not None and event[1]
+    elif detail == STATIC_SILENT_DETAIL:
+        ok = event is None or event[1]
+    else:
+        raise StaticCrossCheckError(
+            f"unknown static verdict detail: {detail!r}"
+        )
+    if not ok:
+        raise StaticCrossCheckError(
+            f"static analysis pruned {fault!r} ({detail}) but the "
+            f"golden run's first post-injection event on "
+            f"{fault.structure}[{cell}] is a read at cycle {event[0]}"
+        )
+
+
 class Campaign:
     """One SFI campaign against one structure of one simulator."""
 
@@ -648,6 +707,33 @@ class Campaign:
         self.level = level
 
     # ------------------------------------------------------------------
+
+    def _capture_shape(self):
+        """What the golden phase must instrument: ``(access, pc)``.
+
+        ``access`` -- capture the per-cell lifetime trace (the dynamic
+        pruner's input); ``pc`` -- capture the retired-PC stream (the
+        static pruner's anchor).  ``prune_mode="static"`` needs only the
+        PC stream; the sanitizer (``REPRO_STATIC_XCHECK=1``) forces both
+        on so every static verdict can be checked against the dynamic
+        trace -- extra captures never change classification provenance.
+        """
+        from repro.staticcheck import (
+            static_prune_available,
+            static_xcheck_enabled,
+        )
+
+        mode = self.config.prune_mode
+        xcheck = static_xcheck_enabled() and mode != "off"
+        pc = ((mode == "static" or xcheck)
+              and static_prune_available(self.level))
+        # The sanitizer only adds the access trace where a static
+        # engine exists to be checked -- on tiers without one (the
+        # renamed uarch register file) the shape is exactly the
+        # unsanitized shape, so the env var can never alter what the
+        # partitioner sees.
+        access = mode in ("dead", "group") or (xcheck and pc)
+        return access, pc
 
     def _golden_phase(self, sim, result):
         """Fault-free run with periodic drained checkpoints.
@@ -668,12 +754,15 @@ class Campaign:
                     access_log.append((cycle, index, way, write, addr))
                 )
             attach_access_log(sim)
-        if cfg.prune_mode != "off":
+        capture_access, capture_pc = self._capture_shape()
+        if capture_access:
             # No per-checkpoint trace snapshots: the capture loop
             # round-trips the same machine at the same instant, where
             # the live trace already holds the right prefix -- only the
             # final sealed trace feeds the pruner.
             sim.enable_access_trace(snapshot_in_checkpoints=False)
+        if capture_pc:
+            sim.enable_pc_trace()
         cache = CheckpointCache(
             stride=cfg.checkpoint_interval,
             max_resident=cfg.checkpoint_bound,
@@ -690,6 +779,7 @@ class Campaign:
         # trace -- per-boundary prefixes would bloat the executor
         # payload for nothing.
         sim.seal_access_trace()
+        sim.seal_pc_trace()
         cache.drop_access_traces()
         if attach_access_log is not None:
             sim.dcache.access_listener = None
@@ -706,7 +796,8 @@ class Campaign:
             "end_cycle": sim.cycle,
             "cache": cache,
             "access_log": access_log,
-            "trace": sim.access_trace(),
+            "trace": sim.access_trace() if capture_access else None,
+            "pc_trace": sim.pc_trace() if capture_pc else None,
         }
         if cfg.observation == "arch":
             golden["hw_state"] = hardware_state_digest(sim)
@@ -774,25 +865,60 @@ class Campaign:
         cfg = self.config
         pruned_records = {}
         member_of = {}
-        if cfg.prune_mode == "off" or golden.get("trace") is None:
+        if cfg.prune_mode == "off":
             return pruned_records, specs, member_of
-        from repro.prune import FaultPruner
+        events_at_stop = type(sim).TRACE_EVENTS_AT_STOP_EXECUTED
+        pruner = None
+        if golden.get("trace") is not None:
+            from repro.prune import FaultPruner
 
-        cache = golden["cache"]
-        pruner = FaultPruner(
-            golden["trace"],
-            type(sim).TRACE_EVENTS_AT_STOP_EXECUTED,
-            cfg.observation,
-            # Pipelined backends: golden events are provably the faulty
-            # machine's events only within the injection's checkpoint
-            # segment (see repro.prune.pruner).  Drain-free backends
-            # share the whole trajectory.
-            segments=(None if type(sim).DRAIN_FREE
-                      else (cache.cycles, cache.stops)),
-        )
+            cache = golden["cache"]
+            pruner = FaultPruner(
+                golden["trace"],
+                events_at_stop,
+                cfg.observation,
+                # Pipelined backends: golden events are provably the
+                # faulty machine's events only within the injection's
+                # checkpoint segment (see repro.prune.pruner).
+                # Drain-free backends share the whole trajectory.
+                segments=(None if type(sim).DRAIN_FREE
+                          else (cache.cycles, cache.stops)),
+            )
+        static = None
+        if golden.get("pc_trace") is not None:
+            from repro.staticcheck import StaticPruner
+
+            static = StaticPruner(
+                sim.program, self.level, cfg.observation,
+                golden["pc_trace"], events_at_stop,
+            )
+        if cfg.prune_mode == "static" and static is None:
+            # No static engine at this tier: every fault simulates.
+            # (The dynamic trace, were one ever present, checks static
+            # verdicts -- it never substitutes for them.)
+            return pruned_records, specs, member_of
+        if pruner is None and static is None:
+            return pruned_records, specs, member_of
+        xcheck = pruner is not None and static is not None
         effective = list(specs)
         groups = {}
         for i, fault in enumerate(specs):
+            if static is not None:
+                static_verdict = static.classify(fault)
+                if static_verdict is not None and xcheck:
+                    _assert_static_verdict(golden["trace"], fault,
+                                           static_verdict[1],
+                                           events_at_stop)
+                if cfg.prune_mode == "static":
+                    # Static mode classifies from static evidence only;
+                    # the dynamic trace (when the sanitizer forced its
+                    # capture) never decides, it only checks.
+                    if static_verdict is not None:
+                        fclass, detail = static_verdict
+                        pruned_records[i] = FaultRecord(
+                            fault, fclass, detail, pruned="static"
+                        )
+                    continue
             verdict = pruner.classify(fault)
             if verdict is not None:
                 fclass, detail = verdict
@@ -838,8 +964,10 @@ class Campaign:
         machine itself (level, workload -- the pool owner must also
         guarantee one toolchain policy per pool), whether the arch
         (HVF) observation point captures the end-of-run hardware
-        digest, whether the lifetime trace is recorded (any pruning
-        mode vs off), the checkpoint stride/bound, whether boundary
+        digest, which golden instrumentation the pruning mode and the
+        static sanitizer demand (the :meth:`_capture_shape` pair --
+        lifetime trace, retired-PC stream), the checkpoint
+        stride/bound, whether boundary
         digests are collected for the early-stop comparator, and --
         when the inject-near-consumption acceleration is live -- the
         structure whose access log is captured.  Sampling knobs
@@ -851,7 +979,7 @@ class Campaign:
         return (
             self.level, self.workload,
             cfg.observation == "arch",
-            cfg.prune_mode != "off",
+            self._capture_shape(),
             cfg.checkpoint_interval, cfg.checkpoint_bound,
             cfg.early_stop,
             (self.structure, cfg.accelerate_lead) if accelerated

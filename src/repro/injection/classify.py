@@ -65,7 +65,10 @@ class FaultRecord:
         #: ``""`` -- this fault was simulated; ``"dead"`` -- the golden
         #: lifetime trace proved it Masked (dead-interval pruning);
         #: ``"group"`` -- inherited from its equivalence-group
-        #: representative (``prune_mode="group"``).
+        #: representative (``prune_mode="group"``); ``"static"`` -- the
+        #: static dataflow engine proved it Masked from the program
+        #: text and the retired-PC stream alone
+        #: (``prune_mode="static"``, :mod:`repro.staticcheck`).
         self.pruned = pruned
 
     @property

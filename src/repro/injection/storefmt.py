@@ -87,8 +87,8 @@ FCLASS_CODES = {
 }
 FCLASS_BY_CODE = tuple(sorted(FCLASS_CODES, key=FCLASS_CODES.get))
 
-PRUNED_CODES = {"": 0, "dead": 1, "group": 2}
-PRUNED_BY_CODE = ("", "dead", "group")
+PRUNED_CODES = {"": 0, "dead": 1, "group": 2, "static": 3}
+PRUNED_BY_CODE = ("", "dead", "group", "static")
 
 #: ``wall_seconds`` is stored as whole microseconds (30 bits, ~18
 #: minutes per fault).  Quantization is exact for values that are whole

@@ -33,9 +33,9 @@ property-based.
 """
 
 from repro.isa.instructions import (
+    Cond,
     DP_IMM_OPS,
     DP_REG_OPS,
-    Cond,
     Inst,
     MEM_SIZE,
     Op,
@@ -73,7 +73,7 @@ _MEM_REG_OPS = frozenset(
 )
 
 
-def encode(inst):
+def encode(inst: Inst) -> int:
     """Encode a decoded :class:`Inst` to its 32-bit word."""
     op = inst.op
     word = (int(inst.cond) << 28) | (int(op) << 22)
@@ -152,7 +152,7 @@ def _sext(value, bits):
     return (value ^ sign) - sign
 
 
-def decode(word, addr=0):
+def decode(word: int, addr: int = 0) -> Inst:
     """Decode a 32-bit word back to an :class:`Inst`."""
     cond = Cond((word >> 28) & 0xF)
     try:

@@ -7,6 +7,8 @@ can dispatch on :attr:`Inst.op` cheaply.  The 32-bit binary form lives in
 and the L1 data cache only).
 """
 
+from __future__ import annotations
+
 import enum
 
 from repro.isa.flags import COND_CODES
@@ -185,10 +187,12 @@ class Inst:
         "pre", "writeback", "reglist", "addr", "text",
     )
 
-    def __init__(self, op, cond=Cond.AL, s=False, rd=0, rn=0, rm=0, ra=0,
-                 imm=0, shift_kind=ShiftKind.LSL, shift_amount=0,
-                 shift_reg=None, pre=True, writeback=False, reglist=0,
-                 addr=0, text=""):
+    def __init__(self, op: Op, cond: Cond = Cond.AL, s: bool = False,
+                 rd: int = 0, rn: int = 0, rm: int = 0, ra: int = 0,
+                 imm: int = 0, shift_kind: ShiftKind = ShiftKind.LSL,
+                 shift_amount: int = 0, shift_reg: int | None = None,
+                 pre: bool = True, writeback: bool = False,
+                 reglist: int = 0, addr: int = 0, text: str = "") -> None:
         self.op = op
         self.cond = cond
         self.s = s
@@ -208,10 +212,10 @@ class Inst:
 
     # -- dataflow queries used by both pipelines ---------------------------
 
-    def src_regs(self):
+    def src_regs(self) -> list[int]:
         """Architectural source registers read by this instruction."""
         op = self.op
-        srcs = []
+        srcs: list[int] = []
         if op in DP_REG_OPS:
             if op not in UNARY_OPS:
                 srcs.append(self.rn)
@@ -246,10 +250,10 @@ class Inst:
             srcs.extend((0, 1, 2))
         return srcs
 
-    def dst_regs(self):
+    def dst_regs(self) -> list[int]:
         """Architectural destination registers written by this instruction."""
         op = self.op
-        dsts = []
+        dsts: list[int] = []
         if op in DP_REG_OPS or op in DP_IMM_OPS:
             if op not in COMPARE_OPS:
                 dsts.append(self.rd)
@@ -275,18 +279,18 @@ class Inst:
             dsts.append(0)
         return dsts
 
-    def reads_flags(self):
+    def reads_flags(self) -> bool:
         if self.cond != Cond.AL:
             return True
         return self.op in (Op.ADC, Op.SBC, Op.ADCI, Op.SBCI)
 
-    def writes_flags(self):
+    def writes_flags(self) -> bool:
         return self.s or self.op in COMPARE_OPS
 
-    def is_branch(self):
+    def is_branch(self) -> bool:
         return self.op in BRANCH_OPS or 15 in self.dst_regs()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         cond = "" if self.cond == Cond.AL else COND_CODES[self.cond]
         label = self.text or self.op.name.lower() + cond
         return f"<Inst {self.addr:#06x} {label}>"

@@ -87,6 +87,10 @@ class Interpreter:
         #: instruction may actually consume), which only ever makes the
         #: fault pruner simulate more, never prune wrongly.
         self.flag_listener = None
+        #: Optional hook called as ``(pc)`` at the top of every
+        #: executed step (before the fetch); the ``arch`` backend's
+        #: retired-PC capture for the static pruner.
+        self.pc_listener = None
         if decode_cache:
             self._fetch_inst = program.decode_table().get
         else:
@@ -164,6 +168,8 @@ class Interpreter:
         """Execute one instruction.  Returns False once halted."""
         if self.halted:
             return False
+        if self.pc_listener is not None:
+            self.pc_listener(self.pc)
         inst = self._fetch_inst(self.pc)
         if inst is None:
             raise SimFault("mem-fault", "fetch outside text", addr=self.pc)

@@ -1,6 +1,14 @@
 """Linked program images and the bare-metal memory layout."""
 
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, TYPE_CHECKING
+
 from repro.isa.encoding import encode
+
+if TYPE_CHECKING:
+    from repro.isa.instructions import Inst
+    from repro.memory.ram import RAM
 
 
 class MemoryLayout:
@@ -11,8 +19,10 @@ class MemoryLayout:
     flat on-chip RAM.
     """
 
-    def __init__(self, text_base=0x0000_0000, data_base=0x0001_0000,
-                 stack_top=0x0003_FF00, ram_size=0x0004_0000):
+    def __init__(self, text_base: int = 0x0000_0000,
+                 data_base: int = 0x0001_0000,
+                 stack_top: int = 0x0003_FF00,
+                 ram_size: int = 0x0004_0000) -> None:
         if stack_top > ram_size:
             raise ValueError("stack above end of RAM")
         if text_base >= data_base:
@@ -22,7 +32,7 @@ class MemoryLayout:
         self.stack_top = stack_top
         self.ram_size = ram_size
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"MemoryLayout(text={self.text_base:#x}, data={self.data_base:#x},"
             f" stack_top={self.stack_top:#x}, ram={self.ram_size:#x})"
@@ -47,8 +57,12 @@ class Program:
         toolchain: name of the toolchain variant that produced it.
     """
 
-    def __init__(self, name, insts, data, symbols, layout=None, entry=None,
-                 source="", toolchain="default", raw_words=None):
+    def __init__(self, name: str, insts: Iterable[Inst], data: bytes,
+                 symbols: Mapping[str, int],
+                 layout: MemoryLayout | None = None,
+                 entry: int | None = None, source: str = "",
+                 toolchain: str = "default",
+                 raw_words: Mapping[int, int] | None = None) -> None:
         self.name = name
         self.insts = list(insts)
         self.words = [encode(inst) for inst in self.insts]
@@ -63,13 +77,13 @@ class Program:
         self.entry = self.layout.text_base if entry is None else entry
         self.source = source
         self.toolchain = toolchain
-        self._decode_table = None
+        self._decode_table: dict[int, Inst] | None = None
 
     @property
-    def text_size(self):
+    def text_size(self) -> int:
         return 4 * len(self.insts)
 
-    def inst_at(self, addr):
+    def inst_at(self, addr: int) -> Inst | None:
         """Decoded instruction at byte address ``addr`` (None when outside
         the text segment)."""
         offset = addr - self.layout.text_base
@@ -78,7 +92,7 @@ class Program:
             return None
         return self.insts[index]
 
-    def decode_table(self):
+    def decode_table(self) -> dict[int, Inst]:
         """Address -> decoded instruction, memoized once per program.
 
         The table materialises ``repro.isa.encoding.decode(word, addr)``
@@ -93,7 +107,7 @@ class Program:
             from repro.isa.encoding import decode
 
             base = self.layout.text_base
-            table = {}
+            table: dict[int, Inst] = {}
             for index, word in enumerate(self.words):
                 addr = base + 4 * index
                 if index in self.raw_words:
@@ -103,27 +117,27 @@ class Program:
             self._decode_table = table
         return self._decode_table
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         # The decode table is a derived memo: drop it from pickles so
         # executor worker payloads stay lean; workers rebuild it lazily.
         state = self.__dict__.copy()
         state["_decode_table"] = None
         return state
 
-    def text_bytes(self):
+    def text_bytes(self) -> bytes:
         """The encoded text segment as little-endian bytes."""
         blob = bytearray()
         for word in self.words:
             blob += word.to_bytes(4, "little")
         return bytes(blob)
 
-    def load_into(self, ram):
+    def load_into(self, ram: RAM) -> None:
         """Write text + data segments into a :class:`repro.memory.ram.RAM`."""
         ram.write_block(self.layout.text_base, self.text_bytes())
         if self.data:
             ram.write_block(self.layout.data_base, self.data)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"Program({self.name!r}, {len(self.insts)} insts,"
             f" {len(self.data)} data bytes, toolchain={self.toolchain!r})"

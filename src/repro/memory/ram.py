@@ -50,7 +50,7 @@ class RAM:
         self._check(addr, length)
         return bytes(self.data[addr:addr + length])
 
-    def write_block(self, addr, blob):
+    def write_block(self, addr: int, blob: bytes) -> None:
         self._check(addr, len(blob))
         self.data[addr:addr + len(blob)] = blob
 

@@ -22,11 +22,20 @@ This package holds the two pieces:
   -- opt-in, ``prune_mode="group"`` -- faults sharing a live interval
   collapse to one representative injected right before its first read.
 
-See DESIGN.md ("Lifetime-aware fault pruning") for the soundness
-argument and the exclusions that keep the pruning exact.
+A third capture, :class:`~repro.prune.trace.RetiredPCTrace`, records
+just the golden retired-instruction stream -- the only instrumentation
+``prune_mode="static"`` needs: the static dataflow engine
+(:mod:`repro.staticcheck`) proves a subset of the same verdicts from
+the program text alone, anchored to the injection instant through this
+stream.
+
+See DESIGN.md ("Lifetime-aware fault pruning" and "Static analysis")
+for the soundness arguments and the exclusions that keep the pruning
+exact.
 """
 
-from repro.prune.pruner import PRUNE_MODES, FaultPruner
-from repro.prune.trace import LifetimeTrace
+from repro.prune.pruner import FaultPruner, PRUNE_MODES
+from repro.prune.trace import LifetimeTrace, RetiredPCTrace
 
-__all__ = ["FaultPruner", "LifetimeTrace", "PRUNE_MODES"]
+__all__ = ["FaultPruner", "LifetimeTrace", "PRUNE_MODES",
+           "RetiredPCTrace"]

@@ -53,12 +53,38 @@ notion of "after the injection" matches ``run(stop_cycle=...)`` +
 ``inject()`` exactly, tier by tier.
 """
 
+from __future__ import annotations
+
 import bisect
+from typing import Protocol, Sequence, TYPE_CHECKING
 
 from repro.injection.classify import FaultClass
 
+if TYPE_CHECKING:
+    from repro.prune.trace import Event, LifetimeTrace
+
+    #: Golden checkpoint cadence: ``(boundary_cycles, boundary_stops)``.
+    Segments = tuple[Sequence[int], Sequence[int]]
+
+
+class FaultLike(Protocol):
+    """What the pruner reads off a sampled fault."""
+
+    @property
+    def structure(self) -> str: ...
+
+    @property
+    def bit(self) -> int: ...
+
+    @property
+    def cycle(self) -> int: ...
+
 #: The campaign's pruning modes (``CampaignConfig.prune_mode``).
-PRUNE_MODES = ("off", "dead", "group")
+#: ``off``/``dead``/``group`` are the dynamic trace-driven modes above;
+#: ``static`` classifies from the program text plus the retired-PC
+#: stream alone, with no access trace captured at all
+#: (:mod:`repro.staticcheck`).
+PRUNE_MODES = ("off", "dead", "group", "static")
 
 #: Detail strings of records classified without simulation.
 DEAD_OVERWRITE_DETAIL = "pruned: overwritten before next read"
@@ -71,7 +97,8 @@ class GroupInterval:
 
     __slots__ = ("key", "read_cycle")
 
-    def __init__(self, key, read_cycle):
+    def __init__(self, key: tuple[str, int, int],
+                 read_cycle: int) -> None:
         #: ``(structure, bit, event_position)`` -- faults sharing it are
         #: injected into identical machine states at the same read.
         self.key = key
@@ -90,8 +117,9 @@ class FaultPruner:
     whole trace is authoritative (drain-free backends).
     """
 
-    def __init__(self, trace, events_at_stop_executed, observation,
-                 segments=None):
+    def __init__(self, trace: LifetimeTrace,
+                 events_at_stop_executed: bool, observation: str,
+                 segments: Segments | None = None) -> None:
         self.trace = trace
         #: Tick-stamp convention of the backend that produced the trace
         #: (see the module docstring).
@@ -101,7 +129,7 @@ class FaultPruner:
 
     # ------------------------------------------------------------------
 
-    def _horizon(self, fault_cycle):
+    def _horizon(self, fault_cycle: int) -> int | None:
         """Last golden event stamp provably shared with a faulty run
         injected at ``fault_cycle``: the pre-drain stop closing the
         fault's segment, ``None`` for unlimited (drain-free backend,
@@ -116,7 +144,8 @@ class FaultPruner:
         stop = stops[k + 1]
         return stop if fault_cycle <= stop else -1
 
-    def _first_event_after_injection(self, fault):
+    def _first_event_after_injection(
+            self, fault: FaultLike) -> tuple[Event | None, bool]:
         """``(event_or_None, trustworthy)`` for the faulted cell."""
         trace = self.trace
         threshold = fault.cycle + (1 if self.events_at_stop_executed
@@ -133,7 +162,8 @@ class FaultPruner:
         cycle = event[0]
         return event, cycle <= horizon
 
-    def classify(self, fault):
+    def classify(
+            self, fault: FaultLike) -> tuple[FaultClass, str] | None:
         """``(FaultClass, detail)`` when provable without simulation,
         else ``None`` (the fault must be simulated)."""
         trace = self.trace
@@ -157,7 +187,7 @@ class FaultPruner:
             return FaultClass.MASKED, DEAD_OVERWRITE_DETAIL
         return None
 
-    def group_interval(self, fault):
+    def group_interval(self, fault: FaultLike) -> GroupInterval | None:
         """The live interval of a *read-consumed* fault, or ``None``
         when the fault is prunable/untraced/beyond the horizon
         (callers check :meth:`classify` first; this returns ``None``
@@ -177,14 +207,14 @@ class FaultPruner:
         return GroupInterval((fault.structure, fault.bit, position),
                              cycle)
 
-    def representative_cycle(self, interval):
+    def representative_cycle(self, interval: GroupInterval) -> int:
         """The injection instant for a group representative: the latest
         stop cycle at which the consuming read has not yet executed."""
         if self.events_at_stop_executed:
             return interval.read_cycle - 1
         return interval.read_cycle
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"FaultPruner({self.trace!r}, observation="
             f"{self.observation!r})"

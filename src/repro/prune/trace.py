@@ -15,9 +15,27 @@ The encoding keeps the trace compact (tens of thousands of small ints
 for the paper's workloads) and trivially picklable/snapshottable, which
 is what lets checkpoints carry the trace prefix alongside the pinout
 (see :meth:`repro.sim.base.SimulatorBase.checkpoint`).
+
+A :class:`RetiredPCTrace` is the far cheaper sibling the *static*
+pruner consumes: just the architectural retired-instruction stream as
+``(cycle, pc)`` pairs, one bisect to anchor an injection cycle to the
+first instruction that retires after it.  Unlike the access trace it is
+drain-invariant -- the retired sequence is architectural, identical
+across checkpoint cadences -- so it never rides inside checkpoints.
 """
 
+from __future__ import annotations
+
 import bisect
+
+#: One encoded access event: ``(cycle, is_write, position)``.
+Event = tuple[int, bool, int]
+#: A snapshot of a :class:`LifetimeTrace` (see :meth:`snapshot`).
+TraceState = tuple[
+    dict[str, dict[int, list[int]]],
+    dict[str, int],
+    dict[str, "frozenset[int] | None"],
+]
 
 
 class LifetimeTrace:
@@ -25,20 +43,22 @@ class LifetimeTrace:
 
     __slots__ = ("_events", "_bits_per_cell", "_reachable")
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: structure -> cell -> sorted list of ``(cycle << 1) | write``.
-        self._events = {}
+        self._events: dict[str, dict[int, list[int]]] = {}
         #: structure -> fault-target bits covered by one cell.
-        self._bits_per_cell = {}
+        self._bits_per_cell: dict[str, int] = {}
         #: structure -> frozenset of cells the machine can ever access,
         #: or None for "all" (see :meth:`register`).
-        self._reachable = {}
+        self._reachable: dict[str, frozenset[int] | None] = {}
 
     # ------------------------------------------------------------------
     # registration + capture (backend listeners)
     # ------------------------------------------------------------------
 
-    def register(self, structure, bits_per_cell, reachable_cells=None):
+    def register(self, structure: str, bits_per_cell: int,
+                 reachable_cells: "range | frozenset[int] | None" = None,
+                 ) -> None:
         """Declare a traced structure and its cell granularity.
 
         ``bits_per_cell`` maps a fault-target bit index to its cell
@@ -61,7 +81,8 @@ class LifetimeTrace:
             None if reachable_cells is None else frozenset(reachable_cells)
         )
 
-    def record(self, structure, cell, cycle, write):
+    def record(self, structure: str, cell: int, cycle: int,
+               write: bool) -> None:
         """Append one event (in execution order; cycles are monotone)."""
         cells = self._events[structure]
         encoded = (cycle << 1) | bool(write)
@@ -74,20 +95,21 @@ class LifetimeTrace:
     # queries (the pruner)
     # ------------------------------------------------------------------
 
-    def traces(self, structure):
+    def traces(self, structure: str) -> bool:
         """Whether ``structure`` is registered for tracing."""
         return structure in self._bits_per_cell
 
-    def cell_of(self, structure, bit):
+    def cell_of(self, structure: str, bit: int) -> int:
         """The cell covering fault-target ``bit`` of ``structure``."""
         return bit // self._bits_per_cell[structure]
 
-    def reachable(self, structure, cell):
+    def reachable(self, structure: str, cell: int) -> bool:
         """Whether the machine can structurally access ``cell`` at all."""
         cells = self._reachable.get(structure)
         return cells is None or cell in cells
 
-    def next_event(self, structure, cell, min_cycle):
+    def next_event(self, structure: str, cell: int,
+                   min_cycle: int) -> Event | None:
         """First event on ``cell`` at or after ``min_cycle``.
 
         Returns ``(cycle, is_write, position)`` -- ``position`` is the
@@ -108,19 +130,19 @@ class LifetimeTrace:
     # introspection (tests, reports)
     # ------------------------------------------------------------------
 
-    def structures(self):
+    def structures(self) -> tuple[str, ...]:
         return tuple(sorted(self._bits_per_cell))
 
-    def cells(self, structure):
+    def cells(self, structure: str) -> tuple[int, ...]:
         """Cells of ``structure`` with at least one event, sorted."""
         return tuple(sorted(self._events.get(structure, ())))
 
-    def events(self, structure, cell):
+    def events(self, structure: str, cell: int) -> tuple[tuple[int, bool], ...]:
         """Decoded ``(cycle, is_write)`` event stream of one cell."""
         return tuple((e >> 1, bool(e & 1))
                      for e in self._events.get(structure, {}).get(cell, ()))
 
-    def event_count(self):
+    def event_count(self) -> int:
         return sum(len(events) for cells in self._events.values()
                    for events in cells.values())
 
@@ -128,7 +150,7 @@ class LifetimeTrace:
     # snapshot / restore (checkpoint round trips)
     # ------------------------------------------------------------------
 
-    def snapshot(self):
+    def snapshot(self) -> TraceState:
         return (
             {s: {c: list(ev) for c, ev in cells.items()}
              for s, cells in self._events.items()},
@@ -136,16 +158,56 @@ class LifetimeTrace:
             dict(self._reachable),
         )
 
-    def restore(self, state):
+    def restore(self, state: TraceState) -> None:
         events, bits, reachable = state
         self._events = {s: {c: list(ev) for c, ev in cells.items()}
                         for s, cells in events.items()}
         self._bits_per_cell = dict(bits)
         self._reachable = dict(reachable)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         per = ", ".join(
             f"{s}:{sum(len(e) for e in cells.values())}ev"
             for s, cells in sorted(self._events.items())
         )
         return f"LifetimeTrace({per or 'empty'})"
+
+
+class RetiredPCTrace:
+    """The golden run's retired-instruction stream, ``(cycle, pc)``.
+
+    Backends append in retirement order (cycles are monotone,
+    duplicates allowed -- the arch tier retires one instruction per
+    stamp, the RT tier may retire a dual-issued pair on one cycle), so
+    anchoring an injection cycle to the first subsequent retirement is
+    a single bisect over the cycle column.
+    """
+
+    __slots__ = ("_cycles", "_pcs")
+
+    def __init__(self) -> None:
+        self._cycles: list[int] = []
+        self._pcs: list[int] = []
+
+    def record(self, cycle: int, pc: int) -> None:
+        """Append one retirement (in execution order)."""
+        self._cycles.append(cycle)
+        self._pcs.append(pc)
+
+    def anchor(self, min_cycle: int) -> int | None:
+        """PC of the first instruction retiring at or after
+        ``min_cycle``, or ``None`` when the run has already ended."""
+        pos = bisect.bisect_left(self._cycles, min_cycle)
+        if pos == len(self._pcs):
+            return None
+        return self._pcs[pos]
+
+    def entries(self) -> tuple[tuple[int, int], ...]:
+        """The full ``(cycle, pc)`` stream (tests, reports)."""
+        return tuple(zip(self._cycles, self._pcs))
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def __repr__(self) -> str:
+        return f"RetiredPCTrace({len(self._pcs)} retirements)"

@@ -113,6 +113,9 @@ class RTLCore:
         self.retired_next_pc = program.entry
         self.last_retire_cycle = 0
         self.trace = None  # optional SignalTrace, attached by RTLSim
+        #: Optional hook called as ``(cycle, pc)`` per retired uop, in
+        #: retirement order (the static pruner's golden capture).
+        self.retire_listener = None
 
     # ==================================================================
     # clock
@@ -157,6 +160,8 @@ class RTLCore:
             self.icount += 1
             self.retired_next_pc = uop.next_pc()
             self.last_retire_cycle = self.cycle
+            if self.retire_listener is not None:
+                self.retire_listener(self.cycle, uop.pc)
         self.wb = []
 
     # ------------------------------------------------------------------

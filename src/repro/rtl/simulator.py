@@ -108,6 +108,21 @@ class RTLSim(SimulatorBase):
         self.rf.listener = None
         self.rf.flag_listener = None
 
+    def _install_pc_listener(self, trace):
+        # Retirement stamps carry the post-increment cycle (the tick
+        # advances the clock before the stages run), matching
+        # TRACE_EVENTS_AT_STOP_EXECUTED=True: the static pruner anchors
+        # an injection at stop cycle c to the first retirement stamped
+        # >= c + 1.
+        def retire_event(cycle, pc):
+            if self._trace_pause == 0:
+                trace.record(cycle, pc)
+
+        self.core.retire_listener = retire_event
+
+    def _remove_pc_listener(self):
+        self.core.retire_listener = None
+
     # ------------------------------------------------------------------
     # signal tracing (this level only)
     # ------------------------------------------------------------------

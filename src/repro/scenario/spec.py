@@ -35,7 +35,7 @@ File layout (all sections optional unless noted)::
 
     [execution]
     jobs = 1                    # or "auto" (one per CPU)
-    prune = "dead"
+    prune = "dead"              # "off" | "dead" | "group" | "static"
     store = "runs/fig1"
     store_format = "binary"     # fresh-store record format (default)
     resume = true
@@ -58,6 +58,7 @@ import json
 import pathlib
 import zlib
 
+from repro.prune import PRUNE_MODES
 from repro.sim import registry as sim_registry
 from repro.workloads.registry import WORKLOAD_NAMES
 
@@ -174,7 +175,7 @@ _TARGET_AXES = {
 SWEEP_AXES = tuple(_TARGET_AXES) + tuple(_SCALAR_AXES)
 
 _DISTRIBUTIONS = ("normal", "uniform")
-_PRUNE_MODES = ("off", "dead", "group")
+_PRUNE_MODES = PRUNE_MODES
 _SEED_POLICIES = ("shared", "per-cell")
 
 

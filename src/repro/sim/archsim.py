@@ -176,6 +176,21 @@ class ArchSim(SimulatorBase):
         interp.regs.listener = None
         interp.flag_listener = None
 
+    def _install_pc_listener(self, trace):
+        core = self.core
+
+        def pc_event(pc):
+            # Stamped with the pre-increment cycle: the instruction at
+            # ``pc`` executes during the tick that starts at this stop
+            # cycle, matching TRACE_EVENTS_AT_STOP_EXECUTED=False.
+            if self._trace_pause == 0:
+                trace.record(core.cycle, pc)
+
+        core.interp.pc_listener = pc_event
+
+    def _remove_pc_listener(self):
+        self.core.interp.pc_listener = None
+
     # ------------------------------------------------------------------
     # architectural visibility
     # ------------------------------------------------------------------

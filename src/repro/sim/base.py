@@ -112,6 +112,10 @@ class SimulatorBase:
         #: execution, and must not pollute the lifetime trace.
         self._trace_pause = 0
         self._trace_in_checkpoints = True
+        #: Golden-run retired-PC stream (:mod:`repro.staticcheck`);
+        #: None until :meth:`enable_pc_trace`.
+        self._pc_trace = None
+        self._pc_trace_sealed = False
         self._build()
         if trace_accesses:
             self.enable_access_trace()
@@ -193,6 +197,53 @@ class SimulatorBase:
 
     def _remove_trace_listeners(self):
         """Backend hook: detach whatever ``_install_trace_listeners``
+        attached."""
+
+    # ------------------------------------------------------------------
+    # retired-PC tracing (the static pruner's capture hook)
+    # ------------------------------------------------------------------
+
+    def enable_pc_trace(self):
+        """Start recording the retired-instruction stream into a
+        :class:`~repro.prune.trace.RetiredPCTrace`.
+
+        The far cheaper sibling of :meth:`enable_access_trace`: one
+        ``(cycle, pc)`` pair per retirement, no per-cell bookkeeping.
+        The stream is architectural and drain-invariant, so it is never
+        copied into checkpoints -- a restore rewinds the machine but the
+        already-recorded golden prefix stays valid as-is (the campaign
+        only consults it after the golden run completes).
+        """
+        if self._pc_trace is None:
+            from repro.prune.trace import RetiredPCTrace
+
+            self._pc_trace = RetiredPCTrace()
+        self._pc_trace_sealed = False
+        self._install_pc_listener(self._pc_trace)
+        return self._pc_trace
+
+    def pc_trace(self):
+        """The recorded :class:`RetiredPCTrace`, or None when disabled."""
+        return self._pc_trace
+
+    def seal_pc_trace(self):
+        """Stop recording (detach the listener), keeping the stream
+        readable (see :meth:`seal_access_trace`)."""
+        if self._pc_trace is not None:
+            self._pc_trace_sealed = True
+            self._remove_pc_listener()
+
+    def _pc_trace_active(self):
+        return self._pc_trace is not None and not self._pc_trace_sealed
+
+    def _install_pc_listener(self, trace):
+        """Backend hook: attach the retirement listener feeding
+        ``trace``.  The default records nothing -- a backend without
+        the hook degrades to "no fault is ever statically classified",
+        which is sound."""
+
+    def _remove_pc_listener(self):
+        """Backend hook: detach whatever ``_install_pc_listener``
         attached."""
 
     # ------------------------------------------------------------------
@@ -375,6 +426,10 @@ class SimulatorBase:
             if "access_trace" in cp:
                 self._access_trace.restore(cp["access_trace"])
             self._install_trace_listeners(self._access_trace)
+        if self._pc_trace_active():
+            # The retired-PC stream is append-only and drain-invariant:
+            # no prefix to rewind, just re-attach to the rebuilt core.
+            self._install_pc_listener(self._pc_trace)
 
     # -- checkpoint hooks ----------------------------------------------
 

@@ -1,0 +1,74 @@
+"""Static dataflow analysis over assembled workloads.
+
+The package reasons about programs *without executing them*: a
+control-flow graph (:mod:`repro.staticcheck.cfg`), backward may-live /
+must-write-before-read dataflow over registers and NZCV flags
+(:mod:`repro.staticcheck.liveness`), and three consumers:
+
+* :class:`~repro.staticcheck.classify.StaticPruner` -- capture-free
+  fault classification from the retired-PC stream, the engine behind
+  ``prune_mode="static"``;
+* the prune-soundness sanitizer (:data:`REPRO_STATIC_XCHECK`): every
+  campaign that carries both the static summaries and the dynamic
+  access trace cross-checks static-dead against dynamic-dead -- a
+  violation is a framework bug in one engine or the other and raises
+  :class:`StaticCrossCheckError` immediately;
+* the workload linter (:mod:`repro.staticcheck.lint`,
+  ``repro-study staticcheck``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.staticcheck.cfg import ANY_NODE, CFG
+from repro.staticcheck.classify import (
+    STATIC_OVERWRITE_DETAIL,
+    STATIC_SILENT_DETAIL,
+    STATIC_UNREACHABLE_DETAIL,
+    StaticAnalysis,
+    StaticPruner,
+    model_for_level,
+    static_prune_available,
+)
+from repro.staticcheck.lint import Finding, lint_program, lint_workload
+from repro.staticcheck.liveness import ArchDefUse, Dataflow, RTLDefUse
+
+#: Environment toggle of the prune-soundness sanitizer.
+REPRO_STATIC_XCHECK = "REPRO_STATIC_XCHECK"
+
+
+class StaticCrossCheckError(AssertionError):
+    """A static verdict contradicted the dynamic golden trace.
+
+    Static-dead must be a subset of dynamic-dead wherever both engines
+    can rule; raised by the campaign's sanitizer pass
+    (``REPRO_STATIC_XCHECK=1``), never in normal operation.
+    """
+
+
+def static_xcheck_enabled() -> bool:
+    """Whether the prune-soundness sanitizer is switched on."""
+    return os.environ.get(REPRO_STATIC_XCHECK, "") not in ("", "0")
+
+
+__all__ = [
+    "ANY_NODE",
+    "CFG",
+    "ArchDefUse",
+    "Dataflow",
+    "Finding",
+    "REPRO_STATIC_XCHECK",
+    "RTLDefUse",
+    "STATIC_OVERWRITE_DETAIL",
+    "STATIC_SILENT_DETAIL",
+    "STATIC_UNREACHABLE_DETAIL",
+    "StaticAnalysis",
+    "StaticCrossCheckError",
+    "StaticPruner",
+    "lint_program",
+    "lint_workload",
+    "model_for_level",
+    "static_prune_available",
+    "static_xcheck_enabled",
+]

@@ -1,0 +1,168 @@
+"""Control-flow graphs over assembled :class:`~repro.isa.program.Program`s.
+
+The graph's nodes are instruction slots (byte addresses in the text
+segment, one node per 4-byte word); edges follow the interpreter's
+control transfers exactly:
+
+* straight-line code falls through to ``addr + 4``;
+* ``B`` goes to its resolved target -- plus the fall-through when
+  conditional (both legs are real paths);
+* ``BL`` gets *both* the call target and the fall-through edge.  This is
+  the classical call--return approximation: the return lands at the
+  fall-through via ``BX lr``, whose target the CFG cannot resolve, so
+  the direct edge stands in for every matched call/return pair.  Extra
+  paths only ever weaken dataflow claims, never strengthen them;
+* ``BX`` and any PC-writing instruction (data-processing ``rd=15``,
+  loads into ``r15``, ``LDM`` with the PC in its register list) get the
+  :data:`ANY_NODE` pseudo-successor: control may continue at *any*
+  instruction.  Conditional forms keep the fall-through edge too;
+* ``SVC #SYS_EXIT`` terminates the run (conditional forms keep the
+  fall-through); other ``SVC``\\ s return to the next instruction;
+* ``HLT`` and literal-pool slots are terminal.  Pool slots hold data;
+  their decoded view is the assembler's HLT trap, so falling into one
+  stops the machine either way.
+
+Every conservative choice errs toward *more* edges, which is the sound
+direction for both analyses in :mod:`repro.staticcheck.liveness`:
+may-live grows (fewer "dead" claims), must-write shrinks (fewer
+"overwritten" claims).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Cond, Inst, LOAD_OPS, Op
+from repro.isa.program import Program
+from repro.isa.syscalls import SYS_EXIT
+
+#: Pseudo-successor for indirect control transfers (``BX``, PC writes):
+#: "any instruction in the text segment may execute next".
+ANY_NODE = -1
+
+
+def _is_pc_writer(inst: Inst) -> bool:
+    """Whether ``inst`` writes the PC through a register destination."""
+    if inst.op in LOAD_OPS and inst.rd == 15:
+        return True
+    if inst.op == Op.LDM and inst.reglist & (1 << 15):
+        return True
+    # Data processing with rd=15 (BX/B/BL handled separately).
+    return 15 in inst.dst_regs() and inst.op not in (Op.BL,)
+
+
+class CFG:
+    """Per-instruction control-flow graph of one program.
+
+    Attributes:
+        program: the source :class:`~repro.isa.program.Program`.
+        insts: address -> decoded :class:`~repro.isa.instructions.Inst`
+            (the program's memoized decode table).
+        pool_addrs: addresses of literal-pool (data) slots.
+        code_addrs: sorted addresses of real instruction slots.
+        succs: address -> successor tuple; entries are addresses or
+            :data:`ANY_NODE`.
+        entry: the program's start address.
+
+    ``bx_returns=True`` treats ``BX`` as a function return with no
+    successors instead of an indirect jump to :data:`ANY_NODE` -- the
+    closing half of the ``BL`` call--return approximation.  That is the
+    right graph for the *linter* (otherwise any function body's
+    liveness leaks back to the entry point through the ANY join) but
+    unsound for fault verdicts, where ``BX`` must stay fully
+    conservative; the pruner keeps the default.
+    """
+
+    def __init__(self, program: Program, bx_returns: bool = False) -> None:
+        self.program = program
+        self.bx_returns = bx_returns
+        self.insts: dict[int, Inst] = program.decode_table()
+        base = program.layout.text_base
+        self.pool_addrs: frozenset[int] = frozenset(
+            base + 4 * index for index in program.raw_words
+        )
+        self.code_addrs: tuple[int, ...] = tuple(
+            addr for addr in sorted(self.insts)
+            if addr not in self.pool_addrs
+        )
+        self.entry: int = program.entry
+        self._end: int = base + 4 * len(program.insts)
+        self.succs: dict[int, tuple[int, ...]] = {
+            addr: self._successors(addr) for addr in sorted(self.insts)
+        }
+
+    # ------------------------------------------------------------------
+
+    def _in_text(self, addr: int) -> bool:
+        return self.program.layout.text_base <= addr < self._end
+
+    def _successors(self, addr: int) -> tuple[int, ...]:
+        if addr in self.pool_addrs:
+            return ()
+        inst = self.insts[addr]
+        op = inst.op
+        nxt = addr + 4
+        fall: tuple[int, ...] = (nxt,) if self._in_text(nxt) else ()
+        if op == Op.HLT:
+            return ()
+        if op == Op.SVC:
+            if inst.imm == SYS_EXIT:
+                return () if inst.cond == Cond.AL else fall
+            return fall
+        if op in (Op.B, Op.BL):
+            target = (inst.addr + inst.imm) & 0xFFFFFFFC
+            targets: tuple[int, ...] = (
+                (target,) if self._in_text(target) else ()
+            )
+            if op == Op.BL or inst.cond != Cond.AL:
+                # BL: call--return approximation; cond B: not-taken leg.
+                return targets + fall
+            return targets
+        if op == Op.BX and self.bx_returns:
+            return () if inst.cond == Cond.AL else fall
+        if op == Op.BX or _is_pc_writer(inst):
+            if inst.cond == Cond.AL:
+                return (ANY_NODE,)
+            return (ANY_NODE,) + fall
+        return fall
+
+    # ------------------------------------------------------------------
+
+    def block_leaders(self) -> tuple[int, ...]:
+        """Basic-block leader addresses (entry, branch targets, and the
+        instruction after every multi-successor or terminal node)."""
+        leaders = {self.entry}
+        for addr in self.code_addrs:
+            succ = self.succs[addr]
+            direct = [s for s in succ if s != ANY_NODE]
+            if len(succ) != 1 or succ[0] != addr + 4:
+                leaders.update(s for s in direct if s != addr + 4)
+                if self._in_text(addr + 4):
+                    leaders.add(addr + 4)
+        return tuple(sorted(a for a in leaders if self._in_text(a)))
+
+    def reachable_from_entry(self) -> frozenset[int]:
+        """Addresses reachable from the entry point via *direct* edges.
+
+        :data:`ANY_NODE` edges are not expanded here: expanding them
+        would mark every instruction reachable and make the query
+        vacuous.  ``BX lr`` return sites stay reachable through the
+        ``BL`` fall-through edge, so real workload code is covered; a
+        block only ever entered through a computed jump shows up as
+        unreachable and needs a lint waiver.
+        """
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            addr = stack.pop()
+            if addr in seen or not self._in_text(addr):
+                continue
+            seen.add(addr)
+            for succ in self.succs.get(addr, ()):
+                if succ != ANY_NODE and succ not in seen:
+                    stack.append(succ)
+        return frozenset(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"CFG({self.program.name!r}, {len(self.code_addrs)} insts,"
+            f" {len(self.pool_addrs)} pool slots)"
+        )

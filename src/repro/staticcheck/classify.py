@@ -1,0 +1,198 @@
+"""Capture-free fault classification from static dataflow summaries.
+
+The dynamic pruner (:mod:`repro.prune`) decides a fault's fate from the
+golden run's full per-cell access trace.  The static pruner reaches a
+subset of the same verdicts from the program text plus the *retired-PC
+stream* alone -- the cheapest possible golden instrumentation:
+
+* the fault names a cell (a register, or one NZCV flag) and an
+  injection cycle;
+* the retired-PC stream anchors the cycle to the first instruction that
+  retires at-or-after the injection instant (the same stamp convention
+  the dynamic pruner uses, ``TRACE_EVENTS_AT_STOP_EXECUTED``);
+* if every path from that PC writes the cell before reading it
+  (``must_in``), the corruption is overwritten before anything consumes
+  it -- Masked, the same overwrite-erases-corruption argument DESIGN.md
+  makes for the dynamic pruner;
+* if no path from that PC ever reads the cell (``live_in`` clear), the
+  flip is behaviorally invisible -- Masked, except at the ``arch``
+  observation point, which inspects final state and would report the
+  surviving flip (exactly the dynamic pruner's silent-fault gate);
+* structurally unaddressable register-file entries (the RT macro's
+  banked/spare flops) are Masked by construction, no anchor needed.
+
+Unlike the dynamic trace, static claims quantify over **all** paths
+from the anchor, so they need no event horizon: the retired-PC sequence
+is architectural and drain-invariant, and whatever the pipeline does
+past a checkpoint boundary is still one of the analyzed paths.
+
+Tier coverage: the arch and rtl tiers inject the *architectural*
+register file and flags, which the analysis models exactly
+(:class:`~repro.staticcheck.liveness.ArchDefUse`,
+:class:`~repro.staticcheck.liveness.RTLDefUse`).  The uarch tier
+injects the renamed physical register file, whose cells have no static
+identity across the run -- no model, every fault falls through to the
+dynamic pruner or simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.injection.classify import FaultClass
+from repro.isa.program import Program
+from repro.prune.trace import RetiredPCTrace
+from repro.staticcheck.cfg import CFG
+from repro.staticcheck.liveness import (
+    ArchDefUse,
+    Dataflow,
+    DefUseModel,
+    RTLDefUse,
+    flag_bit,
+    reg_bit,
+)
+
+#: Detail strings of records classified by the static engine.
+STATIC_OVERWRITE_DETAIL = "pruned: statically overwritten before next read"
+STATIC_SILENT_DETAIL = "pruned: statically never read again"
+STATIC_UNREACHABLE_DETAIL = "pruned: statically unreachable cell"
+
+#: Register-file entries the RT-level pipeline can address at all
+#: (mirrors the ``reachable_cells`` the rtl simulator registers).
+_RTL_REACHABLE_ENTRIES = 16
+
+class FaultLike(Protocol):
+    """The slice of :class:`repro.injection.fault.FaultSpec` the
+    classifier consumes."""
+
+    @property
+    def structure(self) -> str: ...
+
+    @property
+    def bit(self) -> int: ...
+
+    @property
+    def cycle(self) -> int: ...
+
+
+#: Tiers with a def/use model; other tiers get no static verdicts.
+_MODELS: dict[str, type[DefUseModel]] = {
+    "arch": ArchDefUse,
+    "rtl": RTLDefUse,
+}
+
+
+def model_for_level(level: str) -> DefUseModel | None:
+    """The tier's def/use model, or ``None`` when the tier's injection
+    targets have no static identity (the renamed uarch tier)."""
+    cls = _MODELS.get(level)
+    return cls() if cls is not None else None
+
+
+def static_prune_available(level: str) -> bool:
+    """Whether ``prune_mode="static"`` can classify anything at ``level``."""
+    return level in _MODELS
+
+
+class StaticAnalysis:
+    """CFG + both dataflow solutions for one program/tier pair."""
+
+    def __init__(self, program: Program, model: DefUseModel) -> None:
+        self.cfg = CFG(program)
+        self.flow = Dataflow(self.cfg, model)
+
+    def must_dead_at(self, pc: int, bit: int) -> bool:
+        """Every path from ``pc`` writes mask bit ``bit`` before reading."""
+        mask = self.flow.must_in.get(pc)
+        return mask is not None and bool(mask & bit)
+
+    def live_at(self, pc: int, bit: int) -> bool:
+        """Some path from ``pc`` may read mask bit ``bit`` first.
+        Unknown PCs count as live (conservative)."""
+        mask = self.flow.live_in.get(pc)
+        return mask is None or bool(mask & bit)
+
+
+class StaticPruner:
+    """Classifies faults from the retired-PC stream, without a trace.
+
+    The drop-in static counterpart of
+    :class:`~repro.prune.pruner.FaultPruner`: built once per campaign,
+    consulted per sampled fault, returns ``(FaultClass, detail)`` when
+    the verdict is provable from the program text or ``None`` when the
+    fault must be simulated.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        level: str,
+        observation: str,
+        pc_trace: RetiredPCTrace | None,
+        events_at_stop_executed: bool,
+    ) -> None:
+        model = model_for_level(level)
+        self.level = level
+        self.observation = observation
+        self.pc_trace = pc_trace
+        self.events_at_stop_executed = bool(events_at_stop_executed)
+        self.analysis: StaticAnalysis | None = (
+            StaticAnalysis(program, model) if model is not None else None
+        )
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, structure: str, fault_bit: int) -> tuple[int, int] | None:
+        """``(entry, mask_bit)`` of the faulted cell, ``None`` when the
+        structure is outside the static model (caches, etc.)."""
+        if structure == "regfile":
+            entry = fault_bit // 32
+            return entry, reg_bit(entry) if entry < 16 else 0
+        if structure == "cpsr":
+            return fault_bit, flag_bit(fault_bit)
+        return None
+
+    def anchor(self, fault_cycle: int) -> int | None:
+        """PC of the first instruction retiring at-or-after the
+        injection instant, ``None`` when the run has already ended (or
+        no stream was captured)."""
+        if self.pc_trace is None:
+            return None
+        threshold = fault_cycle + (1 if self.events_at_stop_executed else 0)
+        return self.pc_trace.anchor(threshold)
+
+    def classify(self, fault: FaultLike) -> tuple[FaultClass, str] | None:
+        """``(FaultClass, detail)`` when provable from the program text,
+        else ``None`` (fall through to the dynamic pruner/simulation)."""
+        if self.analysis is None:
+            return None
+        structure = fault.structure
+        resolved = self._resolve(structure, fault.bit)
+        if resolved is None:
+            return None
+        entry, mask_bit = resolved
+        if structure == "regfile" and entry >= _RTL_REACHABLE_ENTRIES:
+            # Banked/spare macro entries: no instruction field can name
+            # them, and the arch digest reads committed state only --
+            # masked under every observation, no anchor needed.
+            return FaultClass.MASKED, STATIC_UNREACHABLE_DETAIL
+        if not mask_bit:
+            return None
+        pc = self.anchor(fault.cycle)
+        if pc is None:
+            return None
+        if self.analysis.must_dead_at(pc, mask_bit):
+            return FaultClass.MASKED, STATIC_OVERWRITE_DETAIL
+        if not self.analysis.live_at(pc, mask_bit):
+            # Behaviorally invisible, but the arch (HVF) observation
+            # point would report the surviving flip -- simulate there.
+            if self.observation == "arch":
+                return None
+            return FaultClass.MASKED, STATIC_SILENT_DETAIL
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"StaticPruner(level={self.level!r}, observation="
+            f"{self.observation!r}, modeled={self.analysis is not None})"
+        )

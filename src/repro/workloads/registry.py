@@ -1,6 +1,7 @@
 """Workload registry and shared assembly fragments."""
 
 from repro.isa.assembler import assemble
+from repro.isa.program import Program
 from repro.isa.toolchain import Toolchain
 
 #: Benchmark names in the paper's Table II order.
@@ -79,7 +80,7 @@ def get(name):
     return getattr(module, attr) if attr else module
 
 
-def build(name, toolchain=None):
+def build(name: str, toolchain: Toolchain | None = None) -> Program:
     """Assemble workload ``name`` with the given toolchain variant."""
     module = get(name)
     toolchain = toolchain or Toolchain("gnu")

@@ -6,9 +6,9 @@ element for element -- the uint32 wraparound, carry and shift-range
 edges are exactly where numpy dtype promotion could silently diverge.
 """
 
+from hypothesis import given, strategies as st
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.isa import alu, valu
 from repro.isa.flags import Flags

@@ -27,9 +27,9 @@ import pytest
 
 from repro.injection.campaign import Campaign, CampaignConfig
 from repro.injection.store import CampaignStore
+from repro.scenario.presets import preset_path
 from repro.scenario.runner import ScenarioRunner
 from repro.scenario.spec import ScenarioSpec, load_mapping
-from repro.scenario.presets import preset_path
 from repro.sim import registry
 from support import record_keys, truncate_records
 

@@ -9,9 +9,9 @@ import pytest
 from repro.injection.campaign import Campaign, CampaignConfig
 from repro.injection.classify import FaultClass
 from repro.isa import assemble
+from repro.isa.toolchain import Toolchain
 from repro.uarch import CortexA9Config, MicroArchSim, RunStatus
 from repro.workloads import build
-from repro.isa.toolchain import Toolchain
 
 CONFIG = CortexA9Config(dcache_size=1024, icache_size=1024)
 

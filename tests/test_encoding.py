@@ -1,7 +1,7 @@
 """Binary encoding: exhaustive round-trip property tests."""
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.isa.encoding import EncodingError, decode, encode
 from repro.isa.instructions import (

@@ -1,7 +1,7 @@
 """Fault specs, distributions and the inject-near-consumption move."""
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.injection.distributions import (
     TruncatedNormalDistribution,

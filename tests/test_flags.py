@@ -1,7 +1,7 @@
 """Condition flags and condition-code evaluation."""
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.isa.flags import COND_CODES, COND_INDEX, Flags, cond_passed
 

@@ -1,7 +1,7 @@
 """RAM and set-associative cache substrate."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
 from repro.errors import SimFault
 from repro.memory.bus import Transaction

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimFault, SimTimeout
 from repro.isa import assemble
-from repro.isa.program import MemoryLayout, Program
+from repro.isa.program import MemoryLayout
 from repro.isa.registers import (
     RegisterFile,
     parse_reg,

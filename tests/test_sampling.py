@@ -2,8 +2,8 @@
 
 import math
 
-import pytest
 from hypothesis import given, strategies as st
+import pytest
 
 from repro.injection.sampling import (
     achieved_error_margin,

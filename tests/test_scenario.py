@@ -8,14 +8,13 @@ import pytest
 
 from repro.injection import GeFIN, SafetyVerifier
 from repro.scenario import (
-    ResultSet,
     ScenarioError,
     ScenarioRunner,
     ScenarioSpec,
     load_preset,
     preset_names,
 )
-from repro.scenario.spec import apply_overrides, load_mapping
+from repro.scenario.spec import apply_overrides
 
 
 def make_spec(**sections):

@@ -1,0 +1,299 @@
+"""``prune_mode="static"``: the capture-free pruner's exactness suite.
+
+The acceptance contract mirrors test_prune.py's: static pruning is a
+work-avoidance optimisation, never a result change.  For a fixed seed,
+``prune_mode="static"`` must classify fault-for-fault identically to
+``prune_mode="off"`` -- checked here on the {stringsearch, sha} x
+{arch, uarch, rtl} x jobs {1, 2} matrix with the soundness sanitizer
+(``REPRO_STATIC_XCHECK=1``) armed the whole time, so every static
+verdict is simultaneously audited against the dynamic access trace
+wherever one exists.
+
+Plus unit coverage of the :class:`StaticPruner` verdict plumbing and
+of the sanitizer itself (a doctored trace must raise
+:class:`StaticCrossCheckError`), and the acceptance pin: the ``fig1``
+preset grid classifies identically under ``prune=static`` vs
+``prune=off`` at every cell.
+"""
+
+import pytest
+
+from repro.injection.campaign import (
+    Campaign,
+    CampaignConfig,
+    _assert_static_verdict,
+)
+from repro.injection.classify import FaultClass
+from repro.injection.faults import FaultSpec
+from repro.prune import LifetimeTrace, RetiredPCTrace
+from repro.scenario.presets import preset_path
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.spec import ScenarioSpec, load_mapping
+from repro.sim import registry
+from repro.staticcheck import (
+    STATIC_OVERWRITE_DETAIL,
+    STATIC_SILENT_DETAIL,
+    STATIC_UNREACHABLE_DETAIL,
+    StaticCrossCheckError,
+    static_prune_available,
+)
+from support import record_keys
+
+SAMPLES = 20
+SEED = 13
+WINDOW = 800
+
+ALL_LEVELS = registry.level_names()
+WORKLOADS = ("stringsearch", "sha")
+#: Tiers whose injection targets the static engine can model.
+MODELED = tuple(lv for lv in ALL_LEVELS if static_prune_available(lv))
+
+
+@pytest.fixture(scope="module")
+def xcheck_env():
+    """Arm the prune-soundness sanitizer for every campaign below."""
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_STATIC_XCHECK", "1")
+    yield
+    patcher.undo()
+
+
+def run_campaign(factory, level, workload, **config_kwargs):
+    config = CampaignConfig(samples=SAMPLES, window=WINDOW, seed=SEED,
+                            **config_kwargs)
+    campaign = Campaign(factory, "regfile", config,
+                        workload=workload, level=level)
+    return campaign.run()
+
+
+def class_keys(result):
+    """The identity the off-vs-static contract pins: fault and class.
+    (``record_keys`` also pins detail/sim_cycles, which legitimately
+    differ between a simulated and a statically-pruned record.)"""
+    return [(r.fault.bit, r.fault.cycle, r.fclass) for r in result.records]
+
+
+# ----------------------------------------------------------------------
+# the acceptance matrix: {stringsearch, sha} x all tiers x jobs {1, 2}
+# ----------------------------------------------------------------------
+
+@pytest.fixture(
+    scope="module",
+    params=[(wl, lv) for wl in WORKLOADS for lv in ALL_LEVELS],
+    ids=lambda p: f"{p[0]}-{p[1]}",
+)
+def matrix_cell(request, xcheck_env):
+    workload, level = request.param
+    factory = registry.create_frontend(level, workload).sim_factory
+    off = run_campaign(factory, level, workload, prune_mode="off")
+    static = run_campaign(factory, level, workload, prune_mode="static")
+    return workload, level, factory, off, static
+
+
+def test_static_mode_classifications_identical(matrix_cell):
+    workload, level, _, off, static = matrix_cell
+    assert class_keys(static) == class_keys(off), (
+        f"{workload}/{level}: static pruning changed a classification"
+    )
+
+
+def test_static_mode_prunes_only_where_modeled(matrix_cell):
+    workload, level, _, off, static = matrix_cell
+    assert off.pruned_count == 0
+    assert static.simulated_count + static.pruned_count == SAMPLES
+    if static_prune_available(level):
+        assert static.pruned_count > 0, (
+            f"{workload}/{level}: the static engine never fired"
+        )
+    else:
+        # The uarch tier injects renamed physical registers: no static
+        # identity, every fault simulates.
+        assert static.pruned_count == 0
+
+
+def test_static_records_carry_static_provenance(matrix_cell):
+    _, _, _, _, static = matrix_cell
+    details = {STATIC_OVERWRITE_DETAIL, STATIC_SILENT_DETAIL,
+               STATIC_UNREACHABLE_DETAIL}
+    for record in static.records:
+        if record.pruned:
+            assert record.pruned == "static"
+            assert record.detail in details
+            assert record.sim_cycles == 0 and record.replay_cycles == 0
+
+
+def test_static_mode_independent_of_jobs(matrix_cell):
+    workload, level, factory, _, static = matrix_cell
+    jobs2 = run_campaign(factory, level, workload, prune_mode="static",
+                         jobs=2)
+    assert record_keys(jobs2) == record_keys(static), (
+        f"{workload}/{level}: jobs=2 perturbed the static verdicts"
+    )
+
+
+# ----------------------------------------------------------------------
+# StaticPruner unit behavior
+# ----------------------------------------------------------------------
+
+def make_pruner(level="arch", observation="pinout", pc_trace=None,
+                workload="stringsearch"):
+    from repro.staticcheck import StaticPruner
+    from repro.workloads.registry import build
+
+    return StaticPruner(build(workload), level, observation, pc_trace,
+                        events_at_stop_executed=False)
+
+
+def test_pruner_unmodeled_structure_simulates():
+    pruner = make_pruner()
+    assert pruner.classify(FaultSpec("l1d.data", 5, 10)) is None
+
+
+def test_pruner_unaddressable_regfile_entry_masked_without_anchor():
+    # Entries >= 16 need no retired-PC stream: no instruction field can
+    # name them (pc_trace=None would defeat any anchored verdict).
+    pruner = make_pruner(level="rtl")
+    verdict = pruner.classify(FaultSpec("regfile", 20 * 32, 10))
+    assert verdict == (FaultClass.MASKED, STATIC_UNREACHABLE_DETAIL)
+
+
+def test_pruner_without_stream_simulates_addressable_cells():
+    pruner = make_pruner()
+    assert pruner.classify(FaultSpec("regfile", 0, 10)) is None
+
+
+def test_pruner_anchor_respects_stop_convention():
+    trace = RetiredPCTrace()
+    trace.record(10, 0x10000)
+    trace.record(12, 0x10004)
+    hw = make_pruner(pc_trace=trace)
+    hw.events_at_stop_executed = True
+    assert hw.anchor(10) == 0x10004   # cycle-10 retirement already ran
+    arch = make_pruner(pc_trace=trace)
+    assert arch.anchor(10) == 0x10000  # still ahead at the arch tier
+    assert arch.anchor(13) is None     # past the last retirement
+
+
+def test_pruner_silent_verdict_defers_to_arch_observation():
+    """A statically never-read cell is masked at pinout/software but
+    must simulate under the ``arch`` (HVF) observation point, exactly
+    like the dynamic pruner's silent-fault gate."""
+    from repro.staticcheck import StaticAnalysis, model_for_level
+    from repro.workloads.registry import build
+
+    trace = RetiredPCTrace()
+    prog = build("stringsearch")
+    analysis = StaticAnalysis(prog, model_for_level("arch"))
+    # Find a (pc, reg) pair that is statically dead-silent: never read
+    # again but not must-overwritten.
+    probe = None
+    for pc in analysis.flow.live_in:
+        for reg in range(13):
+            bit = 1 << reg
+            if (not analysis.live_at(pc, bit)
+                    and not analysis.must_dead_at(pc, bit)):
+                probe = (pc, reg)
+                break
+        if probe:
+            break
+    assert probe is not None, "no silent-dead cell in stringsearch?"
+    pc, reg = probe
+    trace.record(100, pc)
+    fault = FaultSpec("regfile", reg * 32, 50)
+    masked = make_pruner(pc_trace=trace)
+    assert masked.classify(fault) == (
+        FaultClass.MASKED, STATIC_SILENT_DETAIL)
+    hvf = make_pruner(observation="arch", pc_trace=trace)
+    assert hvf.classify(fault) is None
+
+
+# ----------------------------------------------------------------------
+# the sanitizer: static-dead must be a subset of dynamic-dead
+# ----------------------------------------------------------------------
+
+def sanitizer_trace():
+    trace = LifetimeTrace()
+    trace.register("regfile", 32, reachable_cells=range(16))
+    trace.register("cpsr", 1)
+    return trace
+
+
+def test_sanitizer_accepts_consistent_verdicts():
+    trace = sanitizer_trace()
+    trace.record("regfile", 1, 50, True)       # write-first: overwrite ok
+    fault = FaultSpec("regfile", 32, 10)
+    _assert_static_verdict(trace, fault, STATIC_OVERWRITE_DETAIL, True)
+    _assert_static_verdict(trace, FaultSpec("regfile", 64, 10),
+                           STATIC_SILENT_DETAIL, True)  # no event: ok
+    _assert_static_verdict(trace, FaultSpec("regfile", 20 * 32, 10),
+                           STATIC_UNREACHABLE_DETAIL, True)
+
+
+def test_sanitizer_rejects_overwrite_on_read_first_trace():
+    trace = sanitizer_trace()
+    trace.record("regfile", 1, 50, False)      # dynamic read first
+    with pytest.raises(StaticCrossCheckError):
+        _assert_static_verdict(trace, FaultSpec("regfile", 32, 10),
+                               STATIC_OVERWRITE_DETAIL, True)
+
+
+def test_sanitizer_rejects_silent_on_read_trace():
+    trace = sanitizer_trace()
+    trace.record("regfile", 1, 50, False)
+    with pytest.raises(StaticCrossCheckError):
+        _assert_static_verdict(trace, FaultSpec("regfile", 32, 10),
+                               STATIC_SILENT_DETAIL, True)
+
+
+def test_sanitizer_rejects_unreachable_on_reachable_cell():
+    trace = sanitizer_trace()
+    with pytest.raises(StaticCrossCheckError):
+        _assert_static_verdict(trace, FaultSpec("regfile", 32, 10),
+                               STATIC_UNREACHABLE_DETAIL, True)
+
+
+def test_sanitizer_skips_untraced_structures():
+    trace = sanitizer_trace()
+    _assert_static_verdict(trace, FaultSpec("l1d.data", 5, 10),
+                           STATIC_OVERWRITE_DETAIL, True)
+
+
+def test_sanitizer_respects_stop_convention():
+    trace = sanitizer_trace()
+    trace.record("regfile", 0, 10, False)  # read stamped at the cycle
+    fault = FaultSpec("regfile", 0, 10)
+    # Hardware convention: the cycle-10 read already ran -- the next
+    # event is nothing, so a silent claim is consistent.
+    _assert_static_verdict(trace, fault, STATIC_SILENT_DETAIL, True)
+    # Arch convention: the read is still ahead -- the claim is a lie.
+    with pytest.raises(StaticCrossCheckError):
+        _assert_static_verdict(trace, fault, STATIC_SILENT_DETAIL, False)
+
+
+# ----------------------------------------------------------------------
+# the acceptance pin: fig1 preset, prune=static vs prune=off
+# ----------------------------------------------------------------------
+
+def fig1_spec(prune):
+    """The shipped fig1 grid (uarch pinout / uarch pinout-notimer /
+    rtl pinout), shrunk to test size, at the given prune mode."""
+    mapping = load_mapping(preset_path("fig1"))
+    mapping.pop("present", None)
+    mapping.setdefault("targets", {})["workloads"] = ["stringsearch"]
+    mapping.setdefault("faults", {})["samples"] = 6
+    mapping.setdefault("execution", {})["prune"] = prune
+    return ScenarioSpec.from_mapping(mapping, source=f"fig1-{prune}")
+
+
+def test_fig1_preset_classes_identical_under_static_prune(xcheck_env):
+    results = {prune: ScenarioRunner(fig1_spec(prune)).run()
+               for prune in ("static", "off")}
+    cells = {"static": list(results["static"]),
+             "off": list(results["off"])}
+    assert len(cells["static"]) == len(cells["off"]) == 3
+    pruned_total = 0
+    for (_, static), (_, off) in zip(cells["static"], cells["off"]):
+        assert class_keys(static) == class_keys(off)
+        pruned_total += static.pruned_count
+    # The grid's rtl cell must actually exercise the static engine.
+    assert pruned_total > 0

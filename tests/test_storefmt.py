@@ -19,11 +19,10 @@ codec and the vectorized mmap read path of
 import itertools
 import json
 
-import pytest
 from hypothesis import given, settings, strategies as st
+import pytest
 
-from repro.injection import storefmt
-from repro.injection import store as store_mod
+from repro.injection import store as store_mod, storefmt
 from repro.injection.classify import FaultClass, FaultRecord
 from repro.injection.faults import FaultSpec
 from repro.injection.store import CampaignStore, StoreError

@@ -81,6 +81,24 @@ def parse_prune_speedup(text):
     return out
 
 
+def parse_static_prune(text):
+    out = _search_metrics(text, {
+        "samples": rf"samples={_FLOAT}",
+        "combined static_prune_rate %":
+            rf"combined static_prune_rate: {_FLOAT}% \(deterministic\)",
+    })
+    for series in ("ArchEmu", "RTL"):
+        match = re.search(
+            rf"{series}\s+prune=static:\s+{_FLOAT} simulated"
+            rf" runs of {_FLOAT} \({_FLOAT}"
+            rf" pruned, static_prune_rate {_FLOAT}%\)",
+            text)
+        if match:
+            out[f"{series} pruned"] = float(match.group(3))
+            out[f"{series} static_prune_rate %"] = float(match.group(4))
+    return out
+
+
 def parse_warmstart_speedup(text):
     return _search_metrics(text, {
         "samples": rf"samples={_FLOAT}",
@@ -146,6 +164,7 @@ PARSERS = {
     "batch_speedup.txt": parse_batch_speedup,
     "batch_rtl_speedup.txt": parse_batch_speedup,
     "prune_speedup.txt": parse_prune_speedup,
+    "static_prune.txt": parse_static_prune,
     "warmstart_speedup.txt": parse_warmstart_speedup,
     "decode_cache.txt": parse_decode_cache,
     "parallel_speedup.txt": parse_parallel_speedup,
